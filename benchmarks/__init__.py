@@ -1,0 +1,1 @@
+"""The experiment battery: one bench module per table/figure in DESIGN.md."""

@@ -1,0 +1,58 @@
+"""Shared helpers for the experiment benches.
+
+Each bench regenerates one table/figure of the reproduction (see
+DESIGN.md's experiment index).  The *printed table* is the artefact; the
+pytest-benchmark timing wraps the experiment's core computation so
+``pytest benchmarks/ --benchmark-only`` both reproduces the numbers and
+times the system.  Run with ``-s`` to see the tables inline; they are
+also appended to ``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+SEED = 20170626  # the editorial's publication date
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (the shape the paper's tables would have)."""
+    rendered_rows = [
+        [f"{value:.4f}" if isinstance(value, float) else str(value)
+         for value in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[index])),
+            *(len(row[index]) for row in rendered_rows))
+        for index in range(len(headers))
+    ] if rendered_rows else [len(str(h)) for h in headers]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    ))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def emit(text: str) -> None:
+    """Print a table and append it to the results file."""
+    print("\n" + text)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n\n")
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark and return it.
+
+    The experiments are deterministic and heavy; one round gives the
+    timing without multiplying the work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""E10 — accountability at Internet-Minute volume (§2-Q4, §3).
+
+Paper claims: "The journey from raw data to meaningful inferences
+involves multiple steps and actors, thus accountability and
+comprehensibility are essential for transparency", and §3's Internet
+Minute (1,000,000 Tinder swipes, 3,500,000 Google searches, … per
+minute) frames the volume at which that accountability must operate.
+
+Design: an event stream with the paper's service mix, pushed through a
+redact→aggregate pipeline under three provenance modes; reported:
+throughput (events/second of wall time) and the recorded trail sizes,
+plus a lineage reconstruction check.  Expected shape: stage-level
+provenance is nearly free; content fingerprinting costs a modest
+constant factor; both leave full lineage reconstructable, which the
+uninstrumented pipeline cannot offer at any price.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.data.schema import ColumnRole, numeric
+from repro.data.synth import InternetMinuteGenerator
+from repro.pipeline import (
+    FunctionStage,
+    Pipeline,
+    RedactStage,
+)
+
+SCALE = 2e-4  # ~2760 events per simulated minute
+MINUTES = 4
+
+
+def build_pipeline(provenance_mode):
+    def add_size_flag(table):
+        flag = (table["payload_bytes"] > 1000.0).astype(float)
+        return table.with_column(
+            numeric("large_payload", role=ColumnRole.METADATA), flag
+        )
+
+    def keep_eu(table):
+        return table.filter(table["region"] == "eu")
+
+    return Pipeline([
+        RedactStage(),
+        FunctionStage("flag_large", add_size_flag),
+        FunctionStage("filter_eu", keep_eu),
+    ], provenance=provenance_mode)
+
+
+def run_modes():
+    rng = np.random.default_rng(SEED)
+    stream = InternetMinuteGenerator(
+        scale=SCALE, minutes=MINUTES
+    ).generate_stream(rng)
+    # Warm-up pass so the first timed mode does not pay one-time costs.
+    build_pipeline("fingerprint").run(stream, np.random.default_rng(SEED))
+    rows = []
+    lineages = {}
+    for mode in ("off", "stage", "fingerprint"):
+        pipeline = build_pipeline(mode)
+        elapsed = float("inf")
+        for _ in range(3):  # best-of-3 wall time
+            start = time.perf_counter()
+            result = pipeline.run(stream, np.random.default_rng(SEED))
+            elapsed = min(elapsed, time.perf_counter() - start)
+        graph = result.context.provenance
+        rows.append([
+            mode,
+            stream.n_rows,
+            elapsed * 1000.0,
+            stream.n_rows / elapsed,
+            graph.n_steps if graph else 0,
+            len(result.context.audit),
+        ])
+        lineages[mode] = result.lineage()
+    return rows, lineages
+
+
+def test_e10_provenance_overhead(benchmark):
+    (rows, lineages) = run_once(benchmark, run_modes)
+    emit(format_table(
+        f"E10: pipeline throughput vs provenance mode "
+        f"({MINUTES} Internet Minutes at scale {SCALE:g})",
+        ["provenance", "events", "wall_ms", "events_per_s",
+         "steps_recorded", "audit_events"],
+        rows,
+    ))
+    by_mode = {row[0]: row for row in rows}
+    # Instrumented modes record the full trail; "off" records nothing.
+    assert by_mode["off"][4] == 0
+    assert by_mode["stage"][4] == 3
+    assert by_mode["fingerprint"][4] == 3
+    # Lineage reconstructable only when recorded.
+    assert lineages["off"] == "provenance disabled"
+    for mode in ("stage", "fingerprint"):
+        for stage_name in ("redact", "flag_large", "filter_eu"):
+            assert stage_name in lineages[mode]
+    # The headline: sampled fingerprinting keeps full provenance within a
+    # small constant of bare execution (often inside timing noise).
+    assert by_mode["fingerprint"][2] < 5.0 * by_mode["off"][2] + 50.0
+    assert by_mode["stage"][2] < 5.0 * by_mode["off"][2] + 50.0

@@ -1,0 +1,97 @@
+"""E13 — DP synthetic data: sharing without the data (§2-Q3).
+
+Paper claim: "The goal should not be to prevent data from being
+distributed and gathered, but to exploit data in a safe and controlled
+manner" — the strongest form of which is releasing a *synthetic* table
+instead of the real one.
+
+Design: sweep ε for the marginal synthesiser on the credit data; report
+(a) marginal total-variation distance to the real table, (b) utility of
+the release for the downstream task — a model trained on synthetic data,
+tested on real data — against train-on-real, and (c) the exact-row
+overlap (privacy sanity).  Expected shape: TV falls and downstream
+accuracy climbs toward the train-on-real ceiling as ε grows; overlap is
+zero everywhere.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.confidentiality.synthesis import (
+    MarginalSynthesizer,
+    marginal_total_variation,
+)
+from repro.data.synth import CreditScoringGenerator
+from repro.learn import LogisticRegression, TableClassifier
+from repro.learn.metrics import accuracy, roc_auc
+
+EPSILONS = (0.1, 0.5, 2.0, 10.0)
+N_TRAIN, N_TEST = 4000, 2000
+
+
+def _row_overlap(real, synthetic) -> float:
+    real_rows = {
+        tuple(np.round(value, 6) if isinstance(value, float) else value
+              for value in real.row(index).values())
+        for index in range(real.n_rows)
+    }
+    hits = 0
+    for index in range(synthetic.n_rows):
+        row = tuple(
+            np.round(value, 6) if isinstance(value, float) else value
+            for value in synthetic.row(index).values()
+        )
+        if row in real_rows:
+            hits += 1
+    return hits / synthetic.n_rows
+
+
+def run_sweep():
+    rng = np.random.default_rng(SEED)
+    generator = CreditScoringGenerator(label_bias=0.2, proxy_strength=0.5)
+    train, test = generator.generate_pair(N_TRAIN, N_TEST, rng)
+    real_model = TableClassifier(LogisticRegression()).fit(train)
+    ceiling = accuracy(real_model.labels(test), real_model.predict(test))
+
+    rows = []
+    for epsilon in EPSILONS:
+        synthesizer = MarginalSynthesizer(epsilon=epsilon).fit(train, rng)
+        synthetic = synthesizer.sample(N_TRAIN, rng)
+        tv = float(np.mean([
+            marginal_total_variation(train, synthetic, column)
+            for column in train.column_names
+        ]))
+        synthetic_model = TableClassifier(LogisticRegression()).fit(synthetic)
+        probabilities = synthetic_model.predict_proba(test)
+        labels = synthetic_model.labels(test)
+        downstream = accuracy(labels, (probabilities >= 0.5).astype(float))
+        downstream_auc = roc_auc(labels, probabilities)
+        rows.append([
+            epsilon, tv, downstream, downstream_auc, ceiling,
+            _row_overlap(train, synthetic),
+        ])
+    return rows
+
+
+def test_e13_synthetic_data(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(format_table(
+        "E13: DP synthetic-data release (train-on-synthetic, test-on-real)",
+        ["epsilon", "mean_marginal_TV", "downstream_acc", "downstream_auc",
+         "train_on_real_acc", "exact_row_overlap"],
+        rows,
+    ))
+    tvs = [row[1] for row in rows]
+    accs = [row[2] for row in rows]
+    aucs = [row[3] for row in rows]
+    # Utility rises with budget.
+    assert tvs[-1] < tvs[0]
+    assert accs[-1] > accs[0] - 0.02
+    # At a generous budget the synthetic release supports the task within
+    # a handful of points of training on the real data — and the model
+    # has real ranking signal, not just the base rate.
+    assert accs[-1] > rows[-1][4] - 0.08
+    assert aucs[-1] > 0.6
+    # And no synthetic row is a copied real record, at any epsilon.
+    for row in rows:
+        assert row[5] == 0.0

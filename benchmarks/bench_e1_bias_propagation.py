@@ -1,0 +1,146 @@
+"""E1 — bias propagates without the sensitive attribute (§2-Q1).
+
+Paper claim: "the training data may be biased … even if sensitive
+attributes are omitted, members of certain groups may still be
+systematically rejected."
+
+Design: sweep injected label-bias β and proxy purity ρ on the credit
+generator; train logistic regression *without* the group column; measure
+the disparate-impact ratio and statistical-parity difference of its
+decisions.  Expected shape: fairness degrades monotonically in both β
+and ρ; with ρ = 0 the label bias alone barely transfers (no channel),
+with ρ large it transfers almost fully.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.data.synth import CreditScoringGenerator
+from repro.fairness import audit_model
+from repro.learn import LogisticRegression, TableClassifier
+
+BETAS = (0.0, 0.2, 0.4)
+RHOS = (0.0, 0.5, 0.9)
+N_TRAIN, N_TEST = 3000, 1500
+
+
+def run_sweep():
+    rows = []
+    for beta in BETAS:
+        for rho in RHOS:
+            rng = np.random.default_rng(SEED + int(beta * 100) + int(rho * 10))
+            generator = CreditScoringGenerator(
+                label_bias=beta, proxy_strength=rho
+            )
+            train, test = generator.generate_pair(N_TRAIN, N_TEST, rng)
+            model = TableClassifier(LogisticRegression()).fit(train)
+            report = audit_model(model, test)
+            rows.append([
+                beta, rho,
+                report.disparate_impact_ratio,
+                report.statistical_parity_difference,
+                report.equal_opportunity_difference,
+                "yes" if report.passes_four_fifths else "NO",
+            ])
+    return rows
+
+
+def test_e1_bias_propagation(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(format_table(
+        "E1: group disparity of a group-blind model vs injected bias",
+        ["label_bias", "proxy", "DI_ratio", "SPD", "EOD", "4/5 rule"],
+        rows,
+    ))
+    by_key = {(row[0], row[1]): row[2] for row in rows}
+    # Shape check: clean data is fair; strong bias + strong proxy is not.
+    assert by_key[(0.0, 0.0)] > 0.85
+    assert by_key[(0.4, 0.9)] < 0.8
+    # The proxy is the channel: at fixed high beta, more proxy = less fair.
+    assert by_key[(0.4, 0.9)] < by_key[(0.4, 0.0)]
+
+
+def _group_shift_tables(rng, n_rows):
+    """Credit-like data whose label mechanism differs by group.
+
+    For group A creditworthiness rides on income; for group B (say, cash
+    economy workers) it rides on employment stability.  One shared model
+    must then learn *both* mechanisms — which it only does if group B is
+    actually present in the training data.  This is the precise sense in
+    which "minorities may be underrepresented" harms: not fewer rows per
+    se, but a mechanism the model never gets to see.
+    """
+    from repro.data.schema import ColumnRole, Schema, categorical, numeric
+    from repro.data.synth.base import bernoulli, sigmoid
+    from repro.data.table import Table
+
+    group = np.where(rng.random(n_rows) < 0.5, "B", "A").astype(object)
+    income = rng.standard_normal(n_rows)
+    stability = rng.standard_normal(n_rows)
+    logits = np.where(group == "A", 2.5 * income, 2.5 * stability)
+    approved = bernoulli(np.asarray(sigmoid(logits)), rng)
+    schema = Schema([
+        numeric("income"),
+        numeric("stability"),
+        categorical("group", role=ColumnRole.SENSITIVE),
+        numeric("approved", role=ColumnRole.TARGET),
+    ])
+    return Table(schema, {
+        "income": income, "stability": stability,
+        "group": group, "approved": approved,
+    })
+
+
+def run_underrepresentation():
+    """E1b: "minorities may be underrepresented" — the mechanism-loss form."""
+    from repro.data.synth.bias import inject_underrepresentation
+    from repro.learn.metrics import accuracy as accuracy_metric
+
+    rows = []
+    for keep_fraction in (1.0, 0.3, 0.05):
+        rng = np.random.default_rng(SEED + int(keep_fraction * 100))
+        train = _group_shift_tables(rng, N_TRAIN)
+        test = _group_shift_tables(rng, N_TEST)
+        if keep_fraction < 1.0:
+            train, _ = inject_underrepresentation(
+                train, "group", "B", keep_fraction, rng
+            )
+        model = TableClassifier(LogisticRegression()).fit(train)
+        decisions = model.predict(test)
+        labels = model.labels(test)
+        per_group_accuracy = {
+            value: accuracy_metric(
+                labels[test["group"] == value],
+                decisions[test["group"] == value],
+            )
+            for value in ("A", "B")
+        }
+        report = audit_model(model, test)
+        rows.append([
+            keep_fraction,
+            int((train["group"] == "B").sum()),
+            per_group_accuracy["A"],
+            per_group_accuracy["B"],
+            report.equalized_odds_difference,
+        ])
+    return rows
+
+
+def test_e1b_underrepresentation(benchmark):
+    rows = run_once(benchmark, run_underrepresentation)
+    emit(format_table(
+        "E1b: under-representation as mechanism loss "
+        "(group B's creditworthiness rides on a different feature)",
+        ["keep_fraction", "group_B_train_rows", "acc_A", "acc_B", "EOD"],
+        rows,
+    ))
+    by_fraction = {row[0]: row for row in rows}
+    # Full representation: the shared model serves both groups.
+    assert by_fraction[1.0][3] > 0.7
+    assert abs(by_fraction[1.0][2] - by_fraction[1.0][3]) < 0.05
+    # Starved representation: group A keeps its quality, group B's
+    # mechanism was never learned.
+    assert by_fraction[0.05][2] > 0.8
+    assert by_fraction[0.05][3] < by_fraction[1.0][3] - 0.1
+    # The error-rate disparity blows up accordingly.
+    assert by_fraction[0.05][4] > by_fraction[1.0][4] + 0.1

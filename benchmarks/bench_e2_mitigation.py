@@ -1,0 +1,115 @@
+"""E2 — the mitigation comparison (§2-Q1).
+
+Paper claim: "approaches are needed to detect unfair decisions … and to
+find ways to ensure fairness."
+
+Design: one biased lending dataset (label bias 0.35, categorical proxy
+0.85, numeric proxy 0.7); seven mitigation strategies spanning all three
+pipeline stages, against the unmitigated baseline.  Reported per method:
+accuracy against the *recorded* labels, accuracy against the *latent
+oracle* qualifications (which the paper's fairness argument is really
+about), and the fairness metrics.  Expected shape: every mitigation
+improves DI; oracle accuracy *rises* for several of them (the biased
+labels were wrong about group B), so fairness here is not a pure
+accuracy trade.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.data.synth import CreditScoringGenerator
+from repro.fairness import (
+    ExponentiatedGradientReducer,
+    FairPenaltyLogisticRegression,
+    GroupThresholdOptimizer,
+    RejectOptionClassifier,
+    audit_decisions,
+    disparate_impact_repair,
+    massage,
+    reweigh,
+)
+from repro.learn import LogisticRegression, TableClassifier
+from repro.learn.metrics import accuracy
+
+N_TRAIN, N_TEST = 4000, 2000
+
+
+def _evaluate(name, decisions, test):
+    recorded = test["approved"]
+    oracle = test["qualified"]
+    report = audit_decisions(recorded, decisions, test["group"])
+    return [
+        name,
+        accuracy(recorded, decisions),
+        accuracy(oracle, decisions),
+        report.disparate_impact_ratio,
+        report.statistical_parity_difference,
+        report.equalized_odds_difference,
+    ]
+
+
+def run_comparison():
+    rng = np.random.default_rng(SEED)
+    generator = CreditScoringGenerator(
+        label_bias=0.35, proxy_strength=0.85, numeric_proxy_strength=0.7
+    )
+    train, test = generator.generate_pair(N_TRAIN, N_TEST, rng)
+    rows = []
+
+    baseline = TableClassifier(LogisticRegression()).fit(train)
+    rows.append(_evaluate("baseline", baseline.predict(test), test))
+
+    reweighed = TableClassifier(LogisticRegression()).fit(
+        train, sample_weight=reweigh(train)
+    )
+    rows.append(_evaluate("pre: reweighing", reweighed.predict(test), test))
+
+    massaged_train = massage(train, baseline)
+    massaged = TableClassifier(LogisticRegression()).fit(massaged_train)
+    rows.append(_evaluate("pre: massaging", massaged.predict(test), test))
+
+    repaired_train = disparate_impact_repair(train, 1.0)
+    repaired_test = disparate_impact_repair(test, 1.0)
+    repaired = TableClassifier(LogisticRegression()).fit(repaired_train)
+    rows.append(_evaluate("pre: DI repair", repaired.predict(repaired_test), test))
+
+    penalty = FairPenaltyLogisticRegression(fairness=10.0)
+    penalty.set_group(train["group"])
+    penalised = TableClassifier(penalty).fit(train)
+    rows.append(_evaluate("in: cov penalty", penalised.predict(test), test))
+
+    reducer = ExponentiatedGradientReducer(LogisticRegression(), max_rounds=30)
+    reducer.set_group(train["group"])
+    reduced = TableClassifier(reducer).fit(train)
+    rows.append(_evaluate("in: exp gradient", reduced.predict(test), test))
+
+    optimizer = GroupThresholdOptimizer("demographic_parity")
+    optimizer.fit(baseline.predict_proba(train), baseline.labels(train),
+                  train["group"])
+    thresholded = optimizer.predict(baseline.predict_proba(test), test["group"])
+    rows.append(_evaluate("post: group thresholds", thresholded, test))
+
+    rejected = RejectOptionClassifier("B", band=0.15).predict(
+        baseline.predict_proba(test), test["group"]
+    )
+    rows.append(_evaluate("post: reject option", rejected, test))
+    return rows
+
+
+def test_e2_mitigation_comparison(benchmark):
+    rows = run_once(benchmark, run_comparison)
+    emit(format_table(
+        "E2: mitigation comparison on biased lending data",
+        ["method", "acc(recorded)", "acc(oracle)", "DI_ratio", "SPD", "EOD"],
+        rows,
+    ))
+    by_name = {row[0]: row for row in rows}
+    baseline_di = by_name["baseline"][3]
+    # Every mitigation improves disparate impact over the baseline.
+    for name, row in by_name.items():
+        if name != "baseline":
+            assert row[3] > baseline_di, name
+    # At least one mitigation ~reaches the four-fifths bar.
+    assert max(row[3] for row in rows) > 0.9
+    # Reweighing improves accuracy against the latent oracle.
+    assert by_name["pre: reweighing"][2] >= by_name["baseline"][2] - 0.01

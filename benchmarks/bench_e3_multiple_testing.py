@@ -1,0 +1,74 @@
+"""E3 — the terrorist-predictor fishing expedition (§2-Q2).
+
+Paper claim, verbatim scenario: "If we have one response variable (e.g.,
+'will someone conduct a terrorist attack') and many predictor variables
+('eye color', 'high school math grade', 'first car brand', etc.), then
+it is likely that just by accident a combination of predictor variables
+explains the response variable for a given data set."
+
+Design: response and predictors independent by construction; sweep the
+number of predictors tested; count "significant" predictors raw and
+under each correction.  Expected shape: raw discoveries grow ≈ α·p
+(all of them false); FWER/FDR corrections hold them near zero at every
+scale.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.accuracy.forking_paths import (
+    expected_false_positives,
+    generate_noise_study,
+    hunt_spurious_predictors,
+)
+
+N_ROWS = 500
+PREDICTOR_COUNTS = (20, 100, 500)
+N_REPEATS = 5
+
+
+def run_sweep():
+    rows = []
+    for n_predictors in PREDICTOR_COUNTS:
+        totals = {key: 0.0 for key in
+                  ("none", "bonferroni", "holm",
+                   "benjamini_hochberg", "benjamini_yekutieli")}
+        for repeat in range(N_REPEATS):
+            rng = np.random.default_rng(SEED + 1000 * n_predictors + repeat)
+            response, predictors, names = generate_noise_study(
+                N_ROWS, n_predictors, rng
+            )
+            scan = hunt_spurious_predictors(response, predictors, names)
+            for key in totals:
+                totals[key] += scan.discoveries[key] / N_REPEATS
+        rows.append([
+            n_predictors,
+            expected_false_positives(n_predictors),
+            totals["none"],
+            totals["bonferroni"],
+            totals["holm"],
+            totals["benjamini_hochberg"],
+            totals["benjamini_yekutieli"],
+        ])
+    return rows
+
+
+def test_e3_multiple_testing(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(format_table(
+        "E3: false 'discoveries' on pure noise (mean of "
+        f"{N_REPEATS} runs, n={N_ROWS}, alpha=0.05)",
+        ["predictors", "expected(a*p)", "raw", "bonferroni", "holm",
+         "BH", "BY"],
+        rows,
+    ))
+    for row in rows:
+        n_predictors, expected, raw = row[0], row[1], row[2]
+        # Raw testing tracks alpha * p (the paper's 'just by accident').
+        assert abs(raw - expected) < max(4.0, 0.6 * expected)
+        # Corrections keep the family essentially clean.
+        assert row[3] <= 1.0   # bonferroni
+        assert row[4] <= 1.0   # holm
+        assert row[5] <= 1.5   # BH
+    # The trap scales: more hypotheses, more raw false positives.
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,129 @@
+"""E4 — guaranteed accuracy via conformal prediction (§2-Q2).
+
+Paper claim: "data science approaches should not just present results or
+make predictions, but also explicitly provide meta-information on the
+accuracy of the output" / "how to answer questions with a guaranteed
+level of accuracy?"
+
+Design: split-conformal prediction sets around three different model
+families, over a sweep of nominal miscoverage levels α.  Expected shape:
+empirical coverage ≥ 1−α for every (model, α) cell — the guarantee is
+distribution-free and model-agnostic — while the mean set size (the
+price of the guarantee) shrinks as the model improves and as α grows.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.accuracy.conformal import SplitConformalClassifier
+from repro.data import three_way_split
+from repro.data.synth import CensusIncomeGenerator
+from repro.learn import (
+    GaussianNaiveBayes,
+    LogisticRegression,
+    RandomForestClassifier,
+    TableClassifier,
+)
+
+ALPHAS = (0.05, 0.1, 0.2)
+N_ROWS = 6000
+
+
+def run_sweep():
+    rng = np.random.default_rng(SEED)
+    data = CensusIncomeGenerator().generate(N_ROWS, rng)
+    train, calibration, test = three_way_split(data, 0.25, 0.25, rng)
+    models = {
+        "logistic": LogisticRegression(),
+        "forest": RandomForestClassifier(n_trees=30, max_depth=8, seed=1),
+        "naive_bayes": GaussianNaiveBayes(),
+    }
+    rows = []
+    for name, estimator in models.items():
+        wrapped = TableClassifier(estimator).fit(train)
+        X_cal = wrapped.encoder.transform(calibration)
+        y_cal = wrapped.labels(calibration)
+        X_test = wrapped.encoder.transform(test)
+        y_test = wrapped.labels(test)
+        for alpha in ALPHAS:
+            conformal = SplitConformalClassifier(estimator, alpha=alpha)
+            conformal.calibrate(X_cal, y_cal)
+            rows.append([
+                name, alpha, 1.0 - alpha,
+                conformal.coverage(X_test, y_test),
+                conformal.mean_set_size(X_test),
+            ])
+    return rows
+
+
+def test_e4_conformal_coverage(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(format_table(
+        "E4: conformal coverage guarantee across models and alpha",
+        ["model", "alpha", "nominal", "coverage", "mean_set_size"],
+        rows,
+    ))
+    for row in rows:
+        nominal, coverage, set_size = row[2], row[3], row[4]
+        # The guarantee: coverage >= nominal (finite-sample slack 3pts).
+        assert coverage >= nominal - 0.03, row
+        assert 1.0 <= set_size <= 2.0
+    # Larger alpha buys smaller sets, per model.
+    for model in {row[0] for row in rows}:
+        sizes = [row[4] for row in rows if row[0] == model]
+        assert sizes[0] >= sizes[-1] - 1e-9
+
+
+def run_group_conditional():
+    """E4b: marginal vs group-conditional coverage when one group's
+    scores are noisier — the Q1×Q2 crossover."""
+    from repro.accuracy.conformal import GroupConditionalConformalClassifier
+
+    rng = np.random.default_rng(SEED + 1)
+    n = 9000
+    group = np.where(rng.random(n) < 0.3, "B", "A").astype(object)
+    X = rng.standard_normal((n, 3))
+    noise = np.where(group == "B", 2.5, 0.5)
+    y = (X @ np.array([1.5, -1.0, 0.5])
+         + noise * rng.standard_normal(n) > 0).astype(float)
+    train, cal, test = slice(0, 3000), slice(3000, 6000), slice(6000, n)
+    model = LogisticRegression().fit(X[train], y[train])
+
+    marginal = SplitConformalClassifier(model, alpha=0.1)
+    marginal.calibrate(X[cal], y[cal])
+    sets = marginal.predict_sets(X[test])
+    covered = np.asarray([
+        s.covers(label) for s, label in zip(sets, y[test])
+    ])
+    grouped = GroupConditionalConformalClassifier(model, alpha=0.1)
+    grouped.calibrate(X[cal], y[cal], group[cal])
+    grouped_coverage = grouped.coverage_by_group(
+        X[test], y[test], group[test]
+    )
+    rows = []
+    for value in ("A", "B"):
+        mask = group[test] == value
+        rows.append([
+            value,
+            float(covered[mask].mean()),
+            grouped_coverage[value],
+        ])
+    return rows
+
+
+def test_e4b_equalized_coverage(benchmark):
+    rows = run_once(benchmark, run_group_conditional)
+    emit(format_table(
+        "E4b: per-group coverage, marginal vs group-conditional "
+        "(nominal 90%; group B's scores are noisier)",
+        ["group", "marginal_coverage", "group_conditional_coverage"],
+        rows,
+    ))
+    by_group = {row[0]: row for row in rows}
+    # Group-conditional calibration restores the guarantee per group.
+    for value in ("A", "B"):
+        assert by_group[value][2] >= 0.9 - 0.03
+    # And it closes (or at least never widens) the coverage gap.
+    marginal_gap = abs(by_group["A"][1] - by_group["B"][1])
+    grouped_gap = abs(by_group["A"][2] - by_group["B"][2])
+    assert grouped_gap <= marginal_gap + 0.02

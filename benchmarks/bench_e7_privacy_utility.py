@@ -1,0 +1,111 @@
+"""E7 — utility under a strict privacy budget (§2-Q3).
+
+Paper claim: "The focus should not be on circumventing the sharing of
+data, but on innovative approaches like confidentiality-preserving
+analysis techniques (e.g., techniques that work under a strict privacy
+budget)."
+
+Design: sweep ε and measure what the budget buys — error of DP mean and
+histogram queries, and accuracy of two ε-DP logistic regressions against
+the non-private reference.  Expected shape: utility rises monotonically
+(in trend) with ε; by ε ≈ 2 the DP classifier is within a few points of
+the non-private one, the paper's "safe and controlled" sweet spot.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.confidentiality import (
+    NoisyGradientLogisticRegression,
+    OutputPerturbationLogisticRegression,
+    PrivacyAccountant,
+    dp_histogram,
+    dp_mean,
+)
+from repro.data.synth import CensusIncomeGenerator
+from repro.learn import LogisticRegression, TableClassifier
+from repro.learn.metrics import accuracy
+
+EPSILONS = (0.05, 0.2, 1.0, 5.0)
+N_QUERY_TRIALS = 60
+N_TRAIN, N_TEST = 3000, 1500
+N_MODEL_SEEDS = 5
+
+
+def run_sweep():
+    rng = np.random.default_rng(SEED)
+    generator = CensusIncomeGenerator()
+    train, test = generator.generate_pair(N_TRAIN, N_TEST, rng)
+    ages = train["age"]
+    occupations = train["occupation"]
+    occupation_levels = sorted(set(occupations.tolist()))
+    true_mean = float(ages.mean())
+    true_hist = {
+        level: float(np.sum(occupations == level))
+        for level in occupation_levels
+    }
+
+    nonprivate = TableClassifier(LogisticRegression()).fit(train)
+    reference_accuracy = accuracy(
+        nonprivate.labels(test), nonprivate.predict(test)
+    )
+
+    rows = []
+    for epsilon in EPSILONS:
+        accountant = PrivacyAccountant(10_000.0)
+        mean_errors = [
+            abs(dp_mean(ages, 18.0, 80.0, epsilon, accountant, rng) - true_mean)
+            for _ in range(N_QUERY_TRIALS)
+        ]
+        hist_errors = []
+        for _ in range(N_QUERY_TRIALS // 3):
+            noisy = dp_histogram(
+                occupations, occupation_levels, epsilon, accountant, rng
+            )
+            hist_errors.append(np.mean([
+                abs(noisy[level] - true_hist[level])
+                for level in occupation_levels
+            ]))
+
+        output_scores, gradient_scores = [], []
+        for seed in range(N_MODEL_SEEDS):
+            output_model = TableClassifier(OutputPerturbationLogisticRegression(
+                epsilon=epsilon, l2=1e-3, seed=seed
+            )).fit(train)
+            output_scores.append(accuracy(
+                output_model.labels(test), output_model.predict(test)
+            ))
+            gradient_model = TableClassifier(NoisyGradientLogisticRegression(
+                epsilon=epsilon, n_steps=30, seed=seed
+            )).fit(train)
+            gradient_scores.append(accuracy(
+                gradient_model.labels(test), gradient_model.predict(test)
+            ))
+        rows.append([
+            epsilon,
+            float(np.mean(mean_errors)),
+            float(np.mean(hist_errors)),
+            float(np.mean(output_scores)),
+            float(np.mean(gradient_scores)),
+            reference_accuracy,
+        ])
+    return rows
+
+
+def test_e7_privacy_utility(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit(format_table(
+        "E7: privacy-utility curves (errors down, accuracy up with epsilon)",
+        ["epsilon", "mean_query_err", "hist_bin_err",
+         "acc_output_pert", "acc_noisy_gd", "acc_non_private"],
+        rows,
+    ))
+    # Query errors shrink monotonically in epsilon.
+    mean_errors = [row[1] for row in rows]
+    assert mean_errors[0] > mean_errors[-1] * 3
+    hist_errors = [row[2] for row in rows]
+    assert hist_errors[0] > hist_errors[-1] * 3
+    # Classifier accuracy climbs toward the non-private reference.
+    assert rows[-1][3] >= rows[0][3]
+    assert rows[-1][4] >= rows[0][4]
+    assert rows[-1][4] >= rows[-1][5] - 0.06

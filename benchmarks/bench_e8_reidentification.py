@@ -1,0 +1,115 @@
+"""E8 — what leaks, measured by attack (§2-Q3).
+
+Paper claim: "Confidential data may be shared unintentionally or abused
+by third parties … If individuals do not trust the data science
+pipeline and worry about confidentiality, they will not share their
+data."
+
+Design: Part A — a Sweeney-style linkage attack against releases of a
+census-shaped table at increasing Mondrian k; reported: re-identification
+rate, residual k-anonymity, information loss.  Part B — membership
+inference against an ε-DP released mean across ε, against the theoretical
+(e^ε−1)/(e^ε+1) bound.  Expected shape: raw release re-identifies ~all
+rows; k ≥ 2 already zeroes confident linkage while information loss grows
+slowly in k; the inference advantage decays with ε and respects the bound.
+"""
+
+import numpy as np
+
+from benchmarks._tools import SEED, emit, format_table, run_once
+from repro.confidentiality import (
+    MondrianAnonymizer,
+    assess_risk,
+    generalization_information_loss,
+    k_anonymity_level,
+    linkage_attack,
+    membership_inference_on_mean,
+    theoretical_membership_advantage,
+)
+from repro.data.schema import ColumnRole, categorical
+from repro.data.synth import CensusIncomeGenerator
+
+N_ROWS = 2000
+K_LEVELS = (2, 5, 10, 25)
+QUASI_IDENTIFIERS = ["age", "occupation", "zipcode"]
+EPSILONS = (0.1, 0.5, 1.0, 2.0)
+
+
+def run_linkage():
+    rng = np.random.default_rng(SEED)
+    census = CensusIncomeGenerator().generate(N_ROWS, rng)
+    released = census.with_column(
+        categorical("uid", role=ColumnRole.IDENTIFIER),
+        [f"u{index}" for index in range(census.n_rows)],
+    )
+    auxiliary = released.select(
+        [*QUASI_IDENTIFIERS, "uid"]
+    ).rename({"uid": "name"})
+
+    rows = []
+    raw_attack = linkage_attack(
+        released, auxiliary, QUASI_IDENTIFIERS, "uid", "name"
+    )
+    rows.append([
+        "raw", 1, raw_attack.reidentification_rate,
+        assess_risk(census, QUASI_IDENTIFIERS).unique_row_fraction,
+        0.0,
+    ])
+    for k in K_LEVELS:
+        anonymized = MondrianAnonymizer(k=k).anonymize(released)
+        attack = linkage_attack(
+            anonymized, auxiliary, QUASI_IDENTIFIERS, "uid", "name"
+        )
+        rows.append([
+            f"mondrian k={k}",
+            k_anonymity_level(anonymized, QUASI_IDENTIFIERS),
+            attack.reidentification_rate,
+            assess_risk(anonymized, QUASI_IDENTIFIERS).unique_row_fraction,
+            generalization_information_loss(census, anonymized,
+                                            QUASI_IDENTIFIERS),
+        ])
+    return rows
+
+
+def run_membership():
+    rng = np.random.default_rng(SEED + 1)
+    values = rng.normal(50.0, 10.0, 300)
+    rows = []
+    for epsilon in EPSILONS:
+        result = membership_inference_on_mean(
+            values, 99.0, epsilon, rng, 0.0, 100.0, n_trials=2000
+        )
+        rows.append([
+            epsilon, result.advantage,
+            theoretical_membership_advantage(epsilon),
+        ])
+    return rows
+
+
+def test_e8_linkage_attack(benchmark):
+    rows = run_once(benchmark, run_linkage)
+    emit(format_table(
+        "E8a: linkage-attack re-identification vs anonymisation level",
+        ["release", "achieved_k", "reid_rate", "unique_rows", "info_loss"],
+        rows,
+    ))
+    raw, anonymized = rows[0], rows[1:]
+    assert raw[2] > 0.9             # raw release: near-total re-identification
+    for row in anonymized:
+        assert row[2] == 0.0        # any k >= 2 zeroes confident linkage
+    losses = [row[4] for row in anonymized]
+    assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))  # loss grows in k
+    assert losses[-1] < 0.8         # but stays far from total destruction
+
+
+def test_e8_membership_inference(benchmark):
+    rows = run_once(benchmark, run_membership)
+    emit(format_table(
+        "E8b: membership-inference advantage vs epsilon (DP bound shown)",
+        ["epsilon", "empirical_advantage", "dp_bound"],
+        rows,
+    ))
+    advantages = [row[1] for row in rows]
+    assert advantages[-1] > advantages[0]   # more budget, more leakage
+    for epsilon, advantage, bound in rows:
+        assert advantage <= bound + 0.06    # bound respected (noise slack)

@@ -1,0 +1,73 @@
+"""Responsible process mining: the RDS initiative's home problem.
+
+An event log is a set of personal histories; a process model is an
+explanation of how an organisation really works.  This example mines an
+order-to-cash process responsibly:
+
+1. discover and conformance-check a model from the raw log (Q4);
+2. show why the raw log must not leave the building (unique variants
+   re-identify people);
+3. release a differentially private model instead — budgeted, audited;
+4. release a k-anonymous log for researchers who need traces.
+
+Run:  python examples/responsible_process_mining.py
+"""
+
+import numpy as np
+
+from repro.confidentiality import PrivacyAccountant
+from repro.process import (
+    OrderProcessGenerator,
+    discover_dfg_model,
+    dp_discover_model,
+    evaluate,
+    k_anonymous_log,
+    variant_uniqueness,
+)
+
+
+def main():
+    rng = np.random.default_rng(17)
+    generator = OrderProcessGenerator(rework_probability=0.25, noise=0.08)
+    log = generator.generate(2000, rng)
+    print("event log:", log.statistics())
+
+    # -- 1. transparent discovery -------------------------------------------
+    model = discover_dfg_model(log, noise_threshold=0.05)
+    print("\n" + model.render(top=8))
+    conformance = evaluate(log, model)
+    print(f"fitness {conformance.fitness:.3f}, "
+          f"precision {conformance.precision:.3f}, "
+          f"f-score {conformance.f_score:.3f} "
+          f"({conformance.n_perfect_traces}/{conformance.n_traces} traces replay cleanly)")
+
+    # -- 2. why the log itself is dangerous -----------------------------------
+    uniqueness = variant_uniqueness(log)
+    print(f"\n{uniqueness:.1%} of cases have a UNIQUE history — each one "
+          "re-identifiable from the log alone (no names needed)")
+
+    # -- 3. DP model release ----------------------------------------------------
+    accountant = PrivacyAccountant(epsilon_budget=3.0)
+    released_model = dp_discover_model(
+        log, epsilon=2.0, accountant=accountant, rng=rng,
+        minimum_weight=0.01 * len(log),
+    )
+    release_conformance = evaluate(log, released_model)
+    print(f"\nDP-released model (eps=2): {released_model.n_edges} edges, "
+          f"fitness {release_conformance.fitness:.3f} on the private log")
+    print(accountant.render_ledger())
+
+    # -- 4. k-anonymous log release -----------------------------------------------
+    released_log, info = k_anonymous_log(log, k=10)
+    print(f"\nk=10 log release: kept {info.n_released_traces}/{len(log)} traces "
+          f"({info.suppression_rate:.1%} suppressed, "
+          f"{info.n_suppressed_variants} rare variants withheld)")
+    print(f"released-log variant uniqueness: "
+          f"{variant_uniqueness(released_log):.1%}")
+    sample = released_log.traces[0]
+    print(f"sample released trace: {sample.case_id} -> "
+          f"{' > '.join(sample.activities[:5])} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets ``python setup.py develop`` (and
+``pip install -e . --no-build-isolation --config-settings editable_mode=compat``
+where supported) install the package from ``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

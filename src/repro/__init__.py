@@ -1,0 +1,87 @@
+"""repro — a Responsible Data Science (FACT) toolkit.
+
+Reproduction of *"Responsible Data Science"* (van der Aalst, Bichler,
+Heinzl; BISE 59(5), 2017 — the agenda presented to the database community
+at SIGMOD 2019 under the same title).  The paper is a research agenda
+built on four questions; this package is the system the agenda envisions:
+
+* :mod:`repro.fairness` — Q1, data science without prejudice;
+* :mod:`repro.accuracy` — Q2, data science without guesswork;
+* :mod:`repro.confidentiality` — Q3, analysis without revealing secrets;
+* :mod:`repro.transparency` — Q4, answers that can be rationalised;
+* :mod:`repro.data`, :mod:`repro.learn`, :mod:`repro.pipeline` — the
+  substrates (tables, models, provenance) everything runs on;
+* :mod:`repro.core` — the FACT auditor, report, scorecard and policy
+  that tie the pillars together.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CreditScoringGenerator, LogisticRegression
+    from repro import TableClassifier, FACTAuditor
+
+    rng = np.random.default_rng(0)
+    data = CreditScoringGenerator(label_bias=0.3, proxy_strength=0.8)
+    train, test = data.generate_pair(4000, 2000, rng)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    report = FACTAuditor().audit(model, test, rng)
+    print(report.render())
+"""
+
+from repro.core import (
+    FACTAuditor,
+    FACTPolicy,
+    FACTReport,
+    GreenScorecard,
+    build_scorecard,
+)
+from repro.data import Table, train_test_split
+from repro.data.synth import (
+    AdCampaignGenerator,
+    AdmissionsGenerator,
+    CensusIncomeGenerator,
+    CreditScoringGenerator,
+    HiringFunnelGenerator,
+    InternetMinuteGenerator,
+    RecidivismGenerator,
+    TreatmentParadoxGenerator,
+)
+from repro.learn import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    TableClassifier,
+)
+from repro.pipeline import Pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdCampaignGenerator",
+    "AdmissionsGenerator",
+    "CensusIncomeGenerator",
+    "CreditScoringGenerator",
+    "DecisionTreeClassifier",
+    "FACTAuditor",
+    "FACTPolicy",
+    "FACTReport",
+    "GaussianNaiveBayes",
+    "GreenScorecard",
+    "HiringFunnelGenerator",
+    "InternetMinuteGenerator",
+    "KNeighborsClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "Pipeline",
+    "RandomForestClassifier",
+    "RecidivismGenerator",
+    "Table",
+    "TableClassifier",
+    "TreatmentParadoxGenerator",
+    "build_scorecard",
+    "train_test_split",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Accuracy pillar (Q2): guarantees, corrections, causality, paradoxes."""
+
+from repro.accuracy.bootstrap import (
+    IntervalEstimate,
+    bootstrap_ci,
+    bootstrap_paired_ci,
+)
+from repro.accuracy.causal import (
+    CausalDAG,
+    EffectEstimate,
+    compare_estimators,
+    doubly_robust,
+    estimate_propensities,
+    inverse_probability_weighting,
+    naive_difference,
+    propensity_score_matching,
+    rct_estimate,
+)
+from repro.accuracy.conformal import (
+    GroupConditionalConformalClassifier,
+    PredictionSet,
+    SplitConformalClassifier,
+    SplitConformalRegressor,
+)
+from repro.accuracy.forking_paths import (
+    SpuriousScanResult,
+    expected_false_positives,
+    generate_noise_study,
+    hunt_spurious_predictors,
+)
+from repro.accuracy.hypothesis import (
+    TestResult,
+    correlation_test,
+    mean_difference,
+    permutation_test,
+    proportion_z_test,
+    two_sample_t_test,
+)
+from repro.accuracy.multiple_testing import (
+    PROCEDURES,
+    CorrectionResult,
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    correct,
+    holm,
+)
+from repro.accuracy.simpson import (
+    ParadoxFinding,
+    StratumAssociation,
+    detect_simpsons_paradox,
+)
+from repro.accuracy.power import (
+    AuditPower,
+    achieved_power,
+    minimum_detectable_gap,
+    required_audit_size,
+)
+
+__all__ = [
+    "GroupConditionalConformalClassifier",
+    "required_audit_size",
+    "minimum_detectable_gap",
+    "achieved_power",
+    "AuditPower",
+    "PROCEDURES",
+    "CausalDAG",
+    "CorrectionResult",
+    "EffectEstimate",
+    "IntervalEstimate",
+    "ParadoxFinding",
+    "PredictionSet",
+    "SplitConformalClassifier",
+    "SplitConformalRegressor",
+    "SpuriousScanResult",
+    "StratumAssociation",
+    "TestResult",
+    "benjamini_hochberg",
+    "benjamini_yekutieli",
+    "bonferroni",
+    "bootstrap_ci",
+    "bootstrap_paired_ci",
+    "compare_estimators",
+    "correct",
+    "correlation_test",
+    "detect_simpsons_paradox",
+    "doubly_robust",
+    "estimate_propensities",
+    "expected_false_positives",
+    "generate_noise_study",
+    "holm",
+    "hunt_spurious_predictors",
+    "inverse_probability_weighting",
+    "mean_difference",
+    "naive_difference",
+    "permutation_test",
+    "propensity_score_matching",
+    "proportion_z_test",
+    "rct_estimate",
+    "two_sample_t_test",
+]

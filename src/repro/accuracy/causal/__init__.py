@@ -1,0 +1,37 @@
+"""Causal inference: DAGs, back-door adjustment, effect estimators."""
+
+from repro.accuracy.causal.dag import CausalDAG
+from repro.accuracy.causal.estimators import (
+    EffectEstimate,
+    compare_estimators,
+    doubly_robust,
+    estimate_propensities,
+    inverse_probability_weighting,
+    naive_difference,
+    propensity_score_matching,
+    rct_estimate,
+)
+from repro.accuracy.causal.cate import (
+    SLearner,
+    SubgroupEffect,
+    TLearner,
+    effects_by_group,
+    policy_value,
+)
+
+__all__ = [
+    "policy_value",
+    "effects_by_group",
+    "TLearner",
+    "SubgroupEffect",
+    "SLearner",
+    "CausalDAG",
+    "EffectEstimate",
+    "compare_estimators",
+    "doubly_robust",
+    "estimate_propensities",
+    "inverse_probability_weighting",
+    "naive_difference",
+    "propensity_score_matching",
+    "rct_estimate",
+]

@@ -1,0 +1,125 @@
+"""Heterogeneous treatment effects: CATE meta-learners (Q2 extension).
+
+The average effect can hide everything that matters — an ad that helps
+new customers and annoys loyal ones has a small ATE and a large policy
+mistake inside it.  Two standard meta-learners over this toolkit's own
+models:
+
+* **S-learner** — one model on (X, T), effect = f(x, 1) − f(x, 0);
+* **T-learner** — separate treated/control models, effect = f₁(x) − f₀(x).
+
+Both return per-individual effect estimates plus a subgroup summary the
+decision maker can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CausalError
+from repro.learn.base import Classifier
+
+
+def _check(X, treatment, outcome):
+    X = np.asarray(X, dtype=np.float64)
+    treatment = np.asarray(treatment, dtype=np.float64)
+    outcome = np.asarray(outcome, dtype=np.float64)
+    if X.ndim != 2 or len(X) != len(treatment) or len(X) != len(outcome):
+        raise CausalError("X, treatment and outcome must be aligned")
+    if not np.all(np.isin(np.unique(treatment), (0.0, 1.0))):
+        raise CausalError("treatment must be 0/1")
+    if not (treatment == 1.0).any() or not (treatment == 0.0).any():
+        raise CausalError("need both treated and control units")
+    return X, treatment, outcome
+
+
+class SLearner:
+    """Single-model CATE: treatment enters as one more feature."""
+
+    def __init__(self, base: Classifier):
+        self.base = base
+        self._model: Classifier | None = None
+
+    def fit(self, X, treatment, outcome) -> "SLearner":
+        """Fit the joint (X, T) → Y model."""
+        X, treatment, outcome = _check(X, treatment, outcome)
+        design = np.hstack([X, treatment[:, None]])
+        self._model = self.base.clone()
+        self._model.fit(design, outcome)
+        return self
+
+    def effect(self, X) -> np.ndarray:
+        """Per-row estimated effect: f(x, 1) − f(x, 0)."""
+        if self._model is None:
+            raise CausalError("fit() must run before effect()")
+        X = np.asarray(X, dtype=np.float64)
+        with_treatment = np.hstack([X, np.ones((len(X), 1))])
+        without = np.hstack([X, np.zeros((len(X), 1))])
+        return (self._model.predict_proba(with_treatment)
+                - self._model.predict_proba(without))
+
+
+class TLearner:
+    """Two-model CATE: separate response surfaces per arm."""
+
+    def __init__(self, base: Classifier):
+        self.base = base
+        self._treated: Classifier | None = None
+        self._control: Classifier | None = None
+
+    def fit(self, X, treatment, outcome) -> "TLearner":
+        """Fit per-arm outcome models."""
+        X, treatment, outcome = _check(X, treatment, outcome)
+        treated_mask = treatment == 1.0
+        self._treated = self.base.clone()
+        self._treated.fit(X[treated_mask], outcome[treated_mask])
+        self._control = self.base.clone()
+        self._control.fit(X[~treated_mask], outcome[~treated_mask])
+        return self
+
+    def effect(self, X) -> np.ndarray:
+        """Per-row estimated effect: f₁(x) − f₀(x)."""
+        if self._treated is None or self._control is None:
+            raise CausalError("fit() must run before effect()")
+        X = np.asarray(X, dtype=np.float64)
+        return (self._treated.predict_proba(X)
+                - self._control.predict_proba(X))
+
+
+@dataclass(frozen=True)
+class SubgroupEffect:
+    """The estimated effect inside one (named) subgroup."""
+
+    name: str
+    n: int
+    mean_effect: float
+
+
+def effects_by_group(effects, group) -> list[SubgroupEffect]:
+    """Summarise per-row effects over a categorical grouping."""
+    effects = np.asarray(effects, dtype=np.float64)
+    group = np.asarray(group)
+    if effects.shape != group.shape:
+        raise CausalError("effects and group must be aligned")
+    out = []
+    for value in np.unique(group):
+        mask = group == value
+        out.append(SubgroupEffect(
+            name=str(value), n=int(mask.sum()),
+            mean_effect=float(effects[mask].mean()),
+        ))
+    out.sort(key=lambda item: item.mean_effect, reverse=True)
+    return out
+
+
+def policy_value(effects, treat_fraction: float) -> float:
+    """Mean effect if only the top ``treat_fraction`` (by estimated
+    effect) were treated — the uplift-modelling payoff number."""
+    effects = np.asarray(effects, dtype=np.float64)
+    if not 0.0 < treat_fraction <= 1.0:
+        raise CausalError("treat_fraction must be in (0, 1]")
+    n_treat = max(1, int(round(treat_fraction * len(effects))))
+    top = np.sort(effects)[::-1][:n_treat]
+    return float(top.mean())

@@ -1,0 +1,117 @@
+"""Causal DAGs with back-door identification (Q2).
+
+§2: "In most situations, causal inference is the goal of data analysis in
+business, but often enough correlation is confused with causality."  The
+DAG is the artefact that makes the difference checkable: adjustment sets
+are *derived* from declared structure, not guessed.
+
+Built on :mod:`networkx`; supports d-separation and a back-door
+adjustment-set search.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.exceptions import CausalError
+
+
+class CausalDAG:
+    """A directed acyclic graph of causal assumptions."""
+
+    def __init__(self, edges: list[tuple[str, str]],
+                 latent: set[str] | None = None):
+        graph = nx.DiGraph()
+        graph.add_edges_from(edges)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise CausalError("causal graph must be acyclic")
+        self._graph = graph
+        self.latent = set(latent or ())
+        unknown_latent = self.latent - set(graph.nodes)
+        if unknown_latent:
+            raise CausalError(f"latent nodes not in graph: {sorted(unknown_latent)}")
+
+    @property
+    def nodes(self) -> list[str]:
+        """All variables, sorted."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def observed(self) -> list[str]:
+        """Variables an analyst can condition on."""
+        return sorted(set(self._graph.nodes) - self.latent)
+
+    def parents(self, node: str) -> set[str]:
+        """Direct causes of ``node``."""
+        self._require(node)
+        return set(self._graph.predecessors(node))
+
+    def descendants(self, node: str) -> set[str]:
+        """All causal descendants of ``node``."""
+        self._require(node)
+        return nx.descendants(self._graph, node)
+
+    def _require(self, node: str) -> None:
+        if node not in self._graph:
+            raise CausalError(f"unknown variable {node!r}")
+
+    # -- d-separation -----------------------------------------------------------
+
+    def d_separated(self, x: str, y: str, given: set[str] | None = None) -> bool:
+        """Is ``x`` independent of ``y`` given ``given`` in every
+        distribution compatible with the DAG?"""
+        self._require(x)
+        self._require(y)
+        conditioning = set(given or ())
+        for node in conditioning:
+            self._require(node)
+        return nx.is_d_separator(self._graph, {x}, {y}, conditioning)
+
+    # -- back-door adjustment ------------------------------------------------------
+
+    def satisfies_backdoor(self, treatment: str, outcome: str,
+                           adjustment: set[str]) -> bool:
+        """Does ``adjustment`` satisfy the back-door criterion?
+
+        (i) no member is a descendant of the treatment; (ii) the set
+        blocks every back-door path, checked as d-separation in the graph
+        with the treatment's outgoing edges removed.
+        """
+        self._require(treatment)
+        self._require(outcome)
+        if adjustment & self.descendants(treatment):
+            return False
+        if treatment in adjustment or outcome in adjustment:
+            return False
+        pruned = self._graph.copy()
+        pruned.remove_edges_from(list(pruned.out_edges(treatment)))
+        return nx.is_d_separator(pruned, {treatment}, {outcome}, adjustment)
+
+    def backdoor_adjustment_set(self, treatment: str,
+                                outcome: str) -> set[str] | None:
+        """The smallest observed back-door set, or ``None`` if none exists.
+
+        Exhaustive over subsets of eligible observed variables — fine for
+        the handful-of-nodes graphs responsible pipelines actually declare.
+        """
+        self._require(treatment)
+        self._require(outcome)
+        forbidden = (
+            self.descendants(treatment) | {treatment, outcome} | self.latent
+        )
+        candidates = sorted(set(self._graph.nodes) - forbidden)
+        for size in range(len(candidates) + 1):
+            for subset in itertools.combinations(candidates, size):
+                if self.satisfies_backdoor(treatment, outcome, set(subset)):
+                    return set(subset)
+        return None
+
+    def is_identifiable(self, treatment: str, outcome: str) -> bool:
+        """Can the effect be identified by back-door adjustment alone?"""
+        return self.backdoor_adjustment_set(treatment, outcome) is not None
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying graph."""
+        return self._graph.copy()

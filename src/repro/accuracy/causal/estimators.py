@@ -1,0 +1,214 @@
+"""Treatment-effect estimators (Q2, experiment E6).
+
+The paper names the techniques: "Propensity score matching or inverse
+probability-weighted regression adjustment are just two approaches
+developed to combat the selection bias in observational data.  While
+these techniques address the selection bias, their outcomes might still
+be far away from the results one would obtain with a randomized
+controlled trial (Gordon et al. 2016)."
+
+Implemented: the naive difference (what not to do), propensity-score
+matching, IPW, the doubly-robust AIPW, and the RCT difference-in-means
+gold standard.  All return an :class:`EffectEstimate` with a standard
+error, because a point estimate without uncertainty violates Q2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CausalError
+from repro.learn.linear import LogisticRegression, RidgeRegression
+
+
+@dataclass(frozen=True)
+class EffectEstimate:
+    """An average-treatment-effect estimate with uncertainty."""
+
+    method: str
+    ate: float
+    std_error: float
+    n: int
+    detail: str = ""
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval."""
+        half = 1.96 * self.std_error
+        return (self.ate - half, self.ate + half)
+
+    def bias_against(self, truth: float) -> float:
+        """Signed estimation error relative to a known ground truth."""
+        return self.ate - truth
+
+    def __str__(self) -> str:
+        lower, upper = self.ci95
+        return f"{self.method}: ATE={self.ate:+.4f} [{lower:+.4f}, {upper:+.4f}]"
+
+
+def _check_inputs(X, treatment, outcome):
+    X = np.asarray(X, dtype=np.float64)
+    treatment = np.asarray(treatment, dtype=np.float64)
+    outcome = np.asarray(outcome, dtype=np.float64)
+    if X.ndim != 2 or len(X) != len(treatment) or len(X) != len(outcome):
+        raise CausalError("X, treatment and outcome must be aligned")
+    if not np.all(np.isin(np.unique(treatment), (0.0, 1.0))):
+        raise CausalError("treatment must be 0/1")
+    if not (treatment == 1.0).any() or not (treatment == 0.0).any():
+        raise CausalError("need both treated and control units")
+    return X, treatment, outcome
+
+
+def naive_difference(treatment, outcome) -> EffectEstimate:
+    """Difference in observed means — correct only under randomisation."""
+    treatment = np.asarray(treatment, dtype=np.float64)
+    outcome = np.asarray(outcome, dtype=np.float64)
+    treated = outcome[treatment == 1.0]
+    control = outcome[treatment == 0.0]
+    if len(treated) == 0 or len(control) == 0:
+        raise CausalError("need both treated and control units")
+    ate = float(treated.mean() - control.mean())
+    std_error = float(np.sqrt(
+        treated.var(ddof=1) / len(treated) + control.var(ddof=1) / len(control)
+    ))
+    return EffectEstimate("naive", ate, std_error, len(outcome))
+
+
+def rct_estimate(treatment, outcome) -> EffectEstimate:
+    """Difference in means labelled as the randomised gold standard."""
+    estimate = naive_difference(treatment, outcome)
+    return EffectEstimate(
+        "rct", estimate.ate, estimate.std_error, estimate.n,
+        detail="difference in means under randomised exposure",
+    )
+
+
+def estimate_propensities(X, treatment, l2: float = 1.0,
+                          clip: float = 0.01) -> np.ndarray:
+    """P(T = 1 | X) by logistic regression, clipped away from {0, 1}.
+
+    Clipping bounds the IPW weights — the standard positivity guard.
+    """
+    X, treatment, _ = _check_inputs(X, treatment, np.zeros(len(treatment)))
+    model = LogisticRegression(l2=l2).fit(X, treatment)
+    return np.clip(model.predict_proba(X), clip, 1.0 - clip)
+
+
+def propensity_score_matching(X, treatment, outcome,
+                              n_neighbors: int = 1,
+                              caliper: float | None = 0.1,
+                              l2: float = 1.0) -> EffectEstimate:
+    """ATT-style 1:k nearest-neighbour matching on the propensity score.
+
+    Each treated unit is matched to its ``n_neighbors`` nearest controls
+    in propensity; matches farther than ``caliper`` (in propensity units)
+    are discarded.
+    """
+    X, treatment, outcome = _check_inputs(X, treatment, outcome)
+    propensity = estimate_propensities(X, treatment, l2=l2)
+    treated_idx = np.flatnonzero(treatment == 1.0)
+    control_idx = np.flatnonzero(treatment == 0.0)
+    if len(control_idx) < n_neighbors:
+        raise CausalError("not enough controls for the requested neighbours")
+    control_p = propensity[control_idx]
+    order = np.argsort(control_p, kind="stable")
+    sorted_controls = control_idx[order]
+    sorted_p = control_p[order]
+
+    effects = []
+    for index in treated_idx:
+        position = np.searchsorted(sorted_p, propensity[index])
+        low = max(0, position - n_neighbors)
+        high = min(len(sorted_p), position + n_neighbors)
+        window = np.arange(low, high)
+        distances = np.abs(sorted_p[window] - propensity[index])
+        nearest = window[np.argsort(distances, kind="stable")[:n_neighbors]]
+        if caliper is not None:
+            nearest = nearest[
+                np.abs(sorted_p[nearest] - propensity[index]) <= caliper
+            ]
+        if len(nearest) == 0:
+            continue
+        matched_outcome = outcome[sorted_controls[nearest]].mean()
+        effects.append(outcome[index] - matched_outcome)
+    if not effects:
+        raise CausalError("no matches within the caliper; widen it")
+    effects_arr = np.asarray(effects)
+    return EffectEstimate(
+        "psm", float(effects_arr.mean()),
+        float(effects_arr.std(ddof=1) / np.sqrt(len(effects_arr))),
+        len(outcome),
+        detail=f"{len(effects_arr)}/{len(treated_idx)} treated units matched",
+    )
+
+
+def inverse_probability_weighting(X, treatment, outcome,
+                                  l2: float = 1.0,
+                                  clip: float = 0.01) -> EffectEstimate:
+    """Hájek-normalised IPW estimate of the ATE."""
+    X, treatment, outcome = _check_inputs(X, treatment, outcome)
+    propensity = estimate_propensities(X, treatment, l2=l2, clip=clip)
+    w_treated = treatment / propensity
+    w_control = (1.0 - treatment) / (1.0 - propensity)
+    mean_treated = float(np.sum(w_treated * outcome) / np.sum(w_treated))
+    mean_control = float(np.sum(w_control * outcome) / np.sum(w_control))
+    ate = mean_treated - mean_control
+    # Influence-function standard error (plug-in).
+    influence = (
+        w_treated * (outcome - mean_treated)
+        - w_control * (outcome - mean_control)
+    )
+    scale = 0.5 * (np.sum(w_treated) + np.sum(w_control)) / len(outcome)
+    std_error = float(
+        np.std(influence, ddof=1) / (scale * np.sqrt(len(outcome)))
+    )
+    return EffectEstimate("ipw", ate, std_error, len(outcome))
+
+
+def doubly_robust(X, treatment, outcome, l2: float = 1.0,
+                  clip: float = 0.01) -> EffectEstimate:
+    """AIPW: outcome regression + IPW correction; consistent if either
+    the propensity model or the outcome model is right."""
+    X, treatment, outcome = _check_inputs(X, treatment, outcome)
+    propensity = estimate_propensities(X, treatment, l2=l2, clip=clip)
+    treated_mask = treatment == 1.0
+    mu1_model = RidgeRegression(l2=l2).fit(X[treated_mask], outcome[treated_mask])
+    mu0_model = RidgeRegression(l2=l2).fit(X[~treated_mask], outcome[~treated_mask])
+    mu1 = mu1_model.predict(X)
+    mu0 = mu0_model.predict(X)
+    augmented = (
+        mu1 - mu0
+        + treatment * (outcome - mu1) / propensity
+        - (1.0 - treatment) * (outcome - mu0) / (1.0 - propensity)
+    )
+    return EffectEstimate(
+        "aipw", float(augmented.mean()),
+        float(augmented.std(ddof=1) / np.sqrt(len(augmented))),
+        len(outcome),
+    )
+
+
+def compare_estimators(X, treatment, outcome,
+                       rct_treatment=None, rct_outcome=None,
+                       truth: float | None = None,
+                       ) -> dict[str, EffectEstimate]:
+    """Run the full estimator battery (the E6 harness row)."""
+    results = {
+        "naive": naive_difference(treatment, outcome),
+        "psm": propensity_score_matching(X, treatment, outcome),
+        "ipw": inverse_probability_weighting(X, treatment, outcome),
+        "aipw": doubly_robust(X, treatment, outcome),
+    }
+    if rct_treatment is not None and rct_outcome is not None:
+        results["rct"] = rct_estimate(rct_treatment, rct_outcome)
+    if truth is not None:
+        results = {
+            name: EffectEstimate(
+                estimate.method, estimate.ate, estimate.std_error, estimate.n,
+                detail=f"bias vs truth = {estimate.bias_against(truth):+.4f}",
+            )
+            for name, estimate in results.items()
+        }
+    return results

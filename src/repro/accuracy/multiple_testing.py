@@ -1,0 +1,121 @@
+"""Multiple-testing corrections (Q2).
+
+§2: "If enough hypotheses are tested, one will eventually be true for the
+sample data used … Multiple testing problems are well-known in
+statistical inference, but often underestimated."  These procedures are
+what "often underestimated" costs you:
+
+* Bonferroni and Holm control the family-wise error rate (FWER);
+* Benjamini-Hochberg and Benjamini-Yekutieli control the false discovery
+  rate (FDR), BY under arbitrary dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+PROCEDURES = ("none", "bonferroni", "holm", "benjamini_hochberg",
+              "benjamini_yekutieli")
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Adjusted p-values and rejection decisions for one family of tests."""
+
+    procedure: str
+    alpha: float
+    p_values: np.ndarray
+    adjusted: np.ndarray
+    reject: np.ndarray
+
+    @property
+    def n_rejected(self) -> int:
+        """How many hypotheses survive the correction."""
+        return int(self.reject.sum())
+
+    @property
+    def n_tests(self) -> int:
+        """Family size."""
+        return len(self.p_values)
+
+
+def _check_p_values(p_values) -> np.ndarray:
+    p = np.asarray(p_values, dtype=np.float64)
+    if p.ndim != 1 or len(p) == 0:
+        raise DataError("p_values must be a non-empty 1-D array")
+    if np.any((p < 0) | (p > 1)) or not np.all(np.isfinite(p)):
+        raise DataError("p_values must lie in [0, 1]")
+    return p
+
+
+def bonferroni(p_values, alpha: float = 0.05) -> CorrectionResult:
+    """FWER control by multiplying every p-value by the family size."""
+    p = _check_p_values(p_values)
+    adjusted = np.minimum(p * len(p), 1.0)
+    return CorrectionResult("bonferroni", alpha, p, adjusted, adjusted < alpha)
+
+
+def holm(p_values, alpha: float = 0.05) -> CorrectionResult:
+    """Holm's step-down FWER control (uniformly better than Bonferroni)."""
+    p = _check_p_values(p_values)
+    m = len(p)
+    order = np.argsort(p, kind="stable")
+    # Step-down: adj_(i) = max_{j<=i} min((m-j)·p_(j), 1), zero-based ranks.
+    adjusted_sorted = np.maximum.accumulate(
+        np.minimum((m - np.arange(m)) * p[order], 1.0)
+    )
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return CorrectionResult("holm", alpha, p, adjusted, adjusted < alpha)
+
+
+def benjamini_hochberg(p_values, alpha: float = 0.05) -> CorrectionResult:
+    """FDR control assuming independent (or PRDS) tests."""
+    p = _check_p_values(p_values)
+    m = len(p)
+    order = np.argsort(p, kind="stable")
+    ranked = p[order] * m / (np.arange(m) + 1)
+    adjusted_sorted = np.minimum(np.minimum.accumulate(ranked[::-1])[::-1], 1.0)
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return CorrectionResult(
+        "benjamini_hochberg", alpha, p, adjusted, adjusted < alpha
+    )
+
+
+def benjamini_yekutieli(p_values, alpha: float = 0.05) -> CorrectionResult:
+    """FDR control under arbitrary dependence (harmonic-sum penalty)."""
+    p = _check_p_values(p_values)
+    m = len(p)
+    harmonic = np.sum(1.0 / (np.arange(m) + 1.0))
+    order = np.argsort(p, kind="stable")
+    ranked = p[order] * m * harmonic / (np.arange(m) + 1)
+    adjusted_sorted = np.minimum(np.minimum.accumulate(ranked[::-1])[::-1], 1.0)
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return CorrectionResult(
+        "benjamini_yekutieli", alpha, p, adjusted, adjusted < alpha
+    )
+
+
+def correct(p_values, procedure: str = "holm",
+            alpha: float = 0.05) -> CorrectionResult:
+    """Dispatch to a correction procedure by name (``"none"`` = raw)."""
+    if procedure == "none":
+        p = _check_p_values(p_values)
+        return CorrectionResult("none", alpha, p, p.copy(), p < alpha)
+    table = {
+        "bonferroni": bonferroni,
+        "holm": holm,
+        "benjamini_hochberg": benjamini_hochberg,
+        "benjamini_yekutieli": benjamini_yekutieli,
+    }
+    if procedure not in table:
+        raise DataError(
+            f"unknown procedure {procedure!r}; choose from {PROCEDURES}"
+        )
+    return table[procedure](p_values, alpha)

@@ -1,0 +1,103 @@
+"""Power analysis for fairness audits (Q1 × Q2).
+
+An audit that reports "no significant disparity" on 80 people has not
+shown fairness — it has shown an underpowered audit.  These helpers make
+the audit's own accuracy explicit (the Q2 discipline applied to the Q1
+instrument): the sample size needed to *detect* a selection-rate gap,
+and the minimum gap detectable at a given sample size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class AuditPower:
+    """Design parameters of a two-proportion fairness audit."""
+
+    baseline_rate: float
+    detectable_gap: float
+    alpha: float
+    power: float
+    n_per_group: int
+
+    def render(self) -> str:
+        """One-line design summary."""
+        return (
+            f"to detect a selection gap of {self.detectable_gap:.3f} off a "
+            f"base rate of {self.baseline_rate:.2f} at alpha={self.alpha:g} "
+            f"with power {self.power:.0%}: n >= {self.n_per_group} per group"
+        )
+
+
+def required_audit_size(baseline_rate: float, detectable_gap: float,
+                        alpha: float = 0.05, power: float = 0.8) -> AuditPower:
+    """Per-group sample size for a two-sided two-proportion z-test.
+
+    Standard normal-approximation formula with pooled variance under H0
+    and unpooled under H1.
+    """
+    if not 0.0 < baseline_rate < 1.0:
+        raise DataError("baseline_rate must be in (0, 1)")
+    if detectable_gap <= 0 or baseline_rate - detectable_gap <= 0:
+        raise DataError("detectable_gap must be positive and feasible")
+    if not 0.0 < alpha < 1.0 or not 0.0 < power < 1.0:
+        raise DataError("alpha and power must be in (0, 1)")
+    p1 = baseline_rate
+    p2 = baseline_rate - detectable_gap
+    pooled = 0.5 * (p1 + p2)
+    z_alpha = stats.norm.ppf(1.0 - alpha / 2.0)
+    z_beta = stats.norm.ppf(power)
+    numerator = (
+        z_alpha * np.sqrt(2.0 * pooled * (1.0 - pooled))
+        + z_beta * np.sqrt(p1 * (1.0 - p1) + p2 * (1.0 - p2))
+    ) ** 2
+    n = int(np.ceil(numerator / detectable_gap**2))
+    return AuditPower(
+        baseline_rate=baseline_rate, detectable_gap=detectable_gap,
+        alpha=alpha, power=power, n_per_group=n,
+    )
+
+
+def minimum_detectable_gap(n_per_group: int, baseline_rate: float,
+                           alpha: float = 0.05, power: float = 0.8) -> float:
+    """Smallest selection-rate gap an audit of this size can detect.
+
+    Solved by bisection on :func:`required_audit_size`.
+    """
+    if n_per_group < 2:
+        raise DataError("n_per_group must be >= 2")
+    low, high = 1e-4, baseline_rate - 1e-4
+    if required_audit_size(baseline_rate, high, alpha, power).n_per_group > n_per_group:
+        return float("nan")  # even the largest feasible gap is undetectable
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        needed = required_audit_size(baseline_rate, mid, alpha, power).n_per_group
+        if needed <= n_per_group:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def achieved_power(n_per_group: int, baseline_rate: float, gap: float,
+                   alpha: float = 0.05) -> float:
+    """Power of a two-proportion audit at the given design point."""
+    if n_per_group < 2:
+        raise DataError("n_per_group must be >= 2")
+    p1 = baseline_rate
+    p2 = baseline_rate - gap
+    if not (0.0 < p1 < 1.0 and 0.0 < p2 < 1.0):
+        raise DataError("rates must stay inside (0, 1)")
+    pooled = 0.5 * (p1 + p2)
+    z_alpha = stats.norm.ppf(1.0 - alpha / 2.0)
+    se0 = np.sqrt(2.0 * pooled * (1.0 - pooled) / n_per_group)
+    se1 = np.sqrt((p1 * (1.0 - p1) + p2 * (1.0 - p2)) / n_per_group)
+    z = (abs(gap) - z_alpha * se0) / se1
+    return float(stats.norm.cdf(z))

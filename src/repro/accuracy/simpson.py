@@ -1,0 +1,149 @@
+"""Simpson's-paradox detection (Q2, experiment E5).
+
+Given a binary exposure, a binary outcome and candidate stratifying
+columns, the detector compares the aggregate association with the
+within-stratum associations and flags stratifiers under which the trend
+"disappears or reverses when these groups are combined" (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class StratumAssociation:
+    """Exposure→outcome rate difference inside one stratum."""
+
+    stratum: object
+    n: int
+    rate_exposed: float
+    rate_unexposed: float
+
+    @property
+    def difference(self) -> float:
+        """Outcome-rate difference (exposed minus unexposed)."""
+        return self.rate_exposed - self.rate_unexposed
+
+
+@dataclass(frozen=True)
+class ParadoxFinding:
+    """The aggregate vs stratified picture for one stratifier."""
+
+    stratifier: str
+    aggregate_difference: float
+    strata: tuple[StratumAssociation, ...]
+    reverses: bool
+
+    @property
+    def adjusted_difference(self) -> float:
+        """Size-weighted mean of the stratum differences (standardisation).
+
+        This is the back-door-adjusted effect when the stratifier is a
+        sufficient confounder set — the number to report instead of the
+        aggregate.
+        """
+        total = sum(stratum.n for stratum in self.strata)
+        if total == 0:
+            return 0.0
+        return sum(
+            stratum.n * stratum.difference for stratum in self.strata
+        ) / total
+
+    def render(self) -> str:
+        """Human-readable summary of the (non-)paradox."""
+        lines = [
+            f"stratifier {self.stratifier!r}: aggregate diff "
+            f"{self.aggregate_difference:+.4f}, adjusted "
+            f"{self.adjusted_difference:+.4f}"
+            f"{'  << REVERSAL' if self.reverses else ''}"
+        ]
+        for stratum in self.strata:
+            lines.append(
+                f"    {stratum.stratum}: diff {stratum.difference:+.4f} (n={stratum.n})"
+            )
+        return "\n".join(lines)
+
+
+def _rate_difference(exposure: np.ndarray, outcome: np.ndarray,
+                     mask: np.ndarray) -> tuple[float, float, int] | None:
+    exposed = mask & (exposure == 1.0)
+    unexposed = mask & (exposure == 0.0)
+    if not exposed.any() or not unexposed.any():
+        return None
+    return (
+        float(outcome[exposed].mean()),
+        float(outcome[unexposed].mean()),
+        int(mask.sum()),
+    )
+
+
+def detect_simpsons_paradox(table: Table, exposure: str, outcome: str,
+                            stratifiers: list[str] | None = None,
+                            min_stratum_size: int = 20,
+                            ) -> list[ParadoxFinding]:
+    """Scan candidate stratifiers for trend reversal.
+
+    A finding ``reverses`` when the aggregate and the size-weighted
+    adjusted differences have opposite signs (and both are non-zero).
+    Strata smaller than ``min_stratum_size`` are ignored — tiny strata
+    produce spurious reversals, the Q2 trap inside the Q2 detector.
+    """
+    exposure_values = table.column(exposure)
+    outcome_values = table.column(outcome)
+    if not np.all(np.isin(np.unique(exposure_values), (0.0, 1.0))):
+        raise DataError(f"exposure column {exposure!r} must be 0/1")
+    if not np.all(np.isin(np.unique(outcome_values), (0.0, 1.0))):
+        raise DataError(f"outcome column {outcome!r} must be 0/1")
+    if stratifiers is None:
+        stratifiers = [
+            spec.name for spec in table.schema
+            if spec.ctype is ColumnType.CATEGORICAL
+            and spec.name not in (exposure, outcome)
+        ]
+    everyone = np.ones(table.n_rows, dtype=bool)
+    aggregate = _rate_difference(exposure_values, outcome_values, everyone)
+    if aggregate is None:
+        raise DataError("need both exposed and unexposed rows")
+    aggregate_diff = aggregate[0] - aggregate[1]
+
+    findings = []
+    for name in stratifiers:
+        strata = []
+        for value in table.unique(name):
+            mask = table.column(name) == value
+            if mask.sum() < min_stratum_size:
+                continue
+            rates = _rate_difference(exposure_values, outcome_values, mask)
+            if rates is None:
+                continue
+            strata.append(StratumAssociation(
+                stratum=value, n=rates[2],
+                rate_exposed=rates[0], rate_unexposed=rates[1],
+            ))
+        if len(strata) < 2:
+            continue
+        finding = ParadoxFinding(
+            stratifier=name,
+            aggregate_difference=aggregate_diff,
+            strata=tuple(strata),
+            reverses=False,
+        )
+        reverses = (
+            finding.adjusted_difference * aggregate_diff < 0
+            and abs(finding.adjusted_difference) > 1e-9
+        )
+        findings.append(ParadoxFinding(
+            stratifier=name,
+            aggregate_difference=aggregate_diff,
+            strata=tuple(strata),
+            reverses=reverses,
+        ))
+    findings.sort(key=lambda finding: finding.reverses, reverse=True)
+    return findings

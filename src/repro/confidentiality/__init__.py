@@ -1,0 +1,105 @@
+"""Confidentiality pillar (Q3): DP, anonymity, pseudonyms, attacks, risk."""
+
+from repro.confidentiality.accountant import (
+    AdvancedAccountant,
+    LedgerEntry,
+    PrivacyAccountant,
+    advanced_composition_epsilon,
+    max_queries_advanced,
+    max_queries_basic,
+)
+from repro.confidentiality.anonymity import (
+    MondrianAnonymizer,
+    equivalence_classes,
+    generalization_information_loss,
+    k_anonymity_level,
+    l_diversity_level,
+    t_closeness_level,
+)
+from repro.confidentiality.attacks import (
+    LinkageAttackResult,
+    MembershipInferenceResult,
+    linkage_attack,
+    membership_inference_on_mean,
+    theoretical_membership_advantage,
+)
+from repro.confidentiality.dp_learn import (
+    NoisyGradientLogisticRegression,
+    OutputPerturbationLogisticRegression,
+    clip_rows,
+)
+from repro.confidentiality.mechanisms import (
+    exponential_mechanism,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    laplace_noise,
+    randomized_response,
+    randomized_response_estimate,
+)
+from repro.confidentiality.pseudonym import (
+    Pseudonymizer,
+    drop_identifiers,
+    redact_for_release,
+)
+from repro.confidentiality.queries import (
+    dp_count,
+    dp_histogram,
+    dp_mean,
+    dp_quantile,
+    dp_sum,
+)
+from repro.confidentiality.risk import RiskProfile, assess_risk, risk_reduction
+from repro.confidentiality.synthesis import (
+    MarginalSynthesizer,
+    marginal_total_variation,
+)
+from repro.confidentiality.local_dp import (
+    FrequencyEstimate,
+    UnaryEncodingOracle,
+)
+
+__all__ = [
+    "UnaryEncodingOracle",
+    "FrequencyEstimate",
+    "marginal_total_variation",
+    "MarginalSynthesizer",
+    "AdvancedAccountant",
+    "LedgerEntry",
+    "LinkageAttackResult",
+    "MembershipInferenceResult",
+    "MondrianAnonymizer",
+    "NoisyGradientLogisticRegression",
+    "OutputPerturbationLogisticRegression",
+    "PrivacyAccountant",
+    "Pseudonymizer",
+    "RiskProfile",
+    "advanced_composition_epsilon",
+    "assess_risk",
+    "clip_rows",
+    "dp_count",
+    "dp_histogram",
+    "dp_mean",
+    "dp_quantile",
+    "dp_sum",
+    "drop_identifiers",
+    "equivalence_classes",
+    "exponential_mechanism",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "generalization_information_loss",
+    "k_anonymity_level",
+    "l_diversity_level",
+    "laplace_mechanism",
+    "laplace_noise",
+    "linkage_attack",
+    "max_queries_advanced",
+    "max_queries_basic",
+    "membership_inference_on_mean",
+    "randomized_response",
+    "randomized_response_estimate",
+    "redact_for_release",
+    "risk_reduction",
+    "t_closeness_level",
+    "theoretical_membership_advantage",
+]

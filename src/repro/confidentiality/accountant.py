@@ -1,0 +1,186 @@
+"""The privacy-budget accountant (Q3).
+
+"Techniques that work under a *strict privacy budget*" need someone
+keeping the books.  The accountant is that someone: every DP release
+must be charged before it happens, over-budget requests raise
+:class:`~repro.exceptions.PrivacyBudgetError`, and the ledger itself is
+an audit artefact the FACT report embeds.
+
+Two composition accountants are provided:
+
+* **basic** — ε's add up (tight for few queries);
+* **advanced** — Dwork-Roth advanced composition: k queries at ε₀ each
+  cost ``ε₀·sqrt(2k·ln(1/δ')) + k·ε₀·(e^{ε₀}−1)`` overall, buying many
+  more queries at the same total budget (ablation A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError, PrivacyBudgetError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded budget expenditure."""
+
+    label: str
+    epsilon: float
+    delta: float
+
+
+class PrivacyAccountant:
+    """Tracks (ε, δ) expenditure under basic composition."""
+
+    def __init__(self, epsilon_budget: float, delta_budget: float = 0.0):
+        if epsilon_budget <= 0:
+            raise DataError("epsilon_budget must be positive")
+        if delta_budget < 0:
+            raise DataError("delta_budget must be non-negative")
+        self.epsilon_budget = float(epsilon_budget)
+        self.delta_budget = float(delta_budget)
+        self._ledger: list[LedgerEntry] = []
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    @property
+    def ledger(self) -> list[LedgerEntry]:
+        """All recorded expenditures, in order."""
+        return list(self._ledger)
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Total ε charged so far."""
+        return sum(entry.epsilon for entry in self._ledger)
+
+    @property
+    def delta_spent(self) -> float:
+        """Total δ charged so far."""
+        return sum(entry.delta for entry in self._ledger)
+
+    @property
+    def epsilon_remaining(self) -> float:
+        """Unspent ε."""
+        return self.epsilon_budget - self.epsilon_spent
+
+    def can_afford(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Would charging (ε, δ) stay within budget?"""
+        return (
+            self.epsilon_spent + epsilon <= self.epsilon_budget + 1e-12
+            and self.delta_spent + delta <= self.delta_budget + 1e-15
+        )
+
+    def spend(self, epsilon: float, delta: float = 0.0,
+              label: str = "query") -> LedgerEntry:
+        """Charge the budget or raise :class:`PrivacyBudgetError`."""
+        if epsilon <= 0:
+            raise DataError("spent epsilon must be positive")
+        if not self.can_afford(epsilon, delta):
+            raise PrivacyBudgetError(
+                f"budget exhausted: requested ε={epsilon:.4g} δ={delta:.2g} "
+                f"with ε_remaining={self.epsilon_remaining:.4g}"
+            )
+        entry = LedgerEntry(label=label, epsilon=float(epsilon), delta=float(delta))
+        self._ledger.append(entry)
+        return entry
+
+    def render_ledger(self) -> str:
+        """Human-readable audit trail of the budget."""
+        lines = [
+            f"privacy ledger: ε {self.epsilon_spent:.4g}/{self.epsilon_budget:.4g}"
+            f" spent, δ {self.delta_spent:.2g}/{self.delta_budget:.2g}"
+        ]
+        for entry in self._ledger:
+            lines.append(f"  {entry.label}: ε={entry.epsilon:.4g} δ={entry.delta:.2g}")
+        return "\n".join(lines)
+
+
+def advanced_composition_epsilon(per_query_epsilon: float, n_queries: int,
+                                 delta_slack: float) -> float:
+    """Total ε of k queries at ε₀ under advanced composition."""
+    if per_query_epsilon <= 0 or n_queries < 1:
+        raise DataError("need positive per-query epsilon and n_queries >= 1")
+    if not 0.0 < delta_slack < 1.0:
+        raise DataError("delta_slack must be in (0, 1)")
+    eps0, k = per_query_epsilon, n_queries
+    return (
+        eps0 * np.sqrt(2.0 * k * np.log(1.0 / delta_slack))
+        + k * eps0 * (np.exp(eps0) - 1.0)
+    )
+
+
+def max_queries_basic(epsilon_budget: float, per_query_epsilon: float) -> int:
+    """How many ε₀ queries basic composition affords."""
+    if per_query_epsilon <= 0:
+        raise DataError("per_query_epsilon must be positive")
+    return int(np.floor(epsilon_budget / per_query_epsilon + 1e-12))
+
+
+def max_queries_advanced(epsilon_budget: float, per_query_epsilon: float,
+                         delta_slack: float) -> int:
+    """How many ε₀ queries advanced composition affords at total budget.
+
+    Monotone in k, so binary search.
+    """
+    if advanced_composition_epsilon(per_query_epsilon, 1, delta_slack) > epsilon_budget:
+        return 0
+    low, high = 1, 2
+    while (advanced_composition_epsilon(per_query_epsilon, high, delta_slack)
+           <= epsilon_budget):
+        high *= 2
+        if high > 10**9:
+            break
+    while low < high:
+        mid = (low + high + 1) // 2
+        if (advanced_composition_epsilon(per_query_epsilon, mid, delta_slack)
+                <= epsilon_budget):
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+class AdvancedAccountant(PrivacyAccountant):
+    """Accountant that charges homogeneous queries via advanced composition.
+
+    Assumes all queries share ``per_query_epsilon``; the effective total
+    is recomputed as queries accumulate, so the budget check reflects the
+    sqrt(k) growth rather than the linear one.
+    """
+
+    def __init__(self, epsilon_budget: float, per_query_epsilon: float,
+                 delta_slack: float):
+        super().__init__(epsilon_budget, delta_budget=delta_slack)
+        if per_query_epsilon <= 0:
+            raise DataError("per_query_epsilon must be positive")
+        self.per_query_epsilon = float(per_query_epsilon)
+        self.delta_slack = float(delta_slack)
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Effective ε under advanced composition of the ledger."""
+        k = len(self._ledger)
+        if k == 0:
+            return 0.0
+        return float(advanced_composition_epsilon(
+            self.per_query_epsilon, k, self.delta_slack
+        ))
+
+    def can_afford(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Check the k+1-query effective total against the budget."""
+        if abs(epsilon - self.per_query_epsilon) > 1e-9:
+            raise DataError(
+                "AdvancedAccountant only charges its fixed per-query epsilon"
+            )
+        prospective = advanced_composition_epsilon(
+            self.per_query_epsilon, len(self._ledger) + 1, self.delta_slack
+        )
+        return prospective <= self.epsilon_budget + 1e-12
+
+    @property
+    def delta_spent(self) -> float:
+        """The δ' slack consumed by the composition theorem."""
+        return self.delta_slack if self._ledger else 0.0

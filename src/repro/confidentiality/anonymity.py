@@ -1,0 +1,207 @@
+"""Syntactic anonymity: k-anonymity (Mondrian), l-diversity, t-closeness (Q3).
+
+DP protects query answers; anonymisation protects *published tables*.
+The Mondrian partitioner generalises quasi-identifiers until every row is
+indistinguishable from at least k-1 others; the diversity/closeness
+checks guard against the classic attribute-disclosure attacks that
+k-anonymity alone permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnType, categorical
+from repro.data.table import Table
+from repro.exceptions import AnonymityError
+
+
+def _quasi_identifiers(table: Table, quasi_identifiers: list[str] | None) -> list[str]:
+    names = quasi_identifiers or table.schema.quasi_identifier_names
+    if not names:
+        raise AnonymityError("no quasi-identifier columns declared or named")
+    return names
+
+
+def equivalence_classes(table: Table,
+                        quasi_identifiers: list[str] | None = None,
+                        ) -> dict[tuple, np.ndarray]:
+    """Row indices grouped by identical quasi-identifier combinations."""
+    names = _quasi_identifiers(table, quasi_identifiers)
+    keys: dict[tuple, list[int]] = {}
+    columns = table.columns(names)
+    for row_index in range(table.n_rows):
+        key = tuple(column[row_index] for column in columns)
+        keys.setdefault(key, []).append(row_index)
+    return {key: np.asarray(indices) for key, indices in keys.items()}
+
+
+def k_anonymity_level(table: Table,
+                      quasi_identifiers: list[str] | None = None) -> int:
+    """The k actually achieved: the smallest equivalence-class size."""
+    classes = equivalence_classes(table, quasi_identifiers)
+    return min(len(indices) for indices in classes.values())
+
+
+def l_diversity_level(table: Table, sensitive: str,
+                      quasi_identifiers: list[str] | None = None) -> int:
+    """Minimum number of distinct sensitive values per equivalence class."""
+    classes = equivalence_classes(table, quasi_identifiers)
+    values = table.column(sensitive)
+    return min(
+        len(np.unique(values[indices])) for indices in classes.values()
+    )
+
+
+def t_closeness_level(table: Table, sensitive: str,
+                      quasi_identifiers: list[str] | None = None) -> float:
+    """Worst total-variation distance between a class's sensitive
+    distribution and the global one (a conservative stand-in for EMD on
+    categorical attributes)."""
+    classes = equivalence_classes(table, quasi_identifiers)
+    values = table.column(sensitive)
+    levels = np.unique(values)
+    global_dist = np.array([np.mean(values == level) for level in levels])
+    worst = 0.0
+    for indices in classes.values():
+        class_values = values[indices]
+        class_dist = np.array([
+            np.mean(class_values == level) for level in levels
+        ])
+        worst = max(worst, 0.5 * float(np.abs(class_dist - global_dist).sum()))
+    return worst
+
+
+@dataclass
+class _Partition:
+    indices: np.ndarray
+
+
+class MondrianAnonymizer:
+    """Multidimensional k-anonymity by greedy median partitioning.
+
+    Recursively splits the table on the quasi-identifier with the widest
+    normalised range, at the median, as long as both halves keep at least
+    ``k`` rows.  Leaf partitions are generalised: numeric QIs become
+    ``"lo-hi"`` range strings, categorical QIs become sorted value sets.
+    """
+
+    def __init__(self, k: int = 5):
+        if k < 2:
+            raise AnonymityError("k must be >= 2")
+        self.k = k
+
+    def anonymize(self, table: Table,
+                  quasi_identifiers: list[str] | None = None) -> Table:
+        """Return a generalised copy achieving k-anonymity on the QIs."""
+        names = _quasi_identifiers(table, quasi_identifiers)
+        if table.n_rows < self.k:
+            raise AnonymityError(
+                f"table has {table.n_rows} rows, cannot achieve k={self.k}"
+            )
+        numeric_names = [
+            name for name in names
+            if table.schema[name].ctype is ColumnType.NUMERIC
+        ]
+        spans = {}
+        for name in numeric_names:
+            values = table.column(name)
+            spans[name] = max(float(values.max() - values.min()), 1e-12)
+
+        partitions: list[np.ndarray] = []
+        stack = [_Partition(np.arange(table.n_rows))]
+        while stack:
+            partition = stack.pop()
+            split = self._try_split(table, partition.indices, names, spans)
+            if split is None:
+                partitions.append(partition.indices)
+            else:
+                stack.extend(split)
+
+        generalized = {name: np.empty(table.n_rows, dtype=object) for name in names}
+        for indices in partitions:
+            for name in names:
+                values = table.column(name)[indices]
+                if table.schema[name].ctype is ColumnType.NUMERIC:
+                    label = f"{values.min():.6g}..{values.max():.6g}"
+                else:
+                    label = "|".join(sorted(set(values.tolist())))
+                generalized[name][indices] = label
+
+        result = table
+        for name in names:
+            spec = table.schema[name]
+            result = result.with_column(
+                categorical(name, role=spec.role, description=spec.description),
+                generalized[name],
+            )
+        return result
+
+    def _try_split(self, table: Table, indices: np.ndarray,
+                   names: list[str], spans: dict[str, float]):
+        if len(indices) < 2 * self.k:
+            return None
+        # Rank QIs by normalised spread inside this partition.
+        scored: list[tuple[float, str]] = []
+        for name in names:
+            values = table.column(name)[indices]
+            if table.schema[name].ctype is ColumnType.NUMERIC:
+                spread = float(values.max() - values.min()) / spans[name]
+            else:
+                spread = float(len(np.unique(values))) / max(table.n_rows, 1)
+            scored.append((spread, name))
+        scored.sort(reverse=True)
+        for _, name in scored:
+            values = table.column(name)[indices]
+            if table.schema[name].ctype is ColumnType.NUMERIC:
+                median = float(np.median(values))
+                left = indices[values <= median]
+                right = indices[values > median]
+            else:
+                levels = np.unique(values)
+                if len(levels) < 2:
+                    continue
+                half = levels[:len(levels) // 2]
+                mask = np.isin(values, half)
+                left, right = indices[mask], indices[~mask]
+            if len(left) >= self.k and len(right) >= self.k:
+                return [_Partition(left), _Partition(right)]
+        return None
+
+
+def generalization_information_loss(original: Table, anonymized: Table,
+                                    quasi_identifiers: list[str] | None = None,
+                                    ) -> float:
+    """Mean normalised width of the generalised numeric ranges (0 = lossless).
+
+    Categorical QIs contribute the fraction of levels merged into the
+    row's generalised set.
+    """
+    names = _quasi_identifiers(original, quasi_identifiers)
+    losses = []
+    for name in names:
+        spec = original.schema[name]
+        anonym_values = anonymized.column(name)
+        if spec.ctype is ColumnType.NUMERIC:
+            values = original.column(name)
+            span = max(float(values.max() - values.min()), 1e-12)
+            widths = []
+            for label in anonym_values:
+                low, separator, high = str(label).partition("..")
+                if not separator:
+                    widths.append(1.0)
+                    continue
+                try:
+                    widths.append((float(high) - float(low)) / span)
+                except ValueError:
+                    widths.append(1.0)
+            losses.append(float(np.mean(widths)))
+        else:
+            n_levels = len(original.unique(name))
+            fractions = [
+                len(str(label).split("|")) / n_levels for label in anonym_values
+            ]
+            losses.append(float(np.mean(fractions)))
+    return float(np.mean(losses)) if losses else 0.0

@@ -1,0 +1,137 @@
+"""Attack simulators: measuring what leaks (Q3, experiment E8).
+
+§2-Q1 of the paper's worry list: "Confidential data may be shared
+unintentionally or abused by third parties."  You cannot score a defence
+without an attacker, so two are provided:
+
+* **linkage attack** — the Sweeney-style join: an adversary holding an
+  auxiliary table with quasi-identifiers tries to re-identify rows of a
+  released table.  Reports the unique-match (confident re-identification)
+  rate.
+* **membership inference** — the DP distinguishing game on a released
+  noisy mean: how much better than coin-flipping can an adversary decide
+  whether a target record was in the dataset?  Advantage shrinks with ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class LinkageAttackResult:
+    """Outcome of a quasi-identifier join attack."""
+
+    n_targets: int
+    n_unique_matches: int
+    n_correct: int
+    mean_candidates: float
+
+    @property
+    def reidentification_rate(self) -> float:
+        """Fraction of targets confidently and correctly re-identified."""
+        return self.n_correct / self.n_targets if self.n_targets else 0.0
+
+
+def linkage_attack(released: Table, auxiliary: Table,
+                   quasi_identifiers: list[str],
+                   released_id: str, auxiliary_id: str,
+                   ) -> LinkageAttackResult:
+    """Join ``auxiliary`` against ``released`` on quasi-identifiers.
+
+    A target is re-identified when its QI combination matches exactly one
+    released row *and* that row really is the target (checked against the
+    hidden id columns, which the attacker would not have — they measure
+    the attack, they do not power it).
+    """
+    for name in quasi_identifiers:
+        if name not in released or name not in auxiliary:
+            raise DataError(f"quasi-identifier {name!r} missing from a table")
+    released_keys: dict[tuple, list[int]] = {}
+    released_columns = released.columns(quasi_identifiers)
+    for row_index in range(released.n_rows):
+        key = tuple(column[row_index] for column in released_columns)
+        released_keys.setdefault(key, []).append(row_index)
+
+    auxiliary_columns = auxiliary.columns(quasi_identifiers)
+    released_ids = released.column(released_id)
+    auxiliary_ids = auxiliary.column(auxiliary_id)
+    unique_matches = 0
+    correct = 0
+    candidate_counts = []
+    for row_index in range(auxiliary.n_rows):
+        key = tuple(column[row_index] for column in auxiliary_columns)
+        candidates = released_keys.get(key, [])
+        candidate_counts.append(len(candidates))
+        if len(candidates) == 1:
+            unique_matches += 1
+            if released_ids[candidates[0]] == auxiliary_ids[row_index]:
+                correct += 1
+    return LinkageAttackResult(
+        n_targets=auxiliary.n_rows,
+        n_unique_matches=unique_matches,
+        n_correct=correct,
+        mean_candidates=float(np.mean(candidate_counts)) if candidate_counts else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class MembershipInferenceResult:
+    """Outcome of the DP distinguishing game."""
+
+    epsilon: float
+    n_trials: int
+    attacker_accuracy: float
+
+    @property
+    def advantage(self) -> float:
+        """``2·accuracy − 1``: 0 = guessing, 1 = certain identification."""
+        return 2.0 * self.attacker_accuracy - 1.0
+
+
+def membership_inference_on_mean(values, target_value: float, epsilon: float,
+                                 rng: np.random.Generator,
+                                 lower: float, upper: float,
+                                 n_trials: int = 500,
+                                 ) -> MembershipInferenceResult:
+    """Distinguishing game against an ε-DP released mean.
+
+    Each trial: flip a fair coin to include/exclude the target record,
+    release the Laplace-noised clipped mean, and let a likelihood-ratio
+    attacker (who knows everything except the coin) guess.  The measured
+    advantage is bounded by ``(e^ε − 1)/(e^ε + 1)``.
+    """
+    if lower >= upper:
+        raise DataError("need lower < upper bounds")
+    base = np.clip(np.asarray(values, dtype=np.float64), lower, upper)
+    target = float(np.clip(target_value, lower, upper))
+    n_with = len(base) + 1
+    mean_with = (base.sum() + target) / n_with
+    mean_without = base.sum() / len(base) if len(base) else 0.0
+    # Sensitivity of the clipped mean on the fixed-size 'with' dataset.
+    scale = (upper - lower) / (n_with * epsilon)
+    correct = 0
+    for _ in range(n_trials):
+        included = rng.random() < 0.5
+        true_mean = mean_with if included else mean_without
+        release = true_mean + rng.laplace(0.0, scale)
+        # Likelihood-ratio decision between the two hypotheses.
+        log_like_with = -abs(release - mean_with) / scale
+        log_like_without = -abs(release - mean_without) / scale
+        guess = log_like_with > log_like_without
+        if guess == included:
+            correct += 1
+    return MembershipInferenceResult(
+        epsilon=epsilon, n_trials=n_trials,
+        attacker_accuracy=correct / n_trials,
+    )
+
+
+def theoretical_membership_advantage(epsilon: float) -> float:
+    """Upper bound on the distinguishing advantage under ε-DP."""
+    return (np.exp(epsilon) - 1.0) / (np.exp(epsilon) + 1.0)

@@ -1,0 +1,157 @@
+"""Differentially private learning (Q3, experiment E7).
+
+Two standard routes to an (ε[, δ])-DP classifier:
+
+* **output perturbation** (Chaudhuri et al. 2011) — train a strongly
+  convex L2-regularised logistic regression on rows clipped to unit
+  norm, then add Laplace noise scaled to the solution's sensitivity
+  ``2 / (n · λ)``.
+* **noisy gradient descent** (DP-SGD-style, full-batch) — clip
+  per-example gradients, add Gaussian noise each step, account with the
+  naive composition of the Gaussian mechanism.
+
+Both charge a :class:`PrivacyAccountant` so the training run appears in
+the same ledger as the queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.confidentiality.accountant import PrivacyAccountant
+from repro.confidentiality.mechanisms import gaussian_sigma
+from repro.data.synth.base import sigmoid
+from repro.exceptions import DataError
+from repro.learn.base import Classifier, check_binary_labels, check_matrix
+from repro.learn.linear import LogisticRegression
+
+
+def clip_rows(X: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Scale each row to L2 norm at most ``max_norm`` (sensitivity control)."""
+    X = np.asarray(X, dtype=np.float64)
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    factors = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+    return X * factors
+
+
+class OutputPerturbationLogisticRegression(Classifier):
+    """ε-DP logistic regression via output perturbation.
+
+    For L2-regularised logistic loss on unit-norm rows, the L2
+    sensitivity of the minimiser is ``2 / (n·λ)``; adding Laplace-type
+    noise (gamma-norm spherical) of scale ``sensitivity/ε`` yields ε-DP.
+    """
+
+    def __init__(self, epsilon: float, l2: float = 1.0,
+                 accountant: PrivacyAccountant | None = None,
+                 seed: int = 0):
+        if epsilon <= 0:
+            raise DataError("epsilon must be positive")
+        if l2 <= 0:
+            raise DataError("output perturbation requires l2 > 0")
+        self.epsilon = epsilon
+        self.l2 = l2
+        self.accountant = accountant
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y, sample_weight=None) -> "OutputPerturbationLogisticRegression":
+        """Train non-privately on clipped rows, then perturb the weights."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if sample_weight is not None:
+            raise DataError("sample weights change sensitivity; unsupported")
+        if self.accountant is not None:
+            self.accountant.spend(self.epsilon, label="dp_logreg.output_perturbation")
+        clipped = clip_rows(X)
+        # Chaudhuri's analysis has lambda as the per-example penalty; our
+        # solver uses an unnormalised total penalty, so convert.
+        base = LogisticRegression(l2=self.l2 * len(y))
+        base.fit(clipped, y)
+        rng = np.random.default_rng(self.seed)
+        sensitivity = 2.0 / (len(y) * self.l2)
+        # Spherical noise with Gamma-distributed norm: density ∝ exp(-ε‖b‖/Δ).
+        direction = rng.standard_normal(X.shape[1])
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        magnitude = rng.gamma(shape=X.shape[1], scale=sensitivity / self.epsilon)
+        self.coef_ = base.coef_ + magnitude * direction
+        self.intercept_ = float(base.intercept_)
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Probabilities from the perturbed weights (rows are re-clipped)."""
+        self._require_fitted()
+        clipped = clip_rows(check_matrix(X))
+        return np.asarray(sigmoid(clipped @ self.coef_ + self.intercept_))
+
+
+class NoisyGradientLogisticRegression(Classifier):
+    """(ε, δ)-DP logistic regression via noisy full-batch gradient descent.
+
+    Per-example gradients are norm-clipped to ``clip_norm``; each of the
+    ``n_steps`` steps adds Gaussian noise calibrated so the *per-step*
+    privacy cost is (ε/k, δ/k) — naive composition, deliberately simple
+    and auditable.  The ablation bench contrasts this with the analytic
+    budget split.
+    """
+
+    def __init__(self, epsilon: float, delta: float = 1e-5,
+                 n_steps: int = 50, learning_rate: float = 0.5,
+                 clip_norm: float = 1.0, l2: float = 1e-3,
+                 accountant: PrivacyAccountant | None = None,
+                 seed: int = 0):
+        if epsilon <= 0 or not 0 < delta < 1:
+            raise DataError("need epsilon > 0 and delta in (0, 1)")
+        if n_steps < 1:
+            raise DataError("n_steps must be >= 1")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.n_steps = n_steps
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+        self.l2 = l2
+        self.accountant = accountant
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y, sample_weight=None) -> "NoisyGradientLogisticRegression":
+        """Noisy projected gradient descent on the logistic loss."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if sample_weight is not None:
+            raise DataError("sample weights change sensitivity; unsupported")
+        if self.accountant is not None:
+            self.accountant.spend(
+                self.epsilon, self.delta, label="dp_logreg.noisy_gd"
+            )
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        step_epsilon = self.epsilon / self.n_steps
+        step_delta = self.delta / self.n_steps
+        # Mean-gradient sensitivity: one example's clipped gradient / n.
+        sigma = gaussian_sigma(2.0 * self.clip_norm / n, step_epsilon, step_delta)
+        theta = np.zeros(d + 1)
+        design = np.hstack([X, np.ones((n, 1))])
+        for _ in range(self.n_steps):
+            z = design @ theta
+            residual = np.asarray(sigmoid(z)) - y
+            per_example = design * residual[:, None]
+            norms = np.linalg.norm(per_example, axis=1, keepdims=True)
+            factors = np.minimum(1.0, self.clip_norm / np.maximum(norms, 1e-12))
+            gradient = (per_example * factors).mean(axis=0)
+            gradient += self.l2 * np.append(theta[:-1], 0.0)
+            noise = rng.normal(0.0, sigma, size=d + 1)
+            theta -= self.learning_rate * (gradient + noise)
+        self.coef_ = theta[:-1]
+        self.intercept_ = float(theta[-1])
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Probabilities from the privately learned weights."""
+        self._require_fitted()
+        X = check_matrix(X)
+        return np.asarray(sigmoid(X @ self.coef_ + self.intercept_))

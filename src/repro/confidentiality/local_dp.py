@@ -1,0 +1,117 @@
+"""Local differential privacy: the trust-nobody regime (Q3).
+
+§2's trust argument — "if individuals do not trust the data science
+pipeline … they will not share their data" — is sharpest when even the
+*collector* is untrusted.  Local DP answers it: each person randomises
+their own value before sending, and the aggregator debiases.
+
+Implemented: the unary-encoding frequency oracle (a.k.a. basic RAPPOR)
+for categorical attributes, generalising randomised response beyond
+binary, plus an aggregate error bound for sizing deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class FrequencyEstimate:
+    """Debiased category frequencies from locally-randomised reports."""
+
+    categories: tuple
+    estimates: np.ndarray
+    n_reports: int
+    epsilon: float
+
+    def as_dict(self) -> dict[object, float]:
+        """{category: estimated frequency} (clipped to [0, 1])."""
+        clipped = np.clip(self.estimates, 0.0, 1.0)
+        total = clipped.sum()
+        if total > 0:
+            clipped = clipped / total
+        return dict(zip(self.categories, clipped.tolist()))
+
+
+class UnaryEncodingOracle:
+    """Symmetric unary-encoding local-DP frequency oracle.
+
+    Each user one-hot encodes their value over the public category list,
+    then flips each bit: a 1 is reported truthfully with probability
+    ``p = e^(ε/2) / (e^(ε/2) + 1)``, a 0 is reported as 1 with
+    probability ``q = 1 - p``.  This symmetric choice satisfies ε-LDP and
+    admits the standard unbiased estimator.
+    """
+
+    def __init__(self, categories: list, epsilon: float):
+        if len(categories) < 2:
+            raise DataError("need at least two categories")
+        if len(set(categories)) != len(categories):
+            raise DataError("categories must be distinct")
+        if epsilon <= 0:
+            raise DataError("epsilon must be positive")
+        self.categories = tuple(categories)
+        self.epsilon = epsilon
+        half = np.exp(epsilon / 2.0)
+        self._p = half / (half + 1.0)
+        self._q = 1.0 - self._p
+
+    # -- client side ----------------------------------------------------------
+
+    def randomize(self, value, rng: np.random.Generator) -> np.ndarray:
+        """One user's privatised report (a noisy one-hot bit vector)."""
+        if value not in self.categories:
+            raise DataError(f"value {value!r} not in the public category list")
+        truth = np.asarray(
+            [1.0 if category == value else 0.0 for category in self.categories]
+        )
+        keep = rng.random(len(truth)) < np.where(truth == 1.0, self._p, self._q)
+        return keep.astype(np.float64)
+
+    def randomize_all(self, values, rng: np.random.Generator) -> np.ndarray:
+        """Privatised reports for a population, shape (n, n_categories)."""
+        values = np.asarray(values)
+        index = {category: i for i, category in enumerate(self.categories)}
+        positions = np.asarray([index.get(value, -1) for value in values])
+        if (positions < 0).any():
+            raise DataError("some values are outside the public category list")
+        truth = np.zeros((len(values), len(self.categories)))
+        truth[np.arange(len(values)), positions] = 1.0
+        flip_to_one = np.where(truth == 1.0, self._p, self._q)
+        return (rng.random(truth.shape) < flip_to_one).astype(np.float64)
+
+    # -- server side -----------------------------------------------------------
+
+    def estimate(self, reports: np.ndarray) -> FrequencyEstimate:
+        """Debiased frequency estimates from stacked reports."""
+        reports = np.asarray(reports, dtype=np.float64)
+        if reports.ndim != 2 or reports.shape[1] != len(self.categories):
+            raise DataError(
+                f"reports must be (n, {len(self.categories)}), got {reports.shape}"
+            )
+        n = len(reports)
+        if n == 0:
+            raise DataError("no reports to aggregate")
+        observed = reports.mean(axis=0)
+        estimates = (observed - self._q) / (self._p - self._q)
+        return FrequencyEstimate(
+            categories=self.categories, estimates=estimates,
+            n_reports=n, epsilon=self.epsilon,
+        )
+
+    def expected_error(self, n_reports: int) -> float:
+        """Std of one category's estimate at ``n_reports`` users.
+
+        Worst-case (true frequency near 0) binomial variance of the
+        debiased estimator — the number a deployment sizes itself with.
+        """
+        if n_reports < 1:
+            raise DataError("n_reports must be >= 1")
+        variance = self._q * (1.0 - self._q) / (
+            n_reports * (self._p - self._q) ** 2
+        )
+        return float(np.sqrt(variance))

@@ -1,0 +1,102 @@
+"""Differential-privacy mechanisms (Q3).
+
+The paper cites Dwork (2011) and asks for "techniques that work under a
+strict privacy budget".  These are the primitives the budget is spent on:
+
+* Laplace mechanism — ε-DP for bounded-sensitivity numeric queries.
+* Gaussian mechanism — (ε, δ)-DP, composes gracefully.
+* Exponential mechanism — ε-DP selection among arbitrary candidates.
+* Randomised response — the oldest local-DP mechanism, per-record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _check_positive(value: float, name: str) -> float:
+    if value <= 0:
+        raise DataError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def laplace_noise(scale: float, rng: np.random.Generator,
+                  size: int | tuple = ()) -> np.ndarray | float:
+    """Zero-centred Laplace noise with the given scale."""
+    _check_positive(scale, "scale")
+    return rng.laplace(0.0, scale, size)
+
+
+def laplace_mechanism(true_value: float, sensitivity: float, epsilon: float,
+                      rng: np.random.Generator) -> float:
+    """ε-DP release of a scalar with the given L1 sensitivity."""
+    _check_positive(sensitivity, "sensitivity")
+    _check_positive(epsilon, "epsilon")
+    return float(true_value + rng.laplace(0.0, sensitivity / epsilon))
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """Classic analytic noise level for the (ε, δ) Gaussian mechanism.
+
+    σ = sensitivity · sqrt(2 ln(1.25/δ)) / ε  (requires ε ≤ 1 for the
+    classical analysis; larger ε is accepted but conservative).
+    """
+    _check_positive(sensitivity, "sensitivity")
+    _check_positive(epsilon, "epsilon")
+    if not 0.0 < delta < 1.0:
+        raise DataError(f"delta must be in (0, 1), got {delta}")
+    return sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon
+
+
+def gaussian_mechanism(true_value: float, sensitivity: float, epsilon: float,
+                       delta: float, rng: np.random.Generator) -> float:
+    """(ε, δ)-DP release of a scalar with the given L2 sensitivity."""
+    sigma = gaussian_sigma(sensitivity, epsilon, delta)
+    return float(true_value + rng.normal(0.0, sigma))
+
+
+def exponential_mechanism(candidates: list, utilities,
+                          sensitivity: float, epsilon: float,
+                          rng: np.random.Generator):
+    """ε-DP selection: sample candidate c with P ∝ exp(ε·u(c)/(2·Δu))."""
+    utilities = np.asarray(utilities, dtype=np.float64)
+    if len(candidates) != len(utilities) or len(candidates) == 0:
+        raise DataError("candidates and utilities must be non-empty and aligned")
+    _check_positive(sensitivity, "sensitivity")
+    _check_positive(epsilon, "epsilon")
+    logits = epsilon * utilities / (2.0 * sensitivity)
+    logits -= logits.max()
+    probabilities = np.exp(logits)
+    probabilities /= probabilities.sum()
+    index = rng.choice(len(candidates), p=probabilities)
+    return candidates[index]
+
+
+def randomized_response(values, epsilon: float,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Local ε-DP release of binary values.
+
+    Each bit is kept with probability e^ε/(1+e^ε) and flipped otherwise —
+    Warner's classic survey design, the mechanism an individual can run
+    before sharing anything.
+    """
+    _check_positive(epsilon, "epsilon")
+    values = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isin(np.unique(values), (0.0, 1.0))):
+        raise DataError("randomized response expects 0/1 values")
+    keep_probability = np.exp(epsilon) / (1.0 + np.exp(epsilon))
+    keep = rng.random(values.shape) < keep_probability
+    return np.where(keep, values, 1.0 - values)
+
+
+def randomized_response_estimate(noisy_values, epsilon: float) -> float:
+    """Debiased population rate from randomised-response bits."""
+    _check_positive(epsilon, "epsilon")
+    noisy_values = np.asarray(noisy_values, dtype=np.float64)
+    if len(noisy_values) == 0:
+        raise DataError("no responses to aggregate")
+    keep_probability = np.exp(epsilon) / (1.0 + np.exp(epsilon))
+    observed = float(noisy_values.mean())
+    return (observed - (1.0 - keep_probability)) / (2.0 * keep_probability - 1.0)

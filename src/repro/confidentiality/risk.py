@@ -1,0 +1,81 @@
+"""Re-identification risk scoring (Q3).
+
+Quick, attack-agnostic risk numbers for a table about to be shared:
+uniqueness on quasi-identifiers is the dominant driver of linkage risk
+(Sweeney's 87% result was exactly this).  The FACT auditor embeds these
+scores in its confidentiality section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.confidentiality.anonymity import equivalence_classes
+from repro.data.table import Table
+
+
+@dataclass(frozen=True)
+class RiskProfile:
+    """Uniqueness-based disclosure risk for one table."""
+
+    quasi_identifiers: tuple[str, ...]
+    n_rows: int
+    n_classes: int
+    k_anonymity: int
+    unique_row_fraction: float
+    mean_class_size: float
+    journalist_risk: float
+
+    @property
+    def prosecutor_risk(self) -> float:
+        """Worst-case re-identification probability: 1/k."""
+        return 1.0 / self.k_anonymity if self.k_anonymity else 1.0
+
+    def render(self) -> str:
+        """Human-readable risk summary."""
+        return (
+            f"risk on QIs {list(self.quasi_identifiers)}: "
+            f"k={self.k_anonymity}, unique rows {self.unique_row_fraction:.1%}, "
+            f"prosecutor risk {self.prosecutor_risk:.3f}, "
+            f"journalist risk {self.journalist_risk:.3f}"
+        )
+
+
+def assess_risk(table: Table,
+                quasi_identifiers: list[str] | None = None) -> RiskProfile:
+    """Compute a :class:`RiskProfile` for the table's quasi-identifiers.
+
+    * ``unique_row_fraction`` — share of rows whose QI combination is
+      unique in the table (each one a confident linkage target);
+    * ``journalist_risk`` — expected re-identification probability for a
+      uniformly random target: mean over rows of 1/(class size), which
+      equals ``n_classes / n_rows``.
+    """
+    names = quasi_identifiers or table.schema.quasi_identifier_names
+    classes = equivalence_classes(table, names)
+    sizes = np.asarray([len(indices) for indices in classes.values()])
+    n_rows = table.n_rows
+    return RiskProfile(
+        quasi_identifiers=tuple(names),
+        n_rows=n_rows,
+        n_classes=len(classes),
+        k_anonymity=int(sizes.min()) if len(sizes) else 0,
+        unique_row_fraction=(
+            float(np.sum(sizes == 1)) / n_rows if n_rows else 0.0
+        ),
+        mean_class_size=float(sizes.mean()) if len(sizes) else 0.0,
+        journalist_risk=len(classes) / n_rows if n_rows else 1.0,
+    )
+
+
+def risk_reduction(before: RiskProfile, after: RiskProfile) -> dict[str, float]:
+    """How much an anonymisation step reduced each risk figure."""
+    return {
+        "prosecutor_risk": before.prosecutor_risk - after.prosecutor_risk,
+        "journalist_risk": before.journalist_risk - after.journalist_risk,
+        "unique_row_fraction": (
+            before.unique_row_fraction - after.unique_row_fraction
+        ),
+    }

@@ -1,0 +1,34 @@
+"""FACT core (S10): auditor, report, scorecard, policy."""
+
+from repro.core.auditor import FACTAuditor
+from repro.core.policy import FACTPolicy, Violation
+from repro.core.report import (
+    AccuracySection,
+    ConfidentialitySection,
+    FACTReport,
+    TransparencySection,
+)
+from repro.core.scorecard import (
+    GreenScorecard,
+    build_scorecard,
+    score_accuracy,
+    score_confidentiality,
+    score_fairness,
+    score_transparency,
+)
+
+__all__ = [
+    "AccuracySection",
+    "ConfidentialitySection",
+    "FACTAuditor",
+    "FACTPolicy",
+    "FACTReport",
+    "GreenScorecard",
+    "TransparencySection",
+    "Violation",
+    "build_scorecard",
+    "score_accuracy",
+    "score_confidentiality",
+    "score_fairness",
+    "score_transparency",
+]

@@ -1,0 +1,267 @@
+"""The FACT auditor: one call, four pillars (S10).
+
+``FACTAuditor.audit`` takes a trained table model, held-out data, and
+(optionally) the pipeline trail and privacy accountant, and produces the
+full :class:`~repro.core.report.FACTReport`:
+
+* **Fairness** — the complete group audit of the model's decisions.
+* **Accuracy** — bootstrap intervals, calibration error, and (with a
+  calibration split) a conformal coverage check.
+* **Confidentiality** — disclosure-risk profile of the evaluation data,
+  leaked-column warnings, privacy-ledger summary.
+* **Transparency** — a distilled surrogate with its fidelity, the top
+  permutation-importance drivers, and the provenance/audit counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accuracy.bootstrap import bootstrap_paired_ci
+from repro.accuracy.conformal import SplitConformalClassifier
+from repro.confidentiality.accountant import PrivacyAccountant
+from repro.confidentiality.risk import assess_risk
+from repro.core.report import (
+    AccuracySection,
+    ConfidentialitySection,
+    FACTReport,
+    TransparencySection,
+)
+from repro.data.schema import ColumnRole
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.fairness.report import audit_model
+from repro.learn.calibration import expected_calibration_error
+from repro.learn.metrics import accuracy as accuracy_metric
+from repro.learn.metrics import roc_auc
+from repro.learn.table_model import TableClassifier
+from repro.pipeline.pipeline import PipelineResult
+from repro.transparency.importance import permutation_importance
+from repro.transparency.surrogate import fit_surrogate
+
+
+class FACTAuditor:
+    """Audits a model + dataset against all four FACT questions.
+
+    Parameters
+    ----------
+    conformal_alpha:
+        Miscoverage level for the conformal check (needs ``calibration``
+        data at audit time).
+    surrogate_depth:
+        Depth of the transparency surrogate tree.
+    n_bootstrap:
+        Resamples behind each accuracy interval.
+    top_features:
+        How many importance-ranked drivers the report lists.
+    """
+
+    def __init__(self, conformal_alpha: float = 0.1,
+                 surrogate_depth: int = 4,
+                 n_bootstrap: int = 500,
+                 top_features: int = 5):
+        self.conformal_alpha = conformal_alpha
+        self.surrogate_depth = surrogate_depth
+        self.n_bootstrap = n_bootstrap
+        self.top_features = top_features
+
+    def audit(self, model: TableClassifier, test: Table,
+              rng: np.random.Generator,
+              calibration: Table | None = None,
+              accountant: PrivacyAccountant | None = None,
+              pipeline_result: PipelineResult | None = None,
+              subject: str = "model") -> FACTReport:
+        """Produce the full FACT report."""
+        if test.n_rows < 10:
+            raise DataError("need at least 10 evaluation rows for an audit")
+        labels = model.labels(test)
+        probabilities = model.predict_proba(test)
+        decisions = (probabilities >= model.threshold).astype(np.float64)
+
+        fairness = audit_model(model, test)
+        accuracy_section = self._accuracy(
+            model, test, labels, probabilities, decisions, calibration, rng
+        )
+        confidentiality = self._confidentiality(test, accountant)
+        transparency = self._transparency(model, test, labels, rng,
+                                          pipeline_result)
+        notes = []
+        if calibration is None:
+            notes.append(
+                "no calibration split supplied: conformal guarantee not checked"
+            )
+        power_note = self._audit_power_note(fairness, test)
+        if power_note:
+            notes.append(power_note)
+        intersectional_note = self._intersectional_note(
+            test, decisions, fairness
+        )
+        if intersectional_note:
+            notes.append(intersectional_note)
+        return FACTReport(
+            subject=subject,
+            fairness=fairness,
+            accuracy=accuracy_section,
+            confidentiality=confidentiality,
+            transparency=transparency,
+            notes=notes,
+        )
+
+    # -- sections -----------------------------------------------------------
+
+    @staticmethod
+    def _intersectional_note(test: Table, decisions: np.ndarray,
+                             fairness) -> str | None:
+        """Cross several sensitive attributes when the schema declares them.
+
+        The headline fairness section audits one attribute; if more are
+        declared, the worst *intersection* may be worse than any
+        marginal — the report should say so rather than average it away.
+        """
+        names = test.schema.sensitive_names
+        if len(names) < 2:
+            return None
+        from repro.exceptions import FairnessError
+        from repro.fairness.intersectional import intersectional_audit
+
+        try:
+            report = intersectional_audit(
+                decisions,
+                {name: test.column(name) for name in names},
+            )
+        except FairnessError:
+            return None
+        worst = report.worst_cell
+        if report.max_gap > fairness.statistical_parity_difference + 0.02:
+            return (
+                f"intersectional gap exceeds the marginal one: worst cell "
+                f"{worst.describe()} selects at {worst.selection_rate:.2f} "
+                f"(gap {report.max_gap:.3f} vs marginal "
+                f"{fairness.statistical_parity_difference:.3f})"
+            )
+        return None
+
+    @staticmethod
+    def _audit_power_note(fairness, test: Table) -> str | None:
+        """Flag an underpowered fairness audit (Q2 applied to Q1).
+
+        A small test set can only *detect* large selection gaps; when the
+        minimum detectable gap exceeds what the four-fifths rule needs to
+        see, a "pass" is statistically meaningless and the report says so.
+        """
+        from repro.accuracy.power import minimum_detectable_gap
+
+        group = test.sensitive(fairness.sensitive)
+        sizes = [int((group == value).sum()) for value in fairness.groups]
+        smallest = min(sizes)
+        baseline = max(fairness.selection_rates.values())
+        if not 0.0 < baseline < 1.0 or smallest < 2:
+            return None
+        detectable = minimum_detectable_gap(smallest, baseline)
+        if np.isnan(detectable):
+            return (f"fairness audit severely underpowered: smallest group "
+                    f"has {smallest} rows")
+        # The gap the 4/5 rule cares about at this baseline rate.
+        material_gap = 0.2 * baseline
+        if detectable > material_gap:
+            return (
+                f"fairness audit underpowered: smallest group n={smallest} "
+                f"can only detect selection gaps >= {detectable:.3f}, but "
+                f"a four-fifths violation here is a gap of "
+                f"{material_gap:.3f}"
+            )
+        return None
+
+    def _accuracy(self, model, test, labels, probabilities, decisions,
+                  calibration, rng) -> AccuracySection:
+        acc_ci = bootstrap_paired_ci(
+            labels, decisions, accuracy_metric, rng,
+            n_resamples=self.n_bootstrap,
+        )
+        auc_ci = bootstrap_paired_ci(
+            labels, probabilities, roc_auc, rng, n_resamples=self.n_bootstrap
+        )
+        coverage = set_size = None
+        by_group: dict[object, float] = {}
+        if calibration is not None:
+            conformal = SplitConformalClassifier(
+                model.estimator, alpha=self.conformal_alpha
+            )
+            X_cal = model.encoder.transform(calibration)
+            conformal.calibrate(X_cal, model.labels(calibration))
+            X_test = model.encoder.transform(test)
+            coverage = conformal.coverage(X_test, labels)
+            set_size = conformal.mean_set_size(X_test)
+            # The E4b check: does the (marginal) guarantee hold within
+            # each protected group, or only on average?
+            if test.schema.sensitive_names:
+                group = test.sensitive(test.schema.sensitive_names[0])
+                sets = conformal.predict_sets(X_test)
+                covered = np.asarray([
+                    prediction_set.covers(label)
+                    for prediction_set, label in zip(sets, labels)
+                ])
+                by_group = {
+                    value: float(covered[group == value].mean())
+                    for value in np.unique(group)
+                    if (group == value).sum() >= 10
+                }
+        return AccuracySection(
+            accuracy=acc_ci,
+            auc=auc_ci,
+            expected_calibration_error=expected_calibration_error(
+                labels, probabilities
+            ),
+            conformal_alpha=self.conformal_alpha if coverage is not None else None,
+            conformal_coverage=coverage,
+            conformal_mean_set_size=set_size,
+            conformal_coverage_by_group=by_group,
+            n_test_rows=test.n_rows,
+        )
+
+    def _confidentiality(self, test: Table,
+                         accountant) -> ConfidentialitySection:
+        risk = None
+        if test.schema.quasi_identifier_names:
+            risk = assess_risk(test)
+        metadata = [
+            spec.name for spec in test.schema
+            if spec.role is ColumnRole.METADATA
+        ]
+        section = ConfidentialitySection(
+            risk=risk,
+            identifiers_present=test.schema.identifier_names,
+            metadata_present=metadata,
+        )
+        if accountant is not None:
+            section.epsilon_spent = accountant.epsilon_spent
+            section.epsilon_budget = accountant.epsilon_budget
+            section.ledger_entries = len(accountant.ledger)
+        return section
+
+    def _transparency(self, model, test, labels, rng,
+                      pipeline_result) -> TransparencySection:
+        X = model.encoder.transform(test)
+        fidelity = leaves = None
+        try:
+            surrogate = fit_surrogate(
+                model.estimator, X, max_depth=self.surrogate_depth
+            )
+            fidelity, leaves = surrogate.fidelity, surrogate.n_leaves
+        except DataError:
+            pass  # constant model: surrogate vacuous, reported as absent
+        importance = permutation_importance(
+            model.estimator, X, labels, rng, n_repeats=3,
+            feature_names=model.feature_names,
+        )
+        section = TransparencySection(
+            model_type=type(model.estimator).__name__,
+            surrogate_fidelity=fidelity,
+            surrogate_leaves=leaves,
+            top_features=importance.ranked()[:self.top_features],
+        )
+        if pipeline_result is not None:
+            graph = pipeline_result.context.provenance
+            section.provenance_steps = graph.n_steps if graph else 0
+            section.audit_events = len(pipeline_result.context.audit)
+        return section

@@ -1,0 +1,176 @@
+"""FACT policy constraints (S10).
+
+§4 asks: "How can FACT elements be embedded in our requirements?"  A
+:class:`FACTPolicy` is that embedding: declared limits, written at design
+time, checked mechanically against every :class:`FACTReport`.  With
+``enforce=True`` a violation stops the release
+(:class:`~repro.exceptions.PolicyViolation`); otherwise violations are
+returned for the review board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import FACTReport
+from repro.exceptions import PolicyViolation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed policy clause."""
+
+    pillar: str
+    clause: str
+    observed: float
+    limit: float
+
+    def render(self) -> str:
+        """Single-line description."""
+        return (f"[{self.pillar}] {self.clause}: observed {self.observed:.4g}, "
+                f"limit {self.limit:.4g}")
+
+
+@dataclass
+class FACTPolicy:
+    """Declared FACT requirements for a decision system.
+
+    ``None`` disables a clause.  Defaults encode a reasonable review
+    baseline: the four-fifths rule, a 10-point odds gap, 5% calibration
+    error, conformal coverage within 3 points of nominal, no unique rows
+    on quasi-identifiers, and a surrogate at least 85% faithful.
+    """
+
+    name: str = "default-fact-policy"
+    min_disparate_impact: float | None = 0.8
+    max_equalized_odds_difference: float | None = 0.10
+    max_statistical_parity_difference: float | None = None
+    max_calibration_error: float | None = 0.05
+    max_conformal_coverage_shortfall: float | None = 0.03
+    max_unique_row_fraction: float | None = 0.0
+    max_epsilon: float | None = None
+    forbid_raw_identifiers: bool = True
+    min_surrogate_fidelity: float | None = 0.85
+    notes: list[str] = field(default_factory=list)
+
+    def check(self, report: FACTReport) -> list[Violation]:
+        """All clauses violated by ``report`` (empty = compliant)."""
+        violations: list[Violation] = []
+
+        def add(pillar: str, clause: str, observed: float, limit: float,
+                bad: bool) -> None:
+            if bad:
+                violations.append(Violation(pillar, clause, observed, limit))
+
+        fairness = report.fairness
+        if self.min_disparate_impact is not None:
+            add("fairness", "disparate impact ratio below minimum",
+                fairness.disparate_impact_ratio, self.min_disparate_impact,
+                fairness.disparate_impact_ratio < self.min_disparate_impact)
+        if self.max_equalized_odds_difference is not None:
+            add("fairness", "equalized odds difference above maximum",
+                fairness.equalized_odds_difference,
+                self.max_equalized_odds_difference,
+                fairness.equalized_odds_difference
+                > self.max_equalized_odds_difference)
+        if self.max_statistical_parity_difference is not None:
+            add("fairness", "statistical parity difference above maximum",
+                fairness.statistical_parity_difference,
+                self.max_statistical_parity_difference,
+                fairness.statistical_parity_difference
+                > self.max_statistical_parity_difference)
+
+        accuracy = report.accuracy
+        if self.max_calibration_error is not None:
+            add("accuracy", "expected calibration error above maximum",
+                accuracy.expected_calibration_error,
+                self.max_calibration_error,
+                accuracy.expected_calibration_error > self.max_calibration_error)
+        if (self.max_conformal_coverage_shortfall is not None
+                and accuracy.conformal_coverage is not None):
+            nominal = 1.0 - accuracy.conformal_alpha
+            shortfall = nominal - accuracy.conformal_coverage
+            add("accuracy", "conformal coverage below nominal",
+                shortfall, self.max_conformal_coverage_shortfall,
+                shortfall > self.max_conformal_coverage_shortfall)
+
+        confidentiality = report.confidentiality
+        if self.forbid_raw_identifiers and confidentiality.identifiers_present:
+            add("confidentiality", "raw identifier columns present",
+                float(len(confidentiality.identifiers_present)), 0.0, True)
+        if (self.max_unique_row_fraction is not None
+                and confidentiality.risk is not None):
+            add("confidentiality", "unique quasi-identifier rows above maximum",
+                confidentiality.risk.unique_row_fraction,
+                self.max_unique_row_fraction,
+                confidentiality.risk.unique_row_fraction
+                > self.max_unique_row_fraction)
+        if (self.max_epsilon is not None
+                and confidentiality.epsilon_spent is not None):
+            add("confidentiality", "privacy spend above maximum",
+                confidentiality.epsilon_spent, self.max_epsilon,
+                confidentiality.epsilon_spent > self.max_epsilon)
+
+        transparency = report.transparency
+        if (self.min_surrogate_fidelity is not None
+                and transparency.surrogate_fidelity is not None):
+            add("transparency", "surrogate fidelity below minimum",
+                transparency.surrogate_fidelity, self.min_surrogate_fidelity,
+                transparency.surrogate_fidelity < self.min_surrogate_fidelity)
+        return violations
+
+    def enforce(self, report: FACTReport) -> None:
+        """Raise :class:`PolicyViolation` listing any failed clauses."""
+        violations = self.check(report)
+        if violations:
+            rendered = "; ".join(violation.render() for violation in violations)
+            raise PolicyViolation(
+                f"policy {self.name!r}: {len(violations)} violation(s): {rendered}"
+            )
+
+    def render(self) -> str:
+        """The policy as a requirements document (markdown).
+
+        §4 of the paper asks "How can FACT elements be embedded in our
+        requirements?"  This rendering is the embedding: the declared
+        limits, readable by the review board, checkable by the auditor.
+        """
+        lines = [f"# FACT requirements: {self.name}", ""]
+
+        def clause(pillar: str, text: str, value) -> None:
+            if value is not None and value is not False:
+                lines.append(f"- **[{pillar}]** {text.format(value=value)}")
+
+        clause("fairness",
+               "disparate-impact ratio must be at least {value:g}",
+               self.min_disparate_impact)
+        clause("fairness",
+               "equalized-odds difference must not exceed {value:g}",
+               self.max_equalized_odds_difference)
+        clause("fairness",
+               "statistical-parity difference must not exceed {value:g}",
+               self.max_statistical_parity_difference)
+        clause("accuracy",
+               "expected calibration error must not exceed {value:g}",
+               self.max_calibration_error)
+        clause("accuracy",
+               "conformal coverage may fall short of nominal by at most "
+               "{value:g}", self.max_conformal_coverage_shortfall)
+        clause("confidentiality",
+               "at most a {value:g} fraction of rows may be unique on "
+               "quasi-identifiers", self.max_unique_row_fraction)
+        clause("confidentiality",
+               "total privacy spend must not exceed epsilon = {value:g}",
+               self.max_epsilon)
+        if self.forbid_raw_identifiers:
+            lines.append(
+                "- **[confidentiality]** no raw identifier columns may reach "
+                "evaluation or release"
+            )
+        clause("transparency",
+               "a surrogate explanation must reach fidelity {value:g}",
+               self.min_surrogate_fidelity)
+        if self.notes:
+            lines.append("")
+            lines += [f"> {note}" for note in self.notes]
+        return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""The FACT report: one artefact answering all four questions (S10).
+
+A :class:`FACTReport` has one section per pillar.  Sections are plain
+dataclasses so they serialise and diff cleanly; ``render()`` produces the
+document a review board would read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accuracy.bootstrap import IntervalEstimate
+from repro.confidentiality.risk import RiskProfile
+from repro.fairness.report import FairnessReport
+
+
+@dataclass
+class AccuracySection:
+    """Q2: every headline number with its uncertainty."""
+
+    accuracy: IntervalEstimate
+    auc: IntervalEstimate
+    expected_calibration_error: float
+    conformal_alpha: float | None = None
+    conformal_coverage: float | None = None
+    conformal_mean_set_size: float | None = None
+    conformal_coverage_by_group: dict[object, float] = field(
+        default_factory=dict
+    )
+    n_test_rows: int = 0
+
+    @property
+    def conformal_group_coverage_gap(self) -> float | None:
+        """max - min per-group coverage (the E4b fairness-of-certainty gap)."""
+        if not self.conformal_coverage_by_group:
+            return None
+        values = list(self.conformal_coverage_by_group.values())
+        return float(max(values) - min(values))
+
+    def render(self) -> str:
+        """Section text."""
+        lines = [
+            "ACCURACY (Q2)",
+            f"  accuracy: {self.accuracy}",
+            f"  roc auc:  {self.auc}",
+            f"  expected calibration error: {self.expected_calibration_error:.4f}",
+        ]
+        if self.conformal_coverage is not None:
+            lines.append(
+                f"  conformal guarantee: nominal {1.0 - self.conformal_alpha:.0%}"
+                f" -> empirical {self.conformal_coverage:.1%}"
+                f" (mean set size {self.conformal_mean_set_size:.2f})"
+            )
+        if self.conformal_coverage_by_group:
+            rendered = ", ".join(
+                f"{group}={coverage:.1%}"
+                for group, coverage in self.conformal_coverage_by_group.items()
+            )
+            lines.append(
+                f"  conformal coverage by group: {rendered} "
+                f"(gap {self.conformal_group_coverage_gap:.3f})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ConfidentialitySection:
+    """Q3: what the pipeline exposes and what it spent."""
+
+    risk: RiskProfile | None = None
+    identifiers_present: list[str] = field(default_factory=list)
+    metadata_present: list[str] = field(default_factory=list)
+    epsilon_spent: float | None = None
+    epsilon_budget: float | None = None
+    ledger_entries: int = 0
+
+    def render(self) -> str:
+        """Section text."""
+        lines = ["CONFIDENTIALITY (Q3)"]
+        if self.identifiers_present:
+            lines.append(
+                f"  WARNING: raw identifier columns present: {self.identifiers_present}"
+            )
+        if self.metadata_present:
+            lines.append(
+                f"  WARNING: oracle/metadata columns present: {self.metadata_present}"
+            )
+        if self.risk is not None:
+            lines.append(f"  {self.risk.render()}")
+        if self.epsilon_budget is not None:
+            lines.append(
+                f"  privacy budget: ε {self.epsilon_spent:.4g}/"
+                f"{self.epsilon_budget:.4g} spent over {self.ledger_entries} releases"
+            )
+        if len(lines) == 1:
+            lines.append("  no confidentiality mechanisms engaged")
+        return "\n".join(lines)
+
+
+@dataclass
+class TransparencySection:
+    """Q4: how explainable the decision process is."""
+
+    model_type: str = "unknown"
+    surrogate_fidelity: float | None = None
+    surrogate_leaves: int | None = None
+    top_features: list[tuple[str, float]] = field(default_factory=list)
+    provenance_steps: int | None = None
+    audit_events: int | None = None
+
+    def render(self) -> str:
+        """Section text."""
+        lines = ["TRANSPARENCY (Q4)", f"  model: {self.model_type}"]
+        if self.surrogate_fidelity is not None:
+            lines.append(
+                f"  surrogate: fidelity {self.surrogate_fidelity:.3f} "
+                f"with {self.surrogate_leaves} rules"
+            )
+        if self.top_features:
+            rendered = ", ".join(
+                f"{name} ({value:+.3f})" for name, value in self.top_features
+            )
+            lines.append(f"  top drivers: {rendered}")
+        if self.provenance_steps is not None:
+            lines.append(
+                f"  provenance: {self.provenance_steps} recorded steps, "
+                f"{self.audit_events} audit events"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FACTReport:
+    """The four pillars, audited, in one document."""
+
+    subject: str
+    fairness: FairnessReport
+    accuracy: AccuracySection
+    confidentiality: ConfidentialitySection
+    transparency: TransparencySection
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full report as text."""
+        parts = [
+            f"=== FACT report: {self.subject} ===",
+            "FAIRNESS (Q1)",
+            _indent(self.fairness.render()),
+            self.accuracy.render(),
+            self.confidentiality.render(),
+            self.transparency.render(),
+        ]
+        if self.notes:
+            parts.append("NOTES")
+            parts += [f"  - {note}" for note in self.notes]
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """The report as a JSON-serialisable dict (for dashboards/CI).
+
+        Scalars only — the renderable prose stays in :meth:`render`.
+        """
+        confidentiality = self.confidentiality
+        return {
+            "subject": self.subject,
+            "fairness": {
+                "sensitive": self.fairness.sensitive,
+                "selection_rates": {
+                    str(group): rate
+                    for group, rate in self.fairness.selection_rates.items()
+                },
+                "passes_four_fifths": self.fairness.passes_four_fifths,
+                **self.fairness.summary(),
+            },
+            "accuracy": {
+                "accuracy": self.accuracy.accuracy.estimate,
+                "accuracy_ci": [self.accuracy.accuracy.lower,
+                                self.accuracy.accuracy.upper],
+                "auc": self.accuracy.auc.estimate,
+                "auc_ci": [self.accuracy.auc.lower, self.accuracy.auc.upper],
+                "expected_calibration_error":
+                    self.accuracy.expected_calibration_error,
+                "conformal_coverage": self.accuracy.conformal_coverage,
+                "conformal_group_coverage_gap":
+                    self.accuracy.conformal_group_coverage_gap,
+                "n_test_rows": self.accuracy.n_test_rows,
+            },
+            "confidentiality": {
+                "identifiers_present": list(confidentiality.identifiers_present),
+                "metadata_present": list(confidentiality.metadata_present),
+                "epsilon_spent": confidentiality.epsilon_spent,
+                "epsilon_budget": confidentiality.epsilon_budget,
+                "prosecutor_risk": (
+                    confidentiality.risk.prosecutor_risk
+                    if confidentiality.risk else None
+                ),
+                "unique_row_fraction": (
+                    confidentiality.risk.unique_row_fraction
+                    if confidentiality.risk else None
+                ),
+            },
+            "transparency": {
+                "model_type": self.transparency.model_type,
+                "surrogate_fidelity": self.transparency.surrogate_fidelity,
+                "surrogate_leaves": self.transparency.surrogate_leaves,
+                "provenance_steps": self.transparency.provenance_steps,
+                "top_features": [
+                    [name, value]
+                    for name, value in self.transparency.top_features
+                ],
+            },
+            "notes": list(self.notes),
+        }
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,123 @@
+"""The green-data-science scorecard (S10).
+
+§3 coins "green data science" for solutions that deliver value "while
+ensuring Fairness, Accuracy, Confidentiality, and Transparency" and calls
+discrimination, privacy invasion, opaque decisions and inaccurate
+conclusions new forms of "pollution".  The scorecard turns a
+:class:`FACTReport` into four 0–100 pollution-free scores and a grade —
+coarse by design, because its job is to make regressions impossible to
+miss, not to rank decimal points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import FACTReport
+
+
+@dataclass(frozen=True)
+class GreenScorecard:
+    """Per-pillar scores (0 = maximally polluting, 100 = clean)."""
+
+    fairness: float
+    accuracy: float
+    confidentiality: float
+    transparency: float
+
+    @property
+    def overall(self) -> float:
+        """The minimum pillar score: one polluted pillar poisons the well."""
+        return min(self.fairness, self.accuracy,
+                   self.confidentiality, self.transparency)
+
+    @property
+    def grade(self) -> str:
+        """Letter grade on the overall score."""
+        score = self.overall
+        if score >= 90:
+            return "A"
+        if score >= 75:
+            return "B"
+        if score >= 60:
+            return "C"
+        if score >= 40:
+            return "D"
+        return "F"
+
+    def render(self) -> str:
+        """One-screen scorecard."""
+        return "\n".join([
+            f"green data science scorecard  (grade {self.grade})",
+            f"  fairness        {self.fairness:5.1f}",
+            f"  accuracy        {self.accuracy:5.1f}",
+            f"  confidentiality {self.confidentiality:5.1f}",
+            f"  transparency    {self.transparency:5.1f}",
+            f"  overall (min)   {self.overall:5.1f}",
+        ])
+
+
+def _clamp(value: float) -> float:
+    return float(max(0.0, min(100.0, value)))
+
+
+def score_fairness(report: FACTReport) -> float:
+    """100 at disparate-impact ratio 1 and zero odds gap; 0 at DI 0.5."""
+    di = report.fairness.disparate_impact_ratio
+    odds = report.fairness.equalized_odds_difference
+    di_score = (di - 0.5) / 0.5 * 100.0
+    odds_score = (1.0 - odds / 0.4) * 100.0
+    return _clamp(min(di_score, odds_score))
+
+
+def score_accuracy(report: FACTReport) -> float:
+    """Penalises wide intervals, mis-calibration, broken conformal coverage."""
+    section = report.accuracy
+    width_penalty = section.accuracy.width * 250.0          # 0.08 wide -> -20
+    ece_penalty = section.expected_calibration_error * 400.0  # 0.05 -> -20
+    coverage_penalty = 0.0
+    if section.conformal_coverage is not None:
+        nominal = 1.0 - section.conformal_alpha
+        shortfall = max(0.0, nominal - section.conformal_coverage)
+        coverage_penalty = shortfall * 1000.0               # 2pt shortfall -> -20
+    return _clamp(100.0 - width_penalty - ece_penalty - coverage_penalty)
+
+
+def score_confidentiality(report: FACTReport) -> float:
+    """Penalises raw identifiers, oracle leaks, high linkage risk, blown budgets."""
+    section = report.confidentiality
+    score = 100.0
+    if section.identifiers_present:
+        score -= 50.0
+    if section.metadata_present:
+        score -= 20.0
+    if section.risk is not None:
+        score -= section.risk.unique_row_fraction * 60.0
+        score -= max(0.0, section.risk.prosecutor_risk - 0.2) * 50.0
+    if section.epsilon_budget is not None and section.epsilon_spent is not None:
+        if section.epsilon_spent > section.epsilon_budget:
+            score -= 40.0
+    return _clamp(score)
+
+
+def score_transparency(report: FACTReport) -> float:
+    """Rewards faithful small surrogates and recorded provenance."""
+    section = report.transparency
+    score = 40.0
+    if section.surrogate_fidelity is not None:
+        score += section.surrogate_fidelity * 40.0
+        if section.surrogate_leaves is not None and section.surrogate_leaves > 32:
+            score -= 10.0
+    if section.provenance_steps:
+        score += 20.0
+    return _clamp(score)
+
+
+def build_scorecard(report: FACTReport) -> GreenScorecard:
+    """Score all four pillars of a FACT report."""
+    return GreenScorecard(
+        fairness=score_fairness(report),
+        accuracy=score_accuracy(report),
+        confidentiality=score_confidentiality(report),
+        transparency=score_transparency(report),
+    )

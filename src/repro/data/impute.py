@@ -1,0 +1,94 @@
+"""Missing-value imputation.
+
+"Each step in the data science pipeline may create inaccuracies" — and
+imputation is a step, so it is implemented as a fitted, provenance-able
+transformation: statistics are learned on the training table and applied
+unchanged to evaluation data (imputing test data with its own statistics
+is a subtle leak).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError, NotFittedError
+
+MISSING_CATEGORY = ""
+
+
+class SimpleImputer:
+    """Mean (numeric) / mode (categorical) imputation with fitted state.
+
+    Numeric missing values are NaN; categorical missing values are the
+    empty string (what :func:`repro.data.io.read_csv` produces for empty
+    cells in categorical columns).
+    """
+
+    def __init__(self, strategy: str = "mean"):
+        if strategy not in ("mean", "median"):
+            raise DataError("strategy must be 'mean' or 'median'")
+        self.strategy = strategy
+        self._fill: dict[str, object] = {}
+        self._fitted = False
+
+    def fit(self, table: Table) -> "SimpleImputer":
+        """Learn one fill value per column from ``table``."""
+        self._fill = {}
+        for spec in table.schema:
+            values = table.column(spec.name)
+            if spec.ctype is ColumnType.NUMERIC:
+                observed = values[~np.isnan(values)]
+                if len(observed) == 0:
+                    self._fill[spec.name] = 0.0
+                elif self.strategy == "mean":
+                    self._fill[spec.name] = float(observed.mean())
+                else:
+                    self._fill[spec.name] = float(np.median(observed))
+            else:
+                observed_mask = values != MISSING_CATEGORY
+                if not observed_mask.any():
+                    self._fill[spec.name] = "unknown"
+                else:
+                    levels, counts = np.unique(
+                        values[observed_mask], return_counts=True
+                    )
+                    self._fill[spec.name] = levels[int(np.argmax(counts))]
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        """Fill missing entries with the learned statistics."""
+        if not self._fitted:
+            raise NotFittedError("SimpleImputer must be fit before transform")
+        result = table
+        for spec in table.schema:
+            if spec.name not in self._fill:
+                raise DataError(f"column {spec.name!r} unseen at fit time")
+            values = table.column(spec.name)
+            if spec.ctype is ColumnType.NUMERIC:
+                mask = np.isnan(values)
+            else:
+                mask = values == MISSING_CATEGORY
+            if not mask.any():
+                continue
+            filled = values.copy()
+            filled[mask] = self._fill[spec.name]
+            result = result.with_column(spec, filled)
+        return result
+
+    def fit_transform(self, table: Table) -> Table:
+        """Fit then transform in one step."""
+        return self.fit(table).transform(table)
+
+    def missingness_report(self, table: Table) -> dict[str, float]:
+        """Per-column missing fractions (for the datasheet)."""
+        report = {}
+        for spec in table.schema:
+            values = table.column(spec.name)
+            if spec.ctype is ColumnType.NUMERIC:
+                report[spec.name] = float(np.mean(np.isnan(values)))
+            else:
+                report[spec.name] = float(np.mean(values == MISSING_CATEGORY))
+        return report

@@ -1,0 +1,127 @@
+"""CSV persistence for :class:`repro.data.table.Table`.
+
+A deliberately small reader/writer: enough to round-trip generated
+datasets and to ingest external CSVs into the pipeline's first stage.
+Schema metadata (column roles) is persisted in an optional sidecar header
+comment so that FACT annotations survive the round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+
+from repro.data.schema import ColumnRole, ColumnSpec, ColumnType, Schema
+from repro.data.table import Table, _infer_ctype
+from repro.exceptions import DataError
+
+_ROLE_PREFIX = "#repro-roles:"
+_TYPE_PREFIX = "#repro-types:"
+
+
+def write_csv(table: Table, path: str | os.PathLike,
+              with_metadata: bool = True) -> None:
+    """Write ``table`` to ``path`` as CSV.
+
+    With ``with_metadata`` (the default) two comment lines record column
+    types and FACT roles so :func:`read_csv` restores the exact schema.
+    """
+    with open(path, "w", newline="") as handle:
+        if with_metadata:
+            types = ",".join(spec.ctype.value for spec in table.schema)
+            roles = ",".join(spec.role.value for spec in table.schema)
+            handle.write(f"{_TYPE_PREFIX}{types}\n")
+            handle.write(f"{_ROLE_PREFIX}{roles}\n")
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        arrays = table.columns(table.column_names)
+        for index in range(table.n_rows):
+            writer.writerow([array[index] for array in arrays])
+
+
+def read_csv(path: str | os.PathLike, schema: Schema | None = None) -> Table:
+    """Read a CSV written by :func:`write_csv` (or any plain CSV).
+
+    Precedence for the schema: an explicit ``schema`` argument, then the
+    metadata comment lines, then type inference per column.
+    """
+    with open(path, newline="") as handle:
+        return _read(handle, schema)
+
+
+def read_csv_string(text: str, schema: Schema | None = None) -> Table:
+    """Parse CSV from a string (used by tests and examples)."""
+    return _read(io.StringIO(text), schema)
+
+
+def _read(handle, schema: Schema | None) -> Table:
+    types_line = roles_line = None
+    position = handle.tell()
+    line = handle.readline()
+    while line.startswith((_TYPE_PREFIX, _ROLE_PREFIX)):
+        if line.startswith(_TYPE_PREFIX):
+            types_line = line[len(_TYPE_PREFIX):].strip()
+        else:
+            roles_line = line[len(_ROLE_PREFIX):].strip()
+        position = handle.tell()
+        line = handle.readline()
+    handle.seek(position)
+
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise DataError("CSV file is empty") from None
+    rows = [row for row in reader if row]
+    for row in rows:
+        if len(row) != len(header):
+            raise DataError(
+                f"row has {len(row)} fields, header has {len(header)}"
+            )
+    raw = {
+        name: [row[index] for row in rows] for index, name in enumerate(header)
+    }
+
+    if schema is None:
+        schema = _build_schema(header, raw, types_line, roles_line)
+    data = {}
+    for spec in schema:
+        values = raw[spec.name]
+        if spec.ctype is ColumnType.NUMERIC:
+            data[spec.name] = [float(value) if value != "" else float("nan")
+                               for value in values]
+        else:
+            data[spec.name] = values
+    return Table(schema, data)
+
+
+def _build_schema(header: list[str], raw: dict[str, list[str]],
+                  types_line: str | None, roles_line: str | None) -> Schema:
+    if types_line is not None:
+        ctypes = [ColumnType(value) for value in types_line.split(",")]
+    else:
+        ctypes = [_infer_csv_type(raw[name]) for name in header]
+    if roles_line is not None:
+        roles = [ColumnRole(value) for value in roles_line.split(",")]
+    else:
+        roles = [ColumnRole.FEATURE] * len(header)
+    if len(ctypes) != len(header) or len(roles) != len(header):
+        raise DataError("metadata lines do not match header width")
+    return Schema(
+        [ColumnSpec(name, ctype, role)
+         for name, ctype, role in zip(header, ctypes, roles)]
+    )
+
+
+def _infer_csv_type(values: list[str]) -> ColumnType:
+    """Numeric if every non-empty cell parses as a float."""
+    non_empty = [value for value in values if value != ""]
+    if not non_empty:
+        return ColumnType.CATEGORICAL
+    try:
+        for value in non_empty:
+            float(value)
+    except ValueError:
+        return ColumnType.CATEGORICAL
+    return _infer_ctype([float(value) for value in non_empty])

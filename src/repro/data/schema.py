@@ -1,0 +1,165 @@
+"""Column schemas with FACT-relevant role annotations.
+
+The paper argues that responsibility must be designed in "already during
+the requirements and design phases".  The schema is where that starts: a
+column is not just a name and a dtype, it also carries a *role* that the
+rest of the toolkit keys off — which attribute is legally sensitive, which
+columns could serve as quasi-identifiers for a linkage attack, which one is
+the decision target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Storage/semantic type of a column."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+class ColumnRole(enum.Enum):
+    """FACT role of a column inside a dataset.
+
+    * ``FEATURE`` — ordinary model input.
+    * ``TARGET`` — the decision / response variable.
+    * ``SENSITIVE`` — protected attribute (fairness pillar); excluded from
+      model inputs by default but required for audits.
+    * ``IDENTIFIER`` — directly identifying (confidentiality pillar); never
+      a model input, pseudonymised before sharing.
+    * ``QUASI_IDENTIFIER`` — indirectly identifying in combination
+      (k-anonymity, linkage attacks).
+    * ``METADATA`` — carried along but ignored by models and audits.
+    """
+
+    FEATURE = "feature"
+    TARGET = "target"
+    SENSITIVE = "sensitive"
+    IDENTIFIER = "identifier"
+    QUASI_IDENTIFIER = "quasi_identifier"
+    METADATA = "metadata"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declaration of a single column: name, type and FACT role."""
+
+    name: str
+    ctype: ColumnType = ColumnType.NUMERIC
+    role: ColumnRole = ColumnRole.FEATURE
+    description: str = ""
+
+    def with_role(self, role: ColumnRole) -> "ColumnSpec":
+        """Return a copy of this spec with a different role."""
+        return ColumnSpec(self.name, self.ctype, role, self.description)
+
+
+@dataclass
+class Schema:
+    """Ordered collection of :class:`ColumnSpec` for a table."""
+
+    columns: list[ColumnSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+
+    # -- lookup ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise SchemaError(f"no column named {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [spec.name for spec in self.columns]
+
+    def _names_with_role(self, role: ColumnRole) -> list[str]:
+        return [spec.name for spec in self.columns if spec.role is role]
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Names of ordinary model-input columns."""
+        return self._names_with_role(ColumnRole.FEATURE)
+
+    @property
+    def sensitive_names(self) -> list[str]:
+        """Names of protected attributes."""
+        return self._names_with_role(ColumnRole.SENSITIVE)
+
+    @property
+    def quasi_identifier_names(self) -> list[str]:
+        """Names of quasi-identifying columns."""
+        return self._names_with_role(ColumnRole.QUASI_IDENTIFIER)
+
+    @property
+    def identifier_names(self) -> list[str]:
+        """Names of directly identifying columns."""
+        return self._names_with_role(ColumnRole.IDENTIFIER)
+
+    @property
+    def target_name(self) -> str | None:
+        """Name of the target column, or ``None`` if undeclared."""
+        targets = self._names_with_role(ColumnRole.TARGET)
+        if not targets:
+            return None
+        if len(targets) > 1:
+            raise SchemaError(f"multiple target columns declared: {targets}")
+        return targets[0]
+
+    # -- derivation --------------------------------------------------------
+
+    def select(self, names: list[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema([self[name] for name in names])
+
+    def drop(self, names: list[str]) -> "Schema":
+        """Schema without the listed columns."""
+        missing = [name for name in names if name not in self]
+        if missing:
+            raise SchemaError(f"cannot drop unknown columns: {missing}")
+        dropped = set(names)
+        return Schema([spec for spec in self.columns if spec.name not in dropped])
+
+    def with_column(self, spec: ColumnSpec) -> "Schema":
+        """Schema with an extra column appended (or replaced in place)."""
+        if spec.name in self:
+            return Schema(
+                [spec if old.name == spec.name else old for old in self.columns]
+            )
+        return Schema([*self.columns, spec])
+
+    def with_role(self, name: str, role: ColumnRole) -> "Schema":
+        """Schema with one column's role changed."""
+        return self.with_column(self[name].with_role(role))
+
+
+def numeric(name: str, role: ColumnRole = ColumnRole.FEATURE,
+            description: str = "") -> ColumnSpec:
+    """Shorthand for a numeric :class:`ColumnSpec`."""
+    return ColumnSpec(name, ColumnType.NUMERIC, role, description)
+
+
+def categorical(name: str, role: ColumnRole = ColumnRole.FEATURE,
+                description: str = "") -> ColumnSpec:
+    """Shorthand for a categorical :class:`ColumnSpec`."""
+    return ColumnSpec(name, ColumnType.CATEGORICAL, role, description)

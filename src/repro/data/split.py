@@ -1,0 +1,100 @@
+"""Train/test/calibration splits and cross-validation folds.
+
+All splitters take an explicit :class:`numpy.random.Generator` so every
+experiment in the benchmark harness is exactly reproducible — the paper's
+accuracy pillar starts with controlling one's own randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+def train_test_split(table: Table, test_fraction: float,
+                     rng: np.random.Generator,
+                     stratify_by: str | None = None) -> tuple[Table, Table]:
+    """Split ``table`` into a train and a test table.
+
+    With ``stratify_by`` the split preserves the marginal distribution of
+    that column in both parts (important when auditing small protected
+    groups: a plain split can leave a group absent from the test set).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if table.n_rows < 2:
+        raise DataError("need at least 2 rows to split")
+    if stratify_by is None:
+        indices = rng.permutation(table.n_rows)
+        n_test = max(1, int(round(table.n_rows * test_fraction)))
+        n_test = min(n_test, table.n_rows - 1)
+        return table.take(indices[n_test:]), table.take(indices[:n_test])
+
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for indices in table.group_indices(stratify_by).values():
+        shuffled = rng.permutation(indices)
+        n_test = int(round(len(shuffled) * test_fraction))
+        test_parts.append(shuffled[:n_test])
+        train_parts.append(shuffled[n_test:])
+    train_idx = rng.permutation(np.concatenate(train_parts))
+    test_idx = rng.permutation(np.concatenate(test_parts))
+    if len(train_idx) == 0 or len(test_idx) == 0:
+        raise DataError("stratified split produced an empty part")
+    return table.take(train_idx), table.take(test_idx)
+
+
+def three_way_split(table: Table, test_fraction: float,
+                    calibration_fraction: float,
+                    rng: np.random.Generator,
+                    stratify_by: str | None = None,
+                    ) -> tuple[Table, Table, Table]:
+    """Split into (train, calibration, test).
+
+    The calibration part feeds split-conformal prediction (experiment E4):
+    accuracy guarantees require data the model never trained on.
+    """
+    if test_fraction + calibration_fraction >= 1.0:
+        raise DataError("test + calibration fractions must leave room for training")
+    rest, test = train_test_split(table, test_fraction, rng, stratify_by)
+    relative = calibration_fraction / (1.0 - test_fraction)
+    train, calibration = train_test_split(rest, relative, rng, stratify_by)
+    return train, calibration, test
+
+
+def k_fold_indices(n_rows: int, n_folds: int,
+                   rng: np.random.Generator) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Index pairs ``(train_idx, test_idx)`` for k-fold cross-validation."""
+    if n_folds < 2:
+        raise DataError(f"need at least 2 folds, got {n_folds}")
+    if n_folds > n_rows:
+        raise DataError(f"cannot make {n_folds} folds from {n_rows} rows")
+    permutation = rng.permutation(n_rows)
+    folds = np.array_split(permutation, n_folds)
+    pairs = []
+    for held_out in range(n_folds):
+        test_idx = folds[held_out]
+        train_idx = np.concatenate(
+            [fold for index, fold in enumerate(folds) if index != held_out]
+        )
+        pairs.append((train_idx, test_idx))
+    return pairs
+
+
+def k_fold(table: Table, n_folds: int,
+           rng: np.random.Generator) -> list[tuple[Table, Table]]:
+    """K-fold cross-validation splits as (train, test) table pairs."""
+    return [
+        (table.take(train_idx), table.take(test_idx))
+        for train_idx, test_idx in k_fold_indices(table.n_rows, n_folds, rng)
+    ]
+
+
+def bootstrap_indices(n_rows: int, n_resamples: int,
+                      rng: np.random.Generator) -> list[np.ndarray]:
+    """Index arrays for ``n_resamples`` bootstrap resamples of size ``n_rows``."""
+    if n_rows == 0:
+        raise DataError("cannot bootstrap an empty table")
+    return [rng.integers(0, n_rows, size=n_rows) for _ in range(n_resamples)]

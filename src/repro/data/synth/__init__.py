@@ -1,0 +1,40 @@
+"""Synthetic dataset generators with known ground truth and injectable bias."""
+
+from repro.data.synth.adexperiment import AdCampaignGenerator
+from repro.data.synth.base import SyntheticGenerator, bernoulli, choose, sigmoid
+from repro.data.synth.bias import (
+    BiasRecord,
+    add_categorical_proxy,
+    add_numeric_proxy,
+    inject_label_bias,
+    inject_selection_bias,
+    inject_underrepresentation,
+)
+from repro.data.synth.census import CensusIncomeGenerator
+from repro.data.synth.credit import CreditScoringGenerator
+from repro.data.synth.events import INTERNET_MINUTE_VOLUMES, InternetMinuteGenerator
+from repro.data.synth.hiring import HiringFunnelGenerator
+from repro.data.synth.recidivism import RecidivismGenerator
+from repro.data.synth.simpson import AdmissionsGenerator, TreatmentParadoxGenerator
+
+__all__ = [
+    "INTERNET_MINUTE_VOLUMES",
+    "AdCampaignGenerator",
+    "AdmissionsGenerator",
+    "BiasRecord",
+    "CensusIncomeGenerator",
+    "CreditScoringGenerator",
+    "HiringFunnelGenerator",
+    "InternetMinuteGenerator",
+    "RecidivismGenerator",
+    "SyntheticGenerator",
+    "TreatmentParadoxGenerator",
+    "add_categorical_proxy",
+    "add_numeric_proxy",
+    "bernoulli",
+    "choose",
+    "inject_label_bias",
+    "inject_selection_bias",
+    "inject_underrepresentation",
+    "sigmoid",
+]

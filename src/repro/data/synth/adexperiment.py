@@ -1,0 +1,152 @@
+"""Advertising-measurement generator (Gordon et al. 2016 scenario).
+
+The paper: "their outcomes might still be far away from the results one
+would obtain with a randomized controlled trial as was recently
+illustrated by Gordon et al. (2016)".  We cannot re-run Facebook's field
+experiments, so we build the closest synthetic equivalent: one population
+with a *known* true ad effect, observed either through an RCT (random
+exposure) or through a confounded observational study (exposure targeted
+at likely purchasers).  E6 then measures how close naive, PSM, IPW and
+AIPW estimates come to the RCT / ground truth — reproducing exactly the
+gap Gordon et al. report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, numeric
+from repro.data.synth.base import SyntheticGenerator, bernoulli, sigmoid
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+class AdCampaignGenerator(SyntheticGenerator):
+    """Users with covariates, a known ad lift, and two exposure regimes.
+
+    Parameters
+    ----------
+    true_lift:
+        Additive effect of exposure on the purchase log-odds (ground truth).
+    confounding:
+        How strongly observational exposure targets users who would buy
+        anyway (0 = exposure random even observationally).
+    hidden_confounding:
+        Weight of a covariate the analyst does *not* observe; with > 0 the
+        adjusted observational estimates stay biased — the Gordon et al.
+        headline finding.
+    """
+
+    name = "ad_campaign"
+
+    def __init__(self, true_lift: float = 0.4,
+                 confounding: float = 1.2,
+                 hidden_confounding: float = 0.0,
+                 base_rate_shift: float = -1.4):
+        self.true_lift = true_lift
+        self.confounding = confounding
+        self.hidden_confounding = hidden_confounding
+        self.base_rate_shift = base_rate_shift
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            numeric("activity", description="site engagement score"),
+            numeric("past_purchases"),
+            numeric("ad_affinity", description="interest match with campaign"),
+            numeric("hidden_intent", role=ColumnRole.METADATA,
+                    description="latent purchase intent (unobserved)"),
+            numeric("exposed", description="1 = saw the ad"),
+            numeric("purchase", role=ColumnRole.TARGET),
+            numeric("purchase_if_exposed", role=ColumnRole.METADATA,
+                    description="potential outcome Y(1) (oracle)"),
+            numeric("purchase_if_not", role=ColumnRole.METADATA,
+                    description="potential outcome Y(0) (oracle)"),
+        ])
+
+    def _covariates(self, n_rows: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        return {
+            "activity": np.clip(rng.gamma(2.0, 1.5, n_rows), 0.0, 20.0),
+            "past_purchases": rng.poisson(1.2, n_rows).astype(np.float64),
+            "ad_affinity": rng.normal(0.0, 1.0, n_rows),
+            "hidden_intent": rng.normal(0.0, 1.0, n_rows),
+        }
+
+    def _outcome_logits(self, cov: dict[str, np.ndarray]) -> np.ndarray:
+        return (
+            0.25 * cov["activity"]
+            + 0.5 * cov["past_purchases"]
+            + 0.6 * cov["ad_affinity"]
+            + 0.8 * cov["hidden_intent"]
+            + self.base_rate_shift
+        )
+
+    def _generate(self, n_rows: int, rng: np.random.Generator,
+                  exposure_p: np.ndarray) -> Table:
+        cov = self._covariates(n_rows, rng)
+        logits = self._outcome_logits(cov)
+        exposed = bernoulli(exposure_p, rng)
+        p_if_not = sigmoid(logits)
+        p_if_exposed = sigmoid(logits + self.true_lift)
+        uniforms = rng.random(n_rows)
+        y_if_not = (uniforms < p_if_not).astype(np.float64)
+        y_if_exposed = (uniforms < p_if_exposed).astype(np.float64)
+        purchase = np.where(exposed == 1.0, y_if_exposed, y_if_not)
+        return Table(self.schema(), {
+            **cov,
+            "exposed": exposed,
+            "purchase": purchase,
+            "purchase_if_exposed": y_if_exposed,
+            "purchase_if_not": y_if_not,
+        })
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        """Observational draw (confounded exposure)."""
+        return self.generate_observational(n_rows, rng)
+
+    def generate_rct(self, n_rows: int, rng: np.random.Generator,
+                     exposure_rate: float = 0.5) -> Table:
+        """Randomised exposure: the gold standard of §2-Q2."""
+        if not 0.0 < exposure_rate < 1.0:
+            raise DataError("exposure_rate must be in (0, 1)")
+        return self._generate(
+            n_rows, rng, np.full(n_rows, exposure_rate)
+        )
+
+    def generate_observational(self, n_rows: int,
+                               rng: np.random.Generator) -> Table:
+        """Targeted exposure: likely purchasers see the ad more often."""
+        cov = self._covariates(n_rows, rng)
+        targeting = (
+            0.25 * cov["activity"]
+            + 0.5 * cov["past_purchases"]
+            + 0.6 * cov["ad_affinity"]
+            + self.hidden_confounding * cov["hidden_intent"]
+        )
+        targeting = (targeting - targeting.mean()) / max(targeting.std(), 1e-9)
+        exposure_p = sigmoid(self.confounding * targeting)
+        # Redraw covariates inside _generate would break the targeting link,
+        # so rebuild the table here with the covariates we targeted on.
+        logits = self._outcome_logits(cov)
+        exposed = bernoulli(exposure_p, rng)
+        p_if_not = sigmoid(logits)
+        p_if_exposed = sigmoid(logits + self.true_lift)
+        uniforms = rng.random(n_rows)
+        y_if_not = (uniforms < p_if_not).astype(np.float64)
+        y_if_exposed = (uniforms < p_if_exposed).astype(np.float64)
+        purchase = np.where(exposed == 1.0, y_if_exposed, y_if_not)
+        return Table(self.schema(), {
+            **cov,
+            "exposed": exposed,
+            "purchase": purchase,
+            "purchase_if_exposed": y_if_exposed,
+            "purchase_if_not": y_if_not,
+        })
+
+    @staticmethod
+    def true_ate(table: Table) -> float:
+        """Sample average treatment effect from the potential outcomes."""
+        return float(
+            np.mean(table.column("purchase_if_exposed"))
+            - np.mean(table.column("purchase_if_not"))
+        )

@@ -1,0 +1,173 @@
+"""Bias injectors: turn a clean dataset into the datasets the paper warns about.
+
+Each injector implements one of the mechanisms §2-Q1 names:
+
+* **label bias** — "the data used to learn a model reflects existing social
+  biases": historical decisions flipped against one group.
+* **selection bias** — "minorities may be underrepresented": positive
+  examples of one group under-sampled, or the group as a whole.
+* **proxy encoding** — "even if sensitive attributes are omitted, members
+  of certain groups may still be systematically rejected": a seemingly
+  innocuous column that encodes the sensitive one (redlining).
+
+All injectors are pure: they return a new :class:`Table` and an exact
+record of what was done, so experiments can plot *injected* bias against
+*measured* unfairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, categorical, numeric
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class BiasRecord:
+    """What an injector changed: kind, parameters, and affected row count."""
+
+    kind: str
+    group: str
+    strength: float
+    n_affected: int
+
+
+def _group_mask(table: Table, sensitive: str, group: str) -> np.ndarray:
+    mask = table.column(sensitive) == group
+    if not mask.any():
+        raise DataError(f"no rows with {sensitive} == {group!r}")
+    return mask
+
+
+def inject_label_bias(table: Table, sensitive: str, group: str,
+                      flip_rate: float, rng: np.random.Generator,
+                      target: str | None = None,
+                      ) -> tuple[Table, BiasRecord]:
+    """Flip a fraction of the ``group``'s positive labels to negative.
+
+    Models the historical decision maker who denied qualified members of
+    the disadvantaged group: the *latent* qualification is unchanged, only
+    the recorded outcome is corrupted.
+    """
+    if not 0.0 <= flip_rate <= 1.0:
+        raise DataError(f"flip_rate must be in [0, 1], got {flip_rate}")
+    target = target or table.target_name
+    if target is None:
+        raise DataError("no target column declared or named")
+    labels = table.column(target).copy()
+    eligible = np.flatnonzero(
+        _group_mask(table, sensitive, group) & (labels == 1.0)
+    )
+    n_flip = int(round(flip_rate * len(eligible)))
+    flipped = rng.choice(eligible, size=n_flip, replace=False) if n_flip else []
+    labels[flipped] = 0.0
+    spec = table.schema[target]
+    biased = table.with_column(spec, labels)
+    return biased, BiasRecord("label_bias", group, flip_rate, n_flip)
+
+
+def inject_selection_bias(table: Table, sensitive: str, group: str,
+                          drop_rate: float, rng: np.random.Generator,
+                          positives_only: bool = True,
+                          target: str | None = None,
+                          ) -> tuple[Table, BiasRecord]:
+    """Drop a fraction of the ``group``'s rows from the sample.
+
+    With ``positives_only`` (default) only successful members of the group
+    disappear — the classic pipeline pathology where the training data
+    never saw the group succeed.
+    """
+    if not 0.0 <= drop_rate <= 1.0:
+        raise DataError(f"drop_rate must be in [0, 1], got {drop_rate}")
+    mask = _group_mask(table, sensitive, group)
+    if positives_only:
+        target = target or table.target_name
+        if target is None:
+            raise DataError("positives_only requires a target column")
+        mask &= table.column(target) == 1.0
+    eligible = np.flatnonzero(mask)
+    n_drop = int(round(drop_rate * len(eligible)))
+    dropped = rng.choice(eligible, size=n_drop, replace=False) if n_drop else np.array([], dtype=np.intp)
+    keep = np.ones(table.n_rows, dtype=bool)
+    keep[dropped] = False
+    kind = "selection_bias_positives" if positives_only else "selection_bias"
+    return table.filter(keep), BiasRecord(kind, group, drop_rate, int(n_drop))
+
+
+def inject_underrepresentation(table: Table, sensitive: str, group: str,
+                               keep_fraction: float, rng: np.random.Generator,
+                               ) -> tuple[Table, BiasRecord]:
+    """Keep only ``keep_fraction`` of the ``group``'s rows (all labels)."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise DataError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    eligible = np.flatnonzero(_group_mask(table, sensitive, group))
+    n_keep = max(1, int(round(keep_fraction * len(eligible))))
+    kept = set(rng.choice(eligible, size=n_keep, replace=False).tolist())
+    keep = np.ones(table.n_rows, dtype=bool)
+    for index in eligible:
+        keep[index] = index in kept
+    record = BiasRecord(
+        "underrepresentation", group, 1.0 - keep_fraction, len(eligible) - n_keep
+    )
+    return table.filter(keep), record
+
+
+def add_numeric_proxy(table: Table, sensitive: str, group: str,
+                      proxy_name: str, correlation: float,
+                      rng: np.random.Generator,
+                      ) -> tuple[Table, BiasRecord]:
+    """Add a numeric column correlated with membership in ``group``.
+
+    ``correlation`` in [0, 1] controls how cleanly the proxy separates the
+    groups: 0 is pure noise, 1 is a perfect re-encoding of the sensitive
+    attribute.  The proxy gets the FEATURE role — precisely the trap the
+    paper describes.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise DataError(f"correlation must be in [0, 1], got {correlation}")
+    membership = _group_mask(table, sensitive, group).astype(np.float64)
+    noise = rng.standard_normal(table.n_rows)
+    # Scale so corr(proxy, membership) ~= `correlation` for a balanced group.
+    signal_weight = correlation
+    noise_weight = np.sqrt(max(1e-12, 1.0 - correlation**2))
+    centred = membership - membership.mean()
+    denominator = centred.std() if centred.std() > 0 else 1.0
+    proxy = signal_weight * centred / denominator + noise_weight * noise
+    biased = table.with_column(numeric(proxy_name), proxy)
+    record = BiasRecord("numeric_proxy", group, correlation, table.n_rows)
+    return biased, record
+
+
+def add_categorical_proxy(table: Table, sensitive: str, group: str,
+                          proxy_name: str, categories: list[str],
+                          purity: float, rng: np.random.Generator,
+                          ) -> tuple[Table, BiasRecord]:
+    """Add a categorical column (e.g. ``neighborhood``) encoding the group.
+
+    The first half of ``categories`` is preferentially assigned to the
+    ``group``, the second half to everyone else; ``purity`` in [0, 1]
+    controls how deterministic the assignment is (1 = redlining-perfect).
+    """
+    if len(categories) < 2:
+        raise DataError("need at least two proxy categories")
+    if not 0.0 <= purity <= 1.0:
+        raise DataError(f"purity must be in [0, 1], got {purity}")
+    half = len(categories) // 2
+    in_group = _group_mask(table, sensitive, group)
+    values = np.empty(table.n_rows, dtype=object)
+    for index in range(table.n_rows):
+        own_side = categories[:half] if in_group[index] else categories[half:]
+        other_side = categories[half:] if in_group[index] else categories[:half]
+        pool = own_side if rng.random() < (0.5 + purity / 2.0) else other_side
+        values[index] = pool[rng.integers(0, len(pool))]
+    biased = table.with_column(categorical(proxy_name), values)
+    return biased, BiasRecord("categorical_proxy", group, purity, table.n_rows)
+
+
+def mark_proxy_as_feature(table: Table, proxy_name: str) -> Table:
+    """Ensure an injected proxy participates in model training."""
+    return table.with_role(proxy_name, ColumnRole.FEATURE)

@@ -1,0 +1,140 @@
+"""Credit-scoring generator (German-credit-shaped) with injectable bias.
+
+The canonical instance of the paper's Q1 scenario: a lender learns from
+historical decisions.  The generator draws a *latent creditworthiness*
+that is identically distributed across groups — by construction, any
+group disparity a downstream model exhibits was injected, not real.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.synth.bias import (
+    add_categorical_proxy,
+    add_numeric_proxy,
+    inject_label_bias,
+)
+from repro.data.synth.base import SyntheticGenerator, bernoulli, sigmoid
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+GROUPS = ("A", "B")
+PURPOSES = ("car", "education", "furniture", "business", "repairs")
+NEIGHBORHOODS = ("north", "east", "south", "west", "center", "harbor")
+
+
+class CreditScoringGenerator(SyntheticGenerator):
+    """Loan applications with a known fair ground truth.
+
+    Parameters
+    ----------
+    group_b_fraction:
+        Share of applicants in the protected group ``"B"``.
+    label_bias:
+        Fraction of group-B qualified applicants whose historical label is
+        flipped to "denied" (label-bias injection strength β in E1).
+    proxy_strength:
+        Purity of the ``neighborhood`` column as a proxy for group (ρ in
+        E1); 0 removes the correlation entirely.
+    noise:
+        Standard deviation of the label noise on the latent score.
+    """
+
+    name = "credit"
+
+    def __init__(self, group_b_fraction: float = 0.35,
+                 label_bias: float = 0.0,
+                 proxy_strength: float = 0.0,
+                 numeric_proxy_strength: float = 0.0,
+                 noise: float = 0.6):
+        if not 0.0 < group_b_fraction < 1.0:
+            raise DataError("group_b_fraction must be in (0, 1)")
+        self.group_b_fraction = group_b_fraction
+        self.label_bias = label_bias
+        self.proxy_strength = proxy_strength
+        self.numeric_proxy_strength = numeric_proxy_strength
+        self.noise = noise
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            numeric("income", description="monthly income, thousands"),
+            numeric("debt_ratio", description="debt to income ratio"),
+            numeric("employment_years"),
+            numeric("credit_history", description="past on-time payment score"),
+            numeric("loan_amount", description="requested amount, thousands"),
+            categorical("purpose"),
+            categorical("neighborhood",
+                        description="residential area; potential proxy"),
+            numeric("area_score",
+                    description="neighbourhood affluence index; numeric proxy"),
+            categorical("group", role=ColumnRole.SENSITIVE),
+            numeric("qualified", role=ColumnRole.METADATA,
+                    description="latent ground-truth creditworthiness (oracle)"),
+            numeric("approved", role=ColumnRole.TARGET,
+                    description="historical lending decision"),
+        ])
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        if n_rows <= 0:
+            raise DataError("n_rows must be positive")
+        group = np.where(
+            rng.random(n_rows) < self.group_b_fraction, GROUPS[1], GROUPS[0]
+        ).astype(object)
+
+        income = np.exp(rng.normal(1.2, 0.45, n_rows))
+        debt_ratio = np.clip(rng.beta(2.0, 5.0, n_rows), 0.0, 1.0)
+        employment_years = np.clip(rng.gamma(2.5, 3.0, n_rows), 0.0, 45.0)
+        credit_history = np.clip(rng.normal(0.6, 0.2, n_rows), 0.0, 1.0)
+        loan_amount = np.exp(rng.normal(1.8, 0.6, n_rows))
+        purpose = np.asarray(
+            [PURPOSES[index] for index in rng.integers(0, len(PURPOSES), n_rows)],
+            dtype=object,
+        )
+
+        # Latent creditworthiness: group-blind by construction.
+        latent = (
+            0.9 * np.log(income)
+            - 2.2 * debt_ratio
+            + 0.06 * employment_years
+            + 1.8 * credit_history
+            - 0.25 * np.log(loan_amount)
+            - 0.35
+        )
+        qualified = bernoulli(
+            sigmoid(latent / max(self.noise, 1e-9)), rng
+        )
+
+        table = Table(self.schema().drop(["neighborhood", "area_score"]), {
+            "income": income,
+            "debt_ratio": debt_ratio,
+            "employment_years": employment_years,
+            "credit_history": credit_history,
+            "loan_amount": loan_amount,
+            "purpose": purpose,
+            "group": group,
+            "qualified": qualified,
+            "approved": qualified.copy(),
+        })
+
+        if self.label_bias > 0.0:
+            table, _ = inject_label_bias(
+                table, "group", GROUPS[1], self.label_bias, rng, target="approved"
+            )
+        table, _ = add_categorical_proxy(
+            table, "group", GROUPS[1], "neighborhood",
+            list(NEIGHBORHOODS), self.proxy_strength, rng,
+        )
+        # "area_score" leans low for group B, like a redlined affluence index.
+        table, _ = add_numeric_proxy(
+            table, "group", GROUPS[0], "area_score",
+            self.numeric_proxy_strength, rng,
+        )
+        return table.select(self.schema().names)
+
+    @staticmethod
+    def oracle_labels(table: Table) -> np.ndarray:
+        """The latent ground-truth qualifications (audit oracle)."""
+        return table.column("qualified")

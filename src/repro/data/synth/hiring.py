@@ -1,0 +1,98 @@
+"""Hiring-funnel generator for the end-to-end FACT audit (E11).
+
+A multi-stage decision — screening then interview then offer — whose
+stages can each be biased independently.  Exactly the paper's "journey
+from raw data to meaningful inferences involves multiple steps and
+actors": responsibility must be attributable per stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.synth.base import SyntheticGenerator, bernoulli, sigmoid
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+DEGREES = ("none", "bachelor", "master", "phd")
+_DEGREE_SCORE = {"none": 0.0, "bachelor": 1.0, "master": 1.5, "phd": 1.8}
+
+
+class HiringFunnelGenerator(SyntheticGenerator):
+    """Job applications flowing through screen → interview → offer.
+
+    ``screen_bias`` penalises group-B candidates at the resume screen;
+    ``interview_bias`` at the interview.  The final ``hired`` label is the
+    conjunction, so bias injected early is invisible in stage-local audits
+    of later stages — motivating pipeline-wide provenance.
+    """
+
+    name = "hiring"
+
+    def __init__(self, group_b_fraction: float = 0.45,
+                 screen_bias: float = 0.0,
+                 interview_bias: float = 0.0,
+                 referral_advantage: float = 0.6):
+        if not 0.0 < group_b_fraction < 1.0:
+            raise DataError("group_b_fraction must be in (0, 1)")
+        self.group_b_fraction = group_b_fraction
+        self.screen_bias = screen_bias
+        self.interview_bias = interview_bias
+        self.referral_advantage = referral_advantage
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            numeric("experience_years"),
+            numeric("skill_score", description="blind skills test, 0-100"),
+            categorical("degree"),
+            numeric("referral", description="1 if referred by an employee"),
+            categorical("group", role=ColumnRole.SENSITIVE),
+            numeric("passed_screen", role=ColumnRole.METADATA),
+            numeric("passed_interview", role=ColumnRole.METADATA),
+            numeric("hired", role=ColumnRole.TARGET),
+        ])
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        if n_rows <= 0:
+            raise DataError("n_rows must be positive")
+        group = np.where(
+            rng.random(n_rows) < self.group_b_fraction, "B", "A"
+        ).astype(object)
+        is_b = (group == "B").astype(np.float64)
+        experience = np.clip(rng.gamma(2.0, 3.0, n_rows), 0.0, 35.0)
+        skill = np.clip(rng.normal(60.0, 15.0, n_rows), 0.0, 100.0)
+        degree = np.asarray(
+            [DEGREES[index] for index in
+             rng.choice(len(DEGREES), size=n_rows, p=[0.2, 0.45, 0.25, 0.1])],
+            dtype=object,
+        )
+        degree_score = np.asarray([_DEGREE_SCORE[value] for value in degree])
+        # Referral networks replicate the incumbent workforce (group A).
+        referral_p = np.where(group == "A", 0.25, 0.25 * (1.0 - 0.5 * self.referral_advantage))
+        referral = bernoulli(referral_p, rng)
+
+        screen_latent = (
+            0.10 * experience + 0.04 * (skill - 60.0) + 0.9 * degree_score
+            + self.referral_advantage * referral - 1.2 - self.screen_bias * is_b
+        )
+        passed_screen = bernoulli(sigmoid(screen_latent), rng)
+
+        interview_latent = (
+            0.06 * (skill - 60.0) + 0.08 * experience + 0.3 * degree_score
+            - 0.2 - self.interview_bias * is_b
+        )
+        passed_interview = passed_screen * bernoulli(sigmoid(interview_latent), rng)
+        hired = passed_interview.copy()
+
+        return Table(self.schema(), {
+            "experience_years": experience,
+            "skill_score": skill,
+            "degree": degree,
+            "referral": referral,
+            "group": group,
+            "passed_screen": passed_screen,
+            "passed_interview": passed_interview,
+            "hired": hired,
+        })

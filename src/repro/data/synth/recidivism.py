@@ -1,0 +1,91 @@
+"""Recidivism-risk generator (COMPAS-shaped).
+
+Exercises the impossibility tension between calibration and error-rate
+parity: base rates differ across groups by construction (via differential
+policing intensity), so a calibrated score cannot equalise false-positive
+rates — the audit should *show* that, as the fairness literature the
+paper's Q1 points to established.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.synth.base import SyntheticGenerator, bernoulli, sigmoid
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+CHARGE_DEGREES = ("misdemeanor", "felony")
+
+
+class RecidivismGenerator(SyntheticGenerator):
+    """Defendant records with group-dependent *measured* recidivism.
+
+    ``policing_gap`` raises the chance that a re-offence by group-B
+    members is recorded: the latent behaviour is group-blind, the measured
+    base rates are not — measurement bias, the subtlest pathology in Q1.
+    """
+
+    name = "recidivism"
+
+    def __init__(self, group_b_fraction: float = 0.4,
+                 policing_gap: float = 0.0,
+                 noise: float = 0.7):
+        if not 0.0 < group_b_fraction < 1.0:
+            raise DataError("group_b_fraction must be in (0, 1)")
+        self.group_b_fraction = group_b_fraction
+        self.policing_gap = policing_gap
+        self.noise = noise
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            numeric("age", role=ColumnRole.QUASI_IDENTIFIER),
+            numeric("priors_count"),
+            numeric("juvenile_offenses"),
+            categorical("charge_degree"),
+            categorical("group", role=ColumnRole.SENSITIVE),
+            numeric("reoffended_latent", role=ColumnRole.METADATA,
+                    description="true re-offence indicator (oracle)"),
+            numeric("reoffended", role=ColumnRole.TARGET,
+                    description="recorded re-offence within two years"),
+        ])
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        if n_rows <= 0:
+            raise DataError("n_rows must be positive")
+        group = np.where(
+            rng.random(n_rows) < self.group_b_fraction, "B", "A"
+        ).astype(object)
+        age = np.clip(rng.gamma(6.0, 5.5, n_rows), 18.0, 75.0)
+        priors = rng.poisson(2.0, n_rows).astype(np.float64)
+        juvenile = rng.poisson(0.4, n_rows).astype(np.float64)
+        charge = np.where(
+            rng.random(n_rows) < 0.35, "felony", "misdemeanor"
+        ).astype(object)
+
+        latent_score = (
+            0.35 * priors
+            + 0.5 * juvenile
+            + 0.8 * (charge == "felony").astype(np.float64)
+            - 0.05 * (age - 18.0)
+            - 0.2
+        )
+        reoffended_latent = bernoulli(
+            sigmoid(latent_score / max(self.noise, 1e-9)), rng
+        )
+        # Measurement: re-offences are only *recorded* if detected.
+        detection = np.where(group == "B", 0.75 + self.policing_gap * 0.25, 0.75)
+        detection = np.clip(detection, 0.0, 1.0)
+        recorded = reoffended_latent * bernoulli(detection, rng)
+
+        return Table(self.schema(), {
+            "age": age,
+            "priors_count": priors,
+            "juvenile_offenses": juvenile,
+            "charge_degree": charge,
+            "group": group,
+            "reoffended_latent": reoffended_latent,
+            "reoffended": recorded,
+        })

@@ -1,0 +1,150 @@
+"""Simpson's-paradox generators.
+
+§2-Q2: "a trend appears in different groups of data but disappears or
+reverses when these groups are combined. It is frightening to see data
+scientists nowadays who seem not to be aware of the many pitfalls."
+
+Both generators construct the paradox with *known* stratum-level effects,
+so the detector (:mod:`repro.accuracy.simpson`) can be tested against
+ground truth rather than anecdotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.synth.base import SyntheticGenerator, bernoulli
+from repro.data.table import Table
+from repro.exceptions import DataError
+
+
+class AdmissionsGenerator(SyntheticGenerator):
+    """Berkeley-style admissions: per-department rates favour group B,
+    the aggregate favours group A.
+
+    Group B applies disproportionately to competitive departments.  Within
+    *every* department, B's acceptance probability exceeds A's by
+    ``within_department_edge``; the aggregate nevertheless reverses
+    because of the application mix.
+    """
+
+    name = "admissions"
+
+    def __init__(self, n_departments: int = 4,
+                 within_department_edge: float = 0.05,
+                 selectivity_spread: float = 0.6):
+        if n_departments < 2:
+            raise DataError("need at least 2 departments")
+        if not 0.0 <= within_department_edge <= 0.2:
+            raise DataError("within_department_edge must be in [0, 0.2]")
+        self.n_departments = n_departments
+        self.within_department_edge = within_department_edge
+        self.selectivity_spread = selectivity_spread
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            categorical("department"),
+            categorical("group", role=ColumnRole.SENSITIVE),
+            numeric("admitted", role=ColumnRole.TARGET),
+        ])
+
+    def department_rates(self) -> dict[str, tuple[float, float]]:
+        """Per-department (rate_A, rate_B) acceptance probabilities."""
+        rates = {}
+        for index in range(self.n_departments):
+            # Departments range from easy to hard.
+            position = index / max(1, self.n_departments - 1)
+            base = 0.75 - self.selectivity_spread * position
+            rate_a = float(np.clip(base, 0.02, 0.95))
+            rate_b = float(np.clip(base + self.within_department_edge, 0.02, 0.98))
+            rates[f"dept_{index}"] = (rate_a, rate_b)
+        return rates
+
+    def application_mix(self) -> dict[str, tuple[float, float]]:
+        """Per-department (p_A_applies, p_B_applies) application shares."""
+        weights_a = np.linspace(2.0, 0.4, self.n_departments)
+        weights_b = np.linspace(0.4, 2.0, self.n_departments)
+        shares_a = weights_a / weights_a.sum()
+        shares_b = weights_b / weights_b.sum()
+        return {
+            f"dept_{index}": (float(shares_a[index]), float(shares_b[index]))
+            for index in range(self.n_departments)
+        }
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        if n_rows <= 0:
+            raise DataError("n_rows must be positive")
+        rates = self.department_rates()
+        mix = self.application_mix()
+        departments = list(rates)
+        group = np.where(rng.random(n_rows) < 0.5, "B", "A").astype(object)
+        shares_a = np.asarray([mix[dept][0] for dept in departments])
+        shares_b = np.asarray([mix[dept][1] for dept in departments])
+        dept_index = np.empty(n_rows, dtype=np.intp)
+        mask_a = group == "A"
+        dept_index[mask_a] = rng.choice(
+            len(departments), size=int(mask_a.sum()), p=shares_a
+        )
+        dept_index[~mask_a] = rng.choice(
+            len(departments), size=int((~mask_a).sum()), p=shares_b
+        )
+        department = np.asarray(
+            [departments[index] for index in dept_index], dtype=object
+        )
+        prob = np.asarray([
+            rates[departments[index]][1] if is_b else rates[departments[index]][0]
+            for index, is_b in zip(dept_index, group == "B")
+        ])
+        admitted = bernoulli(prob, rng)
+        return Table(self.schema(), {
+            "department": department,
+            "group": group,
+            "admitted": admitted,
+        })
+
+
+class TreatmentParadoxGenerator(SyntheticGenerator):
+    """Kidney-stone-style paradox: the better treatment looks worse overall.
+
+    Treatment 1 is assigned preferentially to *severe* cases; within each
+    severity stratum it improves the success probability by
+    ``treatment_benefit``, yet its aggregate success rate is lower.
+    """
+
+    name = "treatment_paradox"
+
+    def __init__(self, treatment_benefit: float = 0.05,
+                 severe_fraction: float = 0.5,
+                 severity_penalty: float = 0.35):
+        if not 0.0 <= treatment_benefit <= 0.2:
+            raise DataError("treatment_benefit must be in [0, 0.2]")
+        self.treatment_benefit = treatment_benefit
+        self.severe_fraction = severe_fraction
+        self.severity_penalty = severity_penalty
+
+    def schema(self) -> Schema:
+        """The generated table's schema."""
+        return Schema([
+            categorical("severity"),
+            numeric("treated", description="1 = received treatment 1"),
+            numeric("recovered", role=ColumnRole.TARGET),
+        ])
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        if n_rows <= 0:
+            raise DataError("n_rows must be positive")
+        severe = rng.random(n_rows) < self.severe_fraction
+        severity = np.where(severe, "severe", "mild").astype(object)
+        # Doctors give the new treatment mostly to severe cases.
+        treat_p = np.where(severe, 0.85, 0.15)
+        treated = bernoulli(treat_p, rng)
+        base = np.where(severe, 0.90 - self.severity_penalty, 0.90)
+        prob = np.clip(base + self.treatment_benefit * treated, 0.0, 1.0)
+        recovered = bernoulli(prob, rng)
+        return Table(self.schema(), {
+            "severity": severity,
+            "treated": treated,
+            "recovered": recovered,
+        })

@@ -1,0 +1,345 @@
+"""A small column-oriented table.
+
+The toolkit needs a dataset substrate that carries FACT metadata (see
+:mod:`repro.data.schema`) alongside the values.  ``Table`` stores each
+column as a numpy array — ``float64`` for numeric columns, ``object``
+(strings) for categorical ones — and is immutable by convention: every
+operation returns a new table sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import (
+    ColumnRole,
+    ColumnSpec,
+    ColumnType,
+    Schema,
+)
+from repro.exceptions import DataError, SchemaError
+
+
+def _coerce(values: Sequence | np.ndarray, ctype: ColumnType) -> np.ndarray:
+    """Coerce raw values into the canonical storage array for ``ctype``."""
+    if ctype is ColumnType.NUMERIC:
+        array = np.asarray(values, dtype=np.float64)
+    else:
+        array = np.asarray(
+            [value if isinstance(value, str) else str(value) for value in values],
+            dtype=object,
+        )
+    if array.ndim != 1:
+        raise DataError(f"columns must be 1-D, got shape {array.shape}")
+    return array
+
+
+def _infer_ctype(values: Sequence | np.ndarray) -> ColumnType:
+    """Guess a column type from raw values: numbers → numeric, else categorical."""
+    array = np.asarray(values)
+    if array.dtype.kind in "ifub":
+        return ColumnType.NUMERIC
+    return ColumnType.CATEGORICAL
+
+
+class Table:
+    """Immutable column-oriented table with a FACT-annotated schema."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(schema.names) != set(columns):
+            raise SchemaError(
+                "schema and data disagree: "
+                f"schema={sorted(schema.names)} data={sorted(columns)}"
+            )
+        arrays = {}
+        n_rows = None
+        for spec in schema:
+            array = _coerce(columns[spec.name], spec.ctype)
+            if n_rows is None:
+                n_rows = len(array)
+            elif len(array) != n_rows:
+                raise DataError(
+                    f"column {spec.name!r} has {len(array)} rows, expected {n_rows}"
+                )
+            arrays[spec.name] = array
+        self._schema = schema
+        self._columns = arrays
+        self._n_rows = 0 if n_rows is None else n_rows
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence],
+                  schema: Schema | None = None) -> "Table":
+        """Build a table from ``{name: values}``, inferring types if needed."""
+        if schema is None:
+            schema = Schema(
+                [ColumnSpec(name, _infer_ctype(values))
+                 for name, values in data.items()]
+            )
+        return cls(schema, {name: np.asarray(values) for name, values in data.items()})
+
+    @classmethod
+    def empty_like(cls, other: "Table") -> "Table":
+        """A zero-row table with the same schema as ``other``."""
+        return cls(other.schema, {name: [] for name in other.schema.names})
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._schema)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return self._schema.names
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names or self.n_rows != other.n_rows:
+            return False
+        for name in self.column_names:
+            mine, theirs = self._columns[name], other._columns[name]
+            if mine.dtype == object or theirs.dtype == object:
+                if not np.array_equal(mine, theirs):
+                    return False
+            elif not np.allclose(mine, theirs, equal_nan=True):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Table({self.n_rows} rows x {self.n_columns} columns: {self.column_names})"
+
+    # -- column access -----------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of one column (the stored array; do not mutate)."""
+        if name not in self._columns:
+            raise SchemaError(f"no column named {name!r}")
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def columns(self, names: Iterable[str]) -> list[np.ndarray]:
+        """The value arrays of several columns, in order."""
+        return [self.column(name) for name in names]
+
+    def row(self, index: int) -> dict[str, object]:
+        """One row as a ``{column: value}`` dict."""
+        if not 0 <= index < self._n_rows:
+            raise DataError(f"row index {index} out of range [0, {self._n_rows})")
+        return {name: self._columns[name][index] for name in self.column_names}
+
+    def iter_rows(self) -> Iterable[dict[str, object]]:
+        """Iterate over rows as dicts (slow path; prefer column ops)."""
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    # -- structural transforms ----------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Table restricted to the given columns, in the given order."""
+        schema = self._schema.select(list(names))
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Table without the given columns."""
+        schema = self._schema.drop(list(names))
+        return Table(schema, {name: self._columns[name] for name in schema.names})
+
+    def with_column(self, spec: ColumnSpec, values: Sequence) -> "Table":
+        """Table with a column added or replaced."""
+        array = _coerce(values, spec.ctype)
+        if self.n_columns and len(array) != self._n_rows:
+            raise DataError(
+                f"new column {spec.name!r} has {len(array)} rows, expected {self._n_rows}"
+            )
+        schema = self._schema.with_column(spec)
+        columns = dict(self._columns)
+        columns[spec.name] = array
+        return Table(schema, columns)
+
+    def with_role(self, name: str, role: ColumnRole) -> "Table":
+        """Table with one column's FACT role changed."""
+        return Table(self._schema.with_role(name, role), dict(self._columns))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Table with columns renamed according to ``mapping``."""
+        specs = []
+        columns = {}
+        for spec in self._schema:
+            new_name = mapping.get(spec.name, spec.name)
+            specs.append(ColumnSpec(new_name, spec.ctype, spec.role, spec.description))
+            columns[new_name] = self._columns[spec.name]
+        return Table(Schema(specs), columns)
+
+    # -- row transforms ---------------------------------------------------------
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Table containing the rows at ``indices`` (with repetition allowed)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Table(
+            self._schema, {name: array[idx] for name, array in self._columns.items()}
+        )
+
+    def filter(self, mask: Sequence[bool] | np.ndarray) -> "Table":
+        """Table containing the rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._n_rows:
+            raise DataError(
+                f"mask has {len(mask)} entries, expected {self._n_rows}"
+            )
+        return Table(
+            self._schema, {name: array[mask] for name, array in self._columns.items()}
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def shuffle(self, rng: np.random.Generator) -> "Table":
+        """Rows in a random order drawn from ``rng``."""
+        return self.take(rng.permutation(self._n_rows))
+
+    def sample(self, n: int, rng: np.random.Generator,
+               replace: bool = False) -> "Table":
+        """A random sample of ``n`` rows."""
+        if not replace and n > self._n_rows:
+            raise DataError(f"cannot sample {n} rows from {self._n_rows} without replacement")
+        return self.take(rng.choice(self._n_rows, size=n, replace=replace))
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        """Rows sorted by one column (stable)."""
+        order = np.argsort(self.column(name), kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of ``self`` followed by rows of ``other`` (same columns)."""
+        if self.column_names != other.column_names:
+            raise SchemaError(
+                "cannot concat tables with different columns: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self.column_names
+        }
+        return Table(self._schema, columns)
+
+    # -- grouping / summaries ------------------------------------------------------
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted unique values of one column."""
+        return np.unique(self.column(name))
+
+    def group_indices(self, name: str) -> dict[object, np.ndarray]:
+        """Row indices of each distinct value of ``name``."""
+        values = self.column(name)
+        return {
+            value: np.flatnonzero(values == value) for value in np.unique(values)
+        }
+
+    def group_by(self, name: str) -> dict[object, "Table"]:
+        """Split the table into sub-tables per distinct value of ``name``."""
+        return {
+            value: self.take(indices)
+            for value, indices in self.group_indices(name).items()
+        }
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Occurrence counts of each distinct value of ``name``."""
+        values, counts = np.unique(self.column(name), return_counts=True)
+        return dict(zip(values.tolist(), counts.tolist()))
+
+    def describe(self) -> dict[str, dict[str, object]]:
+        """Per-column summary used by datasheets and audit reports."""
+        summary: dict[str, dict[str, object]] = {}
+        for spec in self._schema:
+            values = self._columns[spec.name]
+            entry: dict[str, object] = {
+                "type": spec.ctype.value,
+                "role": spec.role.value,
+                "n": int(self._n_rows),
+            }
+            if spec.ctype is ColumnType.NUMERIC and self._n_rows:
+                entry.update(
+                    mean=float(np.mean(values)),
+                    std=float(np.std(values)),
+                    min=float(np.min(values)),
+                    max=float(np.max(values)),
+                    missing=int(np.sum(np.isnan(values))),
+                )
+            elif self._n_rows:
+                entry.update(
+                    n_unique=int(len(np.unique(values))),
+                    top=max(self.value_counts(spec.name).items(), key=lambda kv: kv[1])[0],
+                )
+            summary[spec.name] = entry
+        return summary
+
+    def to_dict(self) -> dict[str, list]:
+        """Plain ``{name: list-of-values}`` copy of the data."""
+        return {name: array.tolist() for name, array in self._columns.items()}
+
+    # -- FACT-role conveniences -----------------------------------------------------
+
+    @property
+    def target_name(self) -> str | None:
+        """Name of the declared target column, if any."""
+        return self._schema.target_name
+
+    def target(self) -> np.ndarray:
+        """Values of the target column."""
+        name = self.target_name
+        if name is None:
+            raise SchemaError("table declares no target column")
+        return self.column(name)
+
+    def feature_table(self, include_sensitive: bool = False) -> "Table":
+        """The model-input view: FEATURE columns, optionally plus SENSITIVE.
+
+        The default mirrors the paper's warning that omitting sensitive
+        attributes does *not* guarantee fairness — models are trained
+        without them, audits still see them via the full table.
+        """
+        names = list(self._schema.feature_names)
+        if include_sensitive:
+            names += self._schema.sensitive_names
+        return self.select(names)
+
+    def sensitive(self, name: str | None = None) -> np.ndarray:
+        """Values of a sensitive column (the single one if unnamed)."""
+        names = self._schema.sensitive_names
+        if name is None:
+            if len(names) != 1:
+                raise SchemaError(
+                    f"expected exactly one sensitive column, found {names}"
+                )
+            name = names[0]
+        elif name not in names:
+            raise SchemaError(f"{name!r} is not declared sensitive")
+        return self.column(name)

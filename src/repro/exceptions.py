@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the pillar a failure originated from.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the toolkit."""
+
+
+class SchemaError(ReproError):
+    """A table or column violates its declared schema."""
+
+
+class DataError(ReproError):
+    """Malformed, inconsistent, or empty data was supplied."""
+
+
+class NotFittedError(ReproError):
+    """An estimator was used before :meth:`fit` was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its budget."""
+
+
+class FairnessError(ReproError):
+    """A fairness computation received invalid groups or predictions."""
+
+
+class PrivacyBudgetError(ReproError):
+    """An operation would exceed the remaining differential-privacy budget."""
+
+
+class AnonymityError(ReproError):
+    """An anonymisation routine cannot satisfy the requested guarantee."""
+
+
+class CausalError(ReproError):
+    """A causal query is unidentifiable or its inputs are inconsistent."""
+
+
+class ProvenanceError(ReproError):
+    """The provenance graph was queried for an unknown artefact or step."""
+
+
+class PolicyViolation(ReproError):
+    """A FACT policy constraint failed at audit time.
+
+    Raised by :class:`repro.core.policy.FACTPolicy` when ``enforce=True``;
+    otherwise violations are collected into the audit report.
+    """

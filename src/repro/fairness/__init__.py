@@ -1,0 +1,95 @@
+"""Fairness pillar (Q1): metrics, discovery, and mitigation at every stage."""
+
+from repro.fairness.discovery import (
+    ProxyReport,
+    Subgroup,
+    detect_proxies,
+    find_worst_subgroups,
+)
+from repro.fairness.individual import (
+    SituationTestResult,
+    consistency_score,
+    situation_test,
+)
+from repro.fairness.inprocessing import (
+    ExponentiatedGradientReducer,
+    FairPenaltyLogisticRegression,
+)
+from repro.fairness.metrics import (
+    FOUR_FIFTHS,
+    GroupRates,
+    accuracy_difference,
+    base_rates,
+    disparate_impact_ratio,
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    group_calibration_gaps,
+    group_rates,
+    passes_four_fifths_rule,
+    predictive_parity_difference,
+    selection_rates,
+    statistical_parity_difference,
+)
+from repro.fairness.postprocessing import (
+    GroupThresholdOptimizer,
+    RejectOptionClassifier,
+)
+from repro.fairness.preprocessing import (
+    disparate_impact_repair,
+    massage,
+    reweigh,
+    reweighing_weights,
+)
+from repro.fairness.report import FairnessReport, audit_decisions, audit_model
+from repro.fairness.intersectional import (
+    IntersectionalCell,
+    IntersectionalReport,
+    intersectional_audit,
+)
+from repro.fairness.impossibility import (
+    ImpossibilityAssessment,
+    assess_impossibility,
+    feasible_fairness_criteria,
+    implied_false_positive_rate,
+)
+
+__all__ = [
+    "implied_false_positive_rate",
+    "feasible_fairness_criteria",
+    "assess_impossibility",
+    "ImpossibilityAssessment",
+    "intersectional_audit",
+    "IntersectionalReport",
+    "IntersectionalCell",
+    "FOUR_FIFTHS",
+    "ExponentiatedGradientReducer",
+    "FairPenaltyLogisticRegression",
+    "FairnessReport",
+    "GroupRates",
+    "GroupThresholdOptimizer",
+    "ProxyReport",
+    "RejectOptionClassifier",
+    "SituationTestResult",
+    "Subgroup",
+    "accuracy_difference",
+    "audit_decisions",
+    "audit_model",
+    "base_rates",
+    "consistency_score",
+    "detect_proxies",
+    "disparate_impact_ratio",
+    "disparate_impact_repair",
+    "equal_opportunity_difference",
+    "equalized_odds_difference",
+    "find_worst_subgroups",
+    "group_calibration_gaps",
+    "group_rates",
+    "massage",
+    "passes_four_fifths_rule",
+    "predictive_parity_difference",
+    "reweigh",
+    "reweighing_weights",
+    "selection_rates",
+    "situation_test",
+    "statistical_parity_difference",
+]

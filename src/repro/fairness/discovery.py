@@ -1,0 +1,146 @@
+"""Discrimination discovery: proxies and worst-off subgroups (Q1).
+
+§2-Q1: "Even if sensitive attributes are omitted, members of certain
+groups may still be systematically rejected."  That only happens when
+other columns *encode* the sensitive attribute.  Two detectors:
+
+* **proxy detection** — how well can the sensitive attribute be predicted
+  from each feature (and from all features jointly)?  An AUC near 1 means
+  dropping the column was cosmetic.
+* **subgroup discovery** — scan conjunctions of categorical conditions
+  for the subgroup with the worst selection-rate shortfall, surfacing
+  discrimination that group-level metrics average away.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, ColumnType
+from repro.data.table import Table
+from repro.exceptions import FairnessError
+from repro.learn.linear import LogisticRegression
+from repro.learn.preprocessing import FeatureEncoder
+from repro.learn.metrics import roc_auc
+
+
+@dataclass(frozen=True)
+class ProxyReport:
+    """How strongly the features re-encode a sensitive attribute."""
+
+    sensitive: str
+    joint_auc: float
+    per_feature_auc: dict[str, float]
+
+    def strongest(self, top: int = 3) -> list[tuple[str, float]]:
+        """The ``top`` most proxy-like features."""
+        ranked = sorted(
+            self.per_feature_auc.items(), key=lambda item: item[1], reverse=True
+        )
+        return ranked[:top]
+
+
+def detect_proxies(table: Table, sensitive: str | None = None,
+                   l2: float = 1.0) -> ProxyReport:
+    """Fit sensitive-attribute predictors from the FEATURE columns.
+
+    Returns in-sample AUCs: joint (all features) and per single feature.
+    In-sample is the right notion here — the question is how much signal
+    the *training* features carry, not out-of-sample generalisation.
+    """
+    sensitive_names = table.schema.sensitive_names
+    if sensitive is None:
+        if len(sensitive_names) != 1:
+            raise FairnessError(
+                f"name the sensitive column explicitly; found {sensitive_names}"
+            )
+        sensitive = sensitive_names[0]
+    values = table.column(sensitive)
+    groups = np.unique(values)
+    if len(groups) != 2:
+        raise FairnessError(
+            f"proxy detection expects a binary sensitive attribute, got {groups.tolist()}"
+        )
+    target = (values == groups[1]).astype(np.float64)
+    feature_names = table.schema.feature_names
+    if not feature_names:
+        raise FairnessError("table has no FEATURE columns")
+
+    def auc_for(columns: list[str]) -> float:
+        encoder = FeatureEncoder(columns=columns)
+        X = encoder.fit_transform(table)
+        model = LogisticRegression(l2=l2).fit(X, target)
+        return roc_auc(target, model.predict_proba(X))
+
+    joint = auc_for(feature_names)
+    per_feature = {name: auc_for([name]) for name in feature_names}
+    return ProxyReport(sensitive=sensitive, joint_auc=joint,
+                       per_feature_auc=per_feature)
+
+
+@dataclass(frozen=True)
+class Subgroup:
+    """A conjunction of categorical conditions and its outcome statistics."""
+
+    conditions: tuple[tuple[str, str], ...]
+    size: int
+    selection_rate: float
+    overall_rate: float
+
+    @property
+    def shortfall(self) -> float:
+        """overall selection rate minus the subgroup's (positive = worse off)."""
+        return self.overall_rate - self.selection_rate
+
+    def describe(self) -> str:
+        """Human-readable rendering of the conjunction."""
+        if not self.conditions:
+            return "everyone"
+        return " and ".join(f"{name}={value}" for name, value in self.conditions)
+
+
+def find_worst_subgroups(table: Table, y_pred, max_conditions: int = 2,
+                         min_size: int = 30, top: int = 5,
+                         columns: list[str] | None = None) -> list[Subgroup]:
+    """Scan categorical conjunctions for the largest selection shortfalls.
+
+    Only categorical FEATURE/SENSITIVE/QUASI_IDENTIFIER columns take part.
+    Exhaustive over conjunctions of up to ``max_conditions`` conditions;
+    subgroups smaller than ``min_size`` are skipped (tiny groups make any
+    rate look extreme — a Q2 lesson applied inside Q1).
+    """
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if len(y_pred) != table.n_rows:
+        raise FairnessError("y_pred must align with the table")
+    if columns is None:
+        allowed_roles = (
+            ColumnRole.FEATURE, ColumnRole.SENSITIVE, ColumnRole.QUASI_IDENTIFIER
+        )
+        columns = [
+            spec.name for spec in table.schema
+            if spec.ctype is ColumnType.CATEGORICAL and spec.role in allowed_roles
+        ]
+    if not columns:
+        raise FairnessError("no categorical columns to scan")
+    overall = float(np.mean(y_pred))
+    results: list[Subgroup] = []
+    for n_conditions in range(1, max_conditions + 1):
+        for combo in itertools.combinations(columns, n_conditions):
+            level_sets = [np.unique(table.column(name)) for name in combo]
+            for levels in itertools.product(*level_sets):
+                mask = np.ones(table.n_rows, dtype=bool)
+                for name, level in zip(combo, levels):
+                    mask &= table.column(name) == level
+                size = int(mask.sum())
+                if size < min_size:
+                    continue
+                rate = float(np.mean(y_pred[mask]))
+                results.append(Subgroup(
+                    conditions=tuple(zip(combo, (str(level) for level in levels))),
+                    size=size, selection_rate=rate, overall_rate=overall,
+                ))
+    results.sort(key=lambda subgroup: subgroup.shortfall, reverse=True)
+    return results[:top]

@@ -1,0 +1,135 @@
+"""The calibration / error-rate impossibility, made computable (Q1 × Q2).
+
+Kleinberg-Mullainathan-Raghavan and Chouldechova proved the tension the
+recidivism debates ran into: when base rates differ across groups, a
+(non-trivial) score cannot simultaneously be calibrated within groups
+and equalise false-positive and false-negative rates.  The paper's Q1
+asks "how to avoid unfair conclusions even if they are true" — this
+module quantifies which fairness definitions are *jointly achievable* on
+a given dataset, so a policy can demand a feasible combination.
+
+Core identity (Chouldechova 2017), for each group with base rate p,
+positive predictive value PPV, false-positive rate FPR and false-negative
+rate FNR::
+
+    FPR = p / (1 - p) * (1 - PPV) / PPV * (1 - FNR)
+
+Equal PPV and equal FNR across groups with different p therefore force
+different FPRs — and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FairnessError
+
+
+def implied_false_positive_rate(base_rate: float, ppv: float,
+                                fnr: float) -> float:
+    """The FPR forced by (base rate, PPV, FNR) via Chouldechova's identity."""
+    if not 0.0 < base_rate < 1.0:
+        raise FairnessError("base_rate must be in (0, 1)")
+    if not 0.0 < ppv <= 1.0:
+        raise FairnessError("ppv must be in (0, 1]")
+    if not 0.0 <= fnr < 1.0:
+        raise FairnessError("fnr must be in [0, 1)")
+    return (base_rate / (1.0 - base_rate)) * ((1.0 - ppv) / ppv) * (1.0 - fnr)
+
+
+@dataclass(frozen=True)
+class ImpossibilityAssessment:
+    """How much error-rate disparity equal calibration *forces* here."""
+
+    base_rates: dict[object, float]
+    target_ppv: float
+    target_fnr: float
+    implied_fpr: dict[object, float]
+
+    @property
+    def forced_fpr_gap(self) -> float:
+        """The FPR difference no equally-calibrated score can avoid."""
+        values = list(self.implied_fpr.values())
+        return float(max(values) - min(values))
+
+    @property
+    def base_rate_gap(self) -> float:
+        """The base-rate difference driving the impossibility."""
+        values = list(self.base_rates.values())
+        return float(max(values) - min(values))
+
+    def render(self) -> str:
+        """Readable statement of the forced trade-off."""
+        lines = [
+            "impossibility assessment (equal PPV "
+            f"{self.target_ppv:.2f} and equal FNR {self.target_fnr:.2f} "
+            "across groups):"
+        ]
+        for group, rate in self.base_rates.items():
+            lines.append(
+                f"  {group}: base rate {rate:.3f} -> implied FPR "
+                f"{self.implied_fpr[group]:.3f}"
+            )
+        lines.append(
+            f"  forced FPR gap: {self.forced_fpr_gap:.3f} "
+            "(no calibrated score can do better while base rates differ)"
+        )
+        return "\n".join(lines)
+
+
+def assess_impossibility(y_true, group, target_ppv: float = 0.7,
+                         target_fnr: float = 0.3) -> ImpossibilityAssessment:
+    """Quantify the error-rate gap equal calibration would force.
+
+    Reads the groups' base rates from the data and applies the identity
+    at the requested operating point.  A ``forced_fpr_gap`` of 0.715
+    means: *any* score with equal PPV and FNR across these groups must
+    have FPRs 0.715 apart — before a single modelling decision is made.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    group = np.asarray(group)
+    if y_true.shape != group.shape:
+        raise FairnessError("y_true and group must be aligned")
+    groups = np.unique(group)
+    if len(groups) < 2:
+        raise FairnessError("need at least two groups")
+    base_rates = {}
+    implied = {}
+    for value in groups:
+        rate = float(np.mean(y_true[group == value]))
+        if not 0.0 < rate < 1.0:
+            raise FairnessError(
+                f"group {value!r} has a degenerate base rate of {rate}"
+            )
+        base_rates[value] = rate
+        implied[value] = implied_false_positive_rate(
+            rate, target_ppv, target_fnr
+        )
+    return ImpossibilityAssessment(
+        base_rates=base_rates, target_ppv=target_ppv,
+        target_fnr=target_fnr, implied_fpr=implied,
+    )
+
+
+def feasible_fairness_criteria(y_true, group,
+                               tolerance: float = 0.02) -> dict[str, bool]:
+    """Which standard criteria can jointly hold on this data?
+
+    With (near-)equal base rates everything is jointly feasible; once
+    they diverge, {calibration, equalized odds} become mutually
+    exclusive.  Demographic parity is always *achievable* (trivially, by
+    group-dependent randomisation) but conflicts with calibration when
+    base rates differ.
+    """
+    assessment = assess_impossibility(y_true, group)
+    equal_base_rates = assessment.base_rate_gap <= tolerance
+    return {
+        "equal_base_rates": equal_base_rates,
+        "calibration_and_equalized_odds": equal_base_rates,
+        "calibration_and_demographic_parity": equal_base_rates,
+        "demographic_parity_alone": True,
+        "equalized_odds_alone": True,
+        "calibration_alone": True,
+    }

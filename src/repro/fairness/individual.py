@@ -1,0 +1,97 @@
+"""Individual fairness: consistency and situation testing (Q1).
+
+Group metrics can be satisfied while individuals are still treated
+arbitrarily.  Two complementary checks:
+
+* **consistency** — do similar people receive similar predictions?
+  (Zemel et al.'s k-NN consistency score.)
+* **situation testing** — for each member of the protected group, compare
+  the decision rate among their nearest neighbours *within* the group to
+  that among their nearest neighbours in the other group (Luong et al.);
+  a large gap is individual-level evidence of discrimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FairnessError
+from repro.learn.neighbors import nearest_indices
+
+
+def consistency_score(X, y_pred, k: int = 5) -> float:
+    """1 minus the mean |prediction - neighbour predictions| over k-NN.
+
+    1.0 means every point agrees with its neighbourhood; lower values
+    indicate that similar individuals receive different outcomes.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if len(X) != len(y_pred):
+        raise FairnessError("X and y_pred must be aligned")
+    if len(X) <= k:
+        raise FairnessError(f"need more than k={k} rows")
+    # k+1 then drop self-matches (each point is its own nearest neighbour).
+    neighbours = nearest_indices(X, X, k + 1)[:, 1:]
+    neighbour_mean = y_pred[neighbours].mean(axis=1)
+    return float(1.0 - np.mean(np.abs(y_pred - neighbour_mean)))
+
+
+@dataclass(frozen=True)
+class SituationTestResult:
+    """Outcome of situation testing for one protected group."""
+
+    group: object
+    n_tested: int
+    n_flagged: int
+    mean_gap: float
+    threshold: float
+
+    @property
+    def flagged_fraction(self) -> float:
+        """Share of tested individuals with evidence of discrimination."""
+        return self.n_flagged / self.n_tested if self.n_tested else 0.0
+
+
+def situation_test(X, y_pred, group, protected: object,
+                   k: int = 7, threshold: float = 0.3) -> SituationTestResult:
+    """k-NN situation testing for members of ``protected``.
+
+    For each protected individual, compute the positive-decision rate
+    among their ``k`` nearest protected neighbours and their ``k``
+    nearest non-protected neighbours; flag the individual when the
+    non-protected twins are favoured by more than ``threshold``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    group = np.asarray(group)
+    if not (len(X) == len(y_pred) == len(group)):
+        raise FairnessError("X, y_pred and group must be aligned")
+    protected_mask = group == protected
+    if not protected_mask.any():
+        raise FairnessError(f"no rows in protected group {protected!r}")
+    other_mask = ~protected_mask
+    if other_mask.sum() < k or protected_mask.sum() <= k:
+        raise FairnessError("not enough rows in one of the groups for k neighbours")
+
+    protected_X = X[protected_mask]
+    own_pool_X = protected_X
+    other_pool_X = X[other_mask]
+    own_pred = y_pred[protected_mask]
+    other_pred = y_pred[other_mask]
+
+    own_neighbours = nearest_indices(protected_X, own_pool_X, k + 1)[:, 1:]
+    other_neighbours = nearest_indices(protected_X, other_pool_X, k)
+    own_rate = own_pred[own_neighbours].mean(axis=1)
+    other_rate = other_pred[other_neighbours].mean(axis=1)
+    gaps = other_rate - own_rate
+    flagged = gaps > threshold
+    return SituationTestResult(
+        group=protected,
+        n_tested=int(protected_mask.sum()),
+        n_flagged=int(flagged.sum()),
+        mean_gap=float(gaps.mean()),
+        threshold=threshold,
+    )

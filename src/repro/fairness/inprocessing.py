@@ -1,0 +1,304 @@
+"""In-processing fairness mitigation: constrain the learner itself (Q1).
+
+* :class:`FairPenaltyLogisticRegression` — logistic regression whose loss
+  carries a penalty on the covariance between group membership and the
+  decision logits (in the spirit of Kamishima et al.'s prejudice remover
+  and Zafar et al.'s covariance constraints).
+* :class:`ExponentiatedGradientReducer` — the Agarwal et al. (2018)
+  reduction: fair classification as a two-player game between a
+  cost-sensitive learner and a multiplicative-weights constraint player.
+  Supports demographic-parity and equalized-odds constraints with any
+  weighted base classifier from :mod:`repro.learn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from repro.data.synth.base import sigmoid
+from repro.exceptions import ConvergenceError, DataError, FairnessError
+from repro.learn.base import (
+    Classifier,
+    check_binary_labels,
+    check_matrix,
+    check_weights,
+)
+
+
+class FairPenaltyLogisticRegression(Classifier):
+    """Logistic regression with a group-covariance fairness penalty.
+
+    Minimises ``log-loss + l2/2·‖w‖² + fairness·n·cov(s, z)²`` where ``s``
+    is centred group membership and ``z`` the logits.  ``fairness = 0``
+    recovers plain logistic regression; large values force the logits to
+    decorrelate from the group, driving statistical parity.
+
+    The group vector is passed at ``fit`` time via ``group`` (0/1 encoded
+    or any binary array), *not* as a model feature — the model never sees
+    the attribute, only the constraint does.
+    """
+
+    def __init__(self, fairness: float = 1.0, l2: float = 1.0,
+                 max_iter: int = 500, tol: float = 1e-6):
+        if fairness < 0:
+            raise DataError("fairness must be non-negative")
+        self.fairness = fairness
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._group: np.ndarray | None = None
+
+    def set_group(self, group) -> "FairPenaltyLogisticRegression":
+        """Attach the protected-attribute vector used by the penalty."""
+        group = np.asarray(group)
+        values = np.unique(group)
+        if len(values) != 2:
+            raise FairnessError(
+                f"penalty needs a binary group, got {values.tolist()}"
+            )
+        self._group = (group == values[1]).astype(np.float64)
+        return self
+
+    def fit(self, X, y, sample_weight=None,
+            group=None) -> "FairPenaltyLogisticRegression":
+        """Fit with the covariance penalty (group from ``set_group`` or kwarg)."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if group is not None:
+            self.set_group(group)
+        if self._group is None:
+            raise FairnessError("call set_group (or pass group=) before fit")
+        if len(self._group) != len(y):
+            raise FairnessError("group vector must align with training rows")
+        weights = check_weights(sample_weight, len(y))
+        weights = weights / weights.mean()
+        s_centred = self._group - self._group.mean()
+        n = len(y)
+        n_features = X.shape[1]
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            coef, intercept = theta[:n_features], theta[n_features]
+            z = X @ coef + intercept
+            p = sigmoid(z)
+            eps = 1e-12
+            loss = -np.sum(
+                weights * (y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+            )
+            loss += 0.5 * self.l2 * coef @ coef
+            covariance = float(s_centred @ z) / n
+            loss += self.fairness * n * covariance**2
+            residual = weights * (p - y)
+            grad_coef = X.T @ residual + self.l2 * coef
+            grad_intercept = float(residual.sum())
+            cov_grad_coef = 2.0 * self.fairness * covariance * (X.T @ s_centred)
+            grad_coef = grad_coef + cov_grad_coef
+            # d cov / d intercept = mean(s_centred) = 0, no intercept term.
+            return loss, np.append(grad_coef, grad_intercept)
+
+        result = optimize.minimize(
+            objective, np.zeros(n_features + 1), jac=True, method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        if not result.success and result.status != 1:
+            raise ConvergenceError(
+                f"fair logistic regression failed to converge: {result.message}"
+            )
+        self.coef_ = result.x[:n_features]
+        self.intercept_ = float(result.x[n_features])
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y = 1 | x) via the fitted (fairness-penalised) logit."""
+        self._require_fitted()
+        return np.asarray(sigmoid(check_matrix(X) @ self.coef_ + self.intercept_))
+
+
+@dataclass
+class _Constraint:
+    """One side of one moment constraint: ⟨weights, h⟩ - offset ≤ slack."""
+
+    name: str
+    member_weight: np.ndarray  # per-example coefficient on E[h·…]
+    sign: float                # +1 or -1 side of the absolute value
+
+
+class ExponentiatedGradientReducer(Classifier):
+    """Agarwal et al.'s fair-classification reduction.
+
+    Parameters
+    ----------
+    base:
+        Weighted binary classifier factory (cloned each round).
+    constraint:
+        ``"demographic_parity"`` (selection rates equal across groups) or
+        ``"equalized_odds"`` (TPR and FPR equal across groups).
+    eps:
+        Allowed constraint slack.
+    eta:
+        Multiplicative-weights learning rate.
+    max_rounds:
+        Game iterations; the final predictor uniformly randomises over
+        the hypotheses found (here: averages their hard predictions).
+    bound:
+        L1 bound B on the dual multipliers.
+    """
+
+    CONSTRAINTS = ("demographic_parity", "equalized_odds")
+
+    def __init__(self, base: Classifier,
+                 constraint: str = "demographic_parity",
+                 eps: float = 0.02, eta: float = 0.5,
+                 max_rounds: int = 40, bound: float = 10.0,
+                 burn_in_fraction: float = 0.5):
+        if constraint not in self.CONSTRAINTS:
+            raise FairnessError(
+                f"unknown constraint {constraint!r}; choose from {self.CONSTRAINTS}"
+            )
+        if not 0.0 <= burn_in_fraction < 1.0:
+            raise FairnessError("burn_in_fraction must be in [0, 1)")
+        self.base = base
+        self.constraint = constraint
+        self.eps = eps
+        self.eta = eta
+        self.max_rounds = max_rounds
+        self.bound = bound
+        self.burn_in_fraction = burn_in_fraction
+        self._hypotheses: list[Classifier] = []
+        self._group: np.ndarray | None = None
+
+    def set_group(self, group) -> "ExponentiatedGradientReducer":
+        """Attach the protected-attribute vector used by the constraints."""
+        self._group = np.asarray(group)
+        return self
+
+    def _build_constraints(self, y: np.ndarray,
+                           group: np.ndarray) -> list[_Constraint]:
+        n = len(y)
+        constraints: list[_Constraint] = []
+        if self.constraint == "demographic_parity":
+            for value in np.unique(group):
+                mask = group == value
+                member = mask / mask.sum() - np.ones(n) / n
+                for sign in (1.0, -1.0):
+                    constraints.append(_Constraint(
+                        name=f"dp[{value}]{'+' if sign > 0 else '-'}",
+                        member_weight=sign * member, sign=sign,
+                    ))
+        else:  # equalized odds
+            for label in (0.0, 1.0):
+                label_mask = y == label
+                if not label_mask.any():
+                    continue
+                for value in np.unique(group):
+                    mask = label_mask & (group == value)
+                    if not mask.any():
+                        continue
+                    member = mask / mask.sum() - label_mask / label_mask.sum()
+                    kind = "tpr" if label == 1.0 else "fpr"
+                    for sign in (1.0, -1.0):
+                        constraints.append(_Constraint(
+                            name=f"{kind}[{value}]{'+' if sign > 0 else '-'}",
+                            member_weight=sign * member, sign=sign,
+                        ))
+        return constraints
+
+    def fit(self, X, y, sample_weight=None,
+            group=None) -> "ExponentiatedGradientReducer":
+        """Run the constraint game and collect the hypothesis ensemble."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if group is not None:
+            self.set_group(group)
+        if self._group is None:
+            raise FairnessError("call set_group (or pass group=) before fit")
+        group_arr = self._group
+        if len(group_arr) != len(y):
+            raise FairnessError("group vector must align with training rows")
+        base_weights = check_weights(sample_weight, len(y))
+        base_weights = base_weights / base_weights.mean()
+        n = len(y)
+        constraints = self._build_constraints(y, group_arr)
+        theta = np.zeros(len(constraints))
+        self._hypotheses = []
+
+        for _ in range(self.max_rounds):
+            # Dual weights: lambda on the probability simplex scaled by B.
+            exp_theta = np.exp(theta - theta.max())
+            lam = self.bound * exp_theta / (1.0 + exp_theta.sum()) \
+                if exp_theta.sum() > 0 else np.zeros_like(theta)
+            # Per-example cost of predicting 1 (vs 0).
+            cost = base_weights * (1.0 - 2.0 * y) / n
+            for multiplier, constraint in zip(lam, constraints):
+                cost = cost + multiplier * constraint.member_weight
+            pseudo_labels = (cost < 0).astype(np.float64)
+            pseudo_weights = np.abs(cost)
+            if pseudo_weights.sum() <= 0 or len(np.unique(pseudo_labels)) < 2:
+                # Degenerate best response: constant classifier; inject
+                # tiny uniform weight so the base learner still fits.
+                pseudo_weights = pseudo_weights + 1e-8
+                if len(np.unique(pseudo_labels)) < 2:
+                    self._hypotheses.append(
+                        _ConstantClassifier(float(pseudo_labels[0]))
+                    )
+                    break
+            hypothesis = self.base.clone()
+            hypothesis.fit(X, pseudo_labels, sample_weight=pseudo_weights)
+            self._hypotheses.append(hypothesis)
+            # Constraint player: exponentiated gradient on the violations
+            # of the *average* play so far.
+            avg_pred = np.mean(
+                [h.predict(X) for h in self._hypotheses], axis=0
+            )
+            violations = np.array([
+                float(constraint.member_weight @ avg_pred) - self.eps
+                for constraint in constraints
+            ])
+            theta += self.eta * violations
+        if not self._hypotheses:
+            raise ConvergenceError("reduction produced no hypotheses")
+        self._mark_fitted()
+        return self
+
+    def _ensemble(self) -> list[Classifier]:
+        """Hypotheses after the burn-in prefix.
+
+        The game's early best responses are (nearly) unconstrained
+        classifiers; averaging them back in would re-introduce the very
+        disparity the duals spent their rounds correcting, so the final
+        randomised classifier uses only the post-burn-in iterates.
+        """
+        skip = int(len(self._hypotheses) * self.burn_in_fraction)
+        kept = self._hypotheses[skip:]
+        return kept if kept else self._hypotheses
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Mean hard prediction of the post-burn-in hypothesis ensemble."""
+        self._require_fitted()
+        X = check_matrix(X)
+        return np.mean([h.predict(X) for h in self._ensemble()], axis=0)
+
+    @property
+    def n_hypotheses(self) -> int:
+        """Size of the ensemble the game produced (before burn-in trim)."""
+        self._require_fitted()
+        return len(self._hypotheses)
+
+
+class _ConstantClassifier(Classifier):
+    """Always predicts one class (degenerate game best response)."""
+
+    def __init__(self, value: float):
+        self.value = value
+        self._mark_fitted()
+
+    def fit(self, X, y, sample_weight=None) -> "_ConstantClassifier":
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.full(len(np.asarray(X)), self.value)

@@ -1,0 +1,125 @@
+"""Intersectional fairness (Q1 extension).
+
+Group metrics on one attribute can certify a model that still harms an
+*intersection* — e.g. fair by group and fair by age band, unfair for
+older members of group B.  This module audits the full cross-product of
+several sensitive/categorical attributes, reporting the worst cell and
+worst pairwise gap with minimum-support filtering (tiny cells are noise,
+the Q2 lesson applied inside Q1 again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FairnessError
+
+
+@dataclass(frozen=True)
+class IntersectionalCell:
+    """One intersection of attribute values with its outcome statistics."""
+
+    values: tuple[tuple[str, str], ...]
+    size: int
+    selection_rate: float
+
+    def describe(self) -> str:
+        """Readable rendering, e.g. ``group=B & age_band=old``."""
+        return " & ".join(f"{name}={value}" for name, value in self.values)
+
+
+@dataclass(frozen=True)
+class IntersectionalReport:
+    """Audit across the cross-product of several attributes."""
+
+    attributes: tuple[str, ...]
+    cells: tuple[IntersectionalCell, ...]
+    min_cell_size: int
+
+    @property
+    def worst_cell(self) -> IntersectionalCell:
+        """The intersection with the lowest selection rate."""
+        return min(self.cells, key=lambda cell: cell.selection_rate)
+
+    @property
+    def best_cell(self) -> IntersectionalCell:
+        """The intersection with the highest selection rate."""
+        return max(self.cells, key=lambda cell: cell.selection_rate)
+
+    @property
+    def max_gap(self) -> float:
+        """Largest pairwise selection-rate gap across intersections."""
+        return self.best_cell.selection_rate - self.worst_cell.selection_rate
+
+    @property
+    def disparate_impact_ratio(self) -> float:
+        """min/max selection rate over the intersections."""
+        top = self.best_cell.selection_rate
+        if top == 0.0:
+            return 1.0
+        return self.worst_cell.selection_rate / top
+
+    def render(self) -> str:
+        """Readable intersectional summary."""
+        lines = [
+            f"intersectional audit over {list(self.attributes)} "
+            f"({len(self.cells)} cells of >= {self.min_cell_size} people)"
+        ]
+        for cell in sorted(self.cells, key=lambda c: c.selection_rate):
+            lines.append(
+                f"  {cell.describe()}: selection {cell.selection_rate:.3f} "
+                f"(n={cell.size})"
+            )
+        lines.append(
+            f"  max gap {self.max_gap:.3f}, DI ratio "
+            f"{self.disparate_impact_ratio:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def intersectional_audit(y_pred, attribute_values: dict[str, np.ndarray],
+                         min_cell_size: int = 20) -> IntersectionalReport:
+    """Audit decisions across the cross-product of attributes.
+
+    ``attribute_values`` maps attribute name → aligned value array.
+    Cells smaller than ``min_cell_size`` are excluded from the gap
+    computation (but their existence is implicit in the cell count).
+    """
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if len(attribute_values) < 1:
+        raise FairnessError("need at least one attribute")
+    names = tuple(sorted(attribute_values))
+    arrays = {}
+    for name in names:
+        array = np.asarray(attribute_values[name])
+        if array.shape != y_pred.shape:
+            raise FairnessError(f"attribute {name!r} misaligned with predictions")
+        arrays[name] = array
+
+    cells: list[IntersectionalCell] = []
+
+    def recurse(depth: int, mask: np.ndarray,
+                chosen: tuple[tuple[str, str], ...]):
+        if depth == len(names):
+            size = int(mask.sum())
+            if size >= min_cell_size:
+                cells.append(IntersectionalCell(
+                    values=chosen, size=size,
+                    selection_rate=float(y_pred[mask].mean()),
+                ))
+            return
+        name = names[depth]
+        for value in np.unique(arrays[name][mask]) if mask.any() else []:
+            recurse(depth + 1, mask & (arrays[name] == value),
+                    (*chosen, (name, str(value))))
+
+    recurse(0, np.ones(len(y_pred), dtype=bool), ())
+    if len(cells) < 2:
+        raise FairnessError(
+            "fewer than two populated intersections; lower min_cell_size"
+        )
+    return IntersectionalReport(
+        attributes=names, cells=tuple(cells), min_cell_size=min_cell_size
+    )

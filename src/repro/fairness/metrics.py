@@ -1,0 +1,162 @@
+"""Group fairness metrics (Q1).
+
+All metrics operate on three aligned arrays — true labels, predicted
+labels (or scores), and group membership — and report both per-group
+values and the worst-case disparity across groups.  Conventions:
+
+* *difference* metrics are ``max(group values) - min(group values)``
+  (0 is perfectly fair);
+* *ratio* metrics are ``min / max`` (1 is perfectly fair; the US EEOC
+  "four-fifths rule" flags ratios below 0.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FairnessError
+from repro.learn.metrics import ConfusionMatrix, confusion_matrix
+
+
+def _check_inputs(y_pred, group, y_true=None):
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    group = np.asarray(group)
+    if y_pred.shape != group.shape or y_pred.ndim != 1:
+        raise FairnessError(
+            f"predictions {y_pred.shape} and groups {group.shape} must be aligned 1-D arrays"
+        )
+    if len(y_pred) == 0:
+        raise FairnessError("fairness metrics need at least one example")
+    if y_true is not None:
+        y_true = np.asarray(y_true, dtype=np.float64)
+        if y_true.shape != y_pred.shape:
+            raise FairnessError("y_true and y_pred must be aligned")
+    groups = np.unique(group)
+    if len(groups) < 2:
+        raise FairnessError(
+            f"need at least two groups, found {groups.tolist()}"
+        )
+    return y_pred, group, y_true, groups
+
+
+@dataclass(frozen=True)
+class GroupRates:
+    """Per-group confusion-derived rates for one protected attribute."""
+
+    groups: tuple
+    confusions: dict[object, ConfusionMatrix]
+
+    def per_group(self, attribute: str) -> dict[object, float]:
+        """One confusion-matrix property per group."""
+        return {
+            group: getattr(cm, attribute)
+            for group, cm in self.confusions.items()
+        }
+
+    def difference(self, attribute: str) -> float:
+        """max - min of one rate across groups."""
+        values = list(self.per_group(attribute).values())
+        return float(max(values) - min(values))
+
+    def ratio(self, attribute: str) -> float:
+        """min / max of one rate across groups (1.0 when max is 0)."""
+        values = list(self.per_group(attribute).values())
+        top = max(values)
+        if top == 0.0:
+            return 1.0
+        return float(min(values) / top)
+
+
+def group_rates(y_true, y_pred, group) -> GroupRates:
+    """Confusion matrices per group."""
+    y_pred, group, y_true, groups = _check_inputs(y_pred, group, y_true)
+    confusions = {}
+    for value in groups:
+        mask = group == value
+        confusions[value] = confusion_matrix(y_true[mask], y_pred[mask])
+    return GroupRates(tuple(groups.tolist()), confusions)
+
+
+def selection_rates(y_pred, group) -> dict[object, float]:
+    """Fraction predicted positive, per group."""
+    y_pred, group, _, groups = _check_inputs(y_pred, group)
+    return {
+        value: float(np.mean(y_pred[group == value])) for value in groups
+    }
+
+
+def statistical_parity_difference(y_pred, group) -> float:
+    """max - min selection rate across groups (a.k.a. demographic parity)."""
+    rates = list(selection_rates(y_pred, group).values())
+    return float(max(rates) - min(rates))
+
+
+def disparate_impact_ratio(y_pred, group) -> float:
+    """min/max selection-rate ratio; < 0.8 violates the four-fifths rule."""
+    rates = list(selection_rates(y_pred, group).values())
+    top = max(rates)
+    if top == 0.0:
+        return 1.0
+    return float(min(rates) / top)
+
+
+def equal_opportunity_difference(y_true, y_pred, group) -> float:
+    """max - min true-positive rate across groups."""
+    return group_rates(y_true, y_pred, group).difference("recall")
+
+
+def equalized_odds_difference(y_true, y_pred, group) -> float:
+    """Worst of the TPR gap and the FPR gap across groups."""
+    rates = group_rates(y_true, y_pred, group)
+    return float(max(
+        rates.difference("recall"), rates.difference("false_positive_rate")
+    ))
+
+
+def predictive_parity_difference(y_true, y_pred, group) -> float:
+    """max - min precision across groups."""
+    return group_rates(y_true, y_pred, group).difference("precision")
+
+
+def accuracy_difference(y_true, y_pred, group) -> float:
+    """max - min accuracy across groups."""
+    return group_rates(y_true, y_pred, group).difference("accuracy")
+
+
+def group_calibration_gaps(y_true, probabilities, group,
+                           n_bins: int = 10) -> dict[object, float]:
+    """Expected calibration error within each group.
+
+    A score calibrated overall can hide large within-group
+    mis-calibration; with unequal base rates, within-group calibration and
+    equalised odds cannot both hold (Kleinberg et al.) — the recidivism
+    experiment demonstrates this tension.
+    """
+    from repro.learn.calibration import expected_calibration_error
+
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    _, group, y_true, groups = _check_inputs(probabilities, group, y_true)
+    return {
+        value: expected_calibration_error(
+            y_true[group == value], probabilities[group == value], n_bins
+        )
+        for value in groups
+    }
+
+
+def base_rates(y_true, group) -> dict[object, float]:
+    """Positive-label prevalence per group (the impossibility lever)."""
+    y_true, group, _, groups = _check_inputs(y_true, group)
+    return {
+        value: float(np.mean(y_true[group == value])) for value in groups
+    }
+
+
+FOUR_FIFTHS = 0.8
+
+
+def passes_four_fifths_rule(y_pred, group) -> bool:
+    """True when the disparate-impact ratio is at least 0.8."""
+    return disparate_impact_ratio(y_pred, group) >= FOUR_FIFTHS

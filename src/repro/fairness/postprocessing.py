@@ -1,0 +1,130 @@
+"""Post-processing fairness mitigation: adjust decisions, not models (Q1).
+
+Operates purely on scores + groups, which makes it the only option when
+the model is a vendor black box — directly relevant to the paper's
+transparency worries.
+
+* :class:`GroupThresholdOptimizer` — per-group decision thresholds chosen
+  on held-out data to satisfy demographic parity or equal opportunity at
+  the smallest accuracy cost (a practical cousin of Hardt et al. 2016).
+* :class:`RejectOptionClassifier` — inside the low-confidence band around
+  the decision boundary, resolve in favour of the protected group
+  (Kamiran et al. 2012).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FairnessError, NotFittedError
+from repro.learn.metrics import accuracy
+
+
+class GroupThresholdOptimizer:
+    """Pick per-group thresholds on validation scores.
+
+    Parameters
+    ----------
+    objective:
+        ``"demographic_parity"`` — equal selection rates; or
+        ``"equal_opportunity"`` — equal true-positive rates.
+    grid_size:
+        Number of candidate target rates searched.
+    """
+
+    OBJECTIVES = ("demographic_parity", "equal_opportunity")
+
+    def __init__(self, objective: str = "demographic_parity",
+                 grid_size: int = 50):
+        if objective not in self.OBJECTIVES:
+            raise FairnessError(
+                f"unknown objective {objective!r}; choose from {self.OBJECTIVES}"
+            )
+        self.objective = objective
+        self.grid_size = grid_size
+        self.thresholds_: dict[object, float] | None = None
+        self.target_rate_: float | None = None
+
+    def fit(self, scores, y_true, group) -> "GroupThresholdOptimizer":
+        """Search target rates; keep the per-group thresholds maximising accuracy."""
+        scores = np.asarray(scores, dtype=np.float64)
+        y_true = np.asarray(y_true, dtype=np.float64)
+        group = np.asarray(group)
+        if not (len(scores) == len(y_true) == len(group)):
+            raise FairnessError("scores, y_true and group must be aligned")
+        groups = np.unique(group)
+        if len(groups) < 2:
+            raise FairnessError("need at least two groups")
+
+        best: tuple[float, float, dict[object, float]] | None = None
+        for target in np.linspace(0.02, 0.98, self.grid_size):
+            thresholds: dict[object, float] = {}
+            feasible = True
+            for value in groups:
+                mask = group == value
+                if self.objective == "demographic_parity":
+                    pool = scores[mask]
+                else:
+                    pool = scores[mask & (y_true == 1.0)]
+                    if len(pool) == 0:
+                        feasible = False
+                        break
+                thresholds[value] = float(np.quantile(pool, 1.0 - target))
+            if not feasible:
+                continue
+            predictions = self._apply(scores, group, thresholds)
+            score = accuracy(y_true, predictions)
+            if best is None or score > best[0]:
+                best = (score, float(target), thresholds)
+        if best is None:
+            raise FairnessError("no feasible thresholds found")
+        _, self.target_rate_, self.thresholds_ = best
+        return self
+
+    @staticmethod
+    def _apply(scores: np.ndarray, group: np.ndarray,
+               thresholds: dict[object, float]) -> np.ndarray:
+        predictions = np.zeros(len(scores), dtype=np.float64)
+        for value, threshold in thresholds.items():
+            mask = group == value
+            predictions[mask] = (scores[mask] >= threshold).astype(np.float64)
+        return predictions
+
+    def predict(self, scores, group) -> np.ndarray:
+        """Apply the fitted per-group thresholds to new scores."""
+        if self.thresholds_ is None:
+            raise NotFittedError("GroupThresholdOptimizer must be fit first")
+        scores = np.asarray(scores, dtype=np.float64)
+        group = np.asarray(group)
+        unknown = set(np.unique(group).tolist()) - set(self.thresholds_)
+        if unknown:
+            raise FairnessError(f"unseen groups at predict time: {sorted(unknown)}")
+        return self._apply(scores, group, self.thresholds_)
+
+
+class RejectOptionClassifier:
+    """Flip low-confidence decisions in favour of the protected group.
+
+    For probabilities inside ``[0.5 - band, 0.5 + band]``, protected-group
+    members are accepted and others rejected; outside the band the
+    original decision stands.
+    """
+
+    def __init__(self, protected: object, band: float = 0.1):
+        if not 0.0 < band <= 0.5:
+            raise FairnessError(f"band must be in (0, 0.5], got {band}")
+        self.protected = protected
+        self.band = band
+
+    def predict(self, probabilities, group) -> np.ndarray:
+        """Apply the reject-option rule to probability scores."""
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        group = np.asarray(group)
+        if probabilities.shape != group.shape:
+            raise FairnessError("probabilities and group must be aligned")
+        decisions = (probabilities >= 0.5).astype(np.float64)
+        uncertain = np.abs(probabilities - 0.5) <= self.band
+        protected_mask = group == self.protected
+        decisions[uncertain & protected_mask] = 1.0
+        decisions[uncertain & ~protected_mask] = 0.0
+        return decisions

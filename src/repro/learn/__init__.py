@@ -1,0 +1,87 @@
+"""From-scratch learning library: models, metrics, calibration, selection."""
+
+from repro.learn.base import BaseEstimator, Classifier, Regressor
+from repro.learn.calibration import (
+    CalibratedClassifier,
+    PlattScaler,
+    ReliabilityCurve,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.learn.forest import RandomForestClassifier
+from repro.learn.linear import LogisticRegression, RidgeRegression
+from repro.learn.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision,
+    recall,
+    roc_auc,
+    roc_curve,
+)
+from repro.learn.mlp import MLPClassifier
+from repro.learn.model_selection import (
+    CVResult,
+    GridSearchResult,
+    cross_val_score,
+    grid_search,
+)
+from repro.learn.naive_bayes import GaussianNaiveBayes
+from repro.learn.neighbors import (
+    KNeighborsClassifier,
+    nearest_indices,
+    pairwise_distances,
+)
+from repro.learn.preprocessing import FeatureEncoder, StandardScaler, encode_labels
+from repro.learn.table_model import TableClassifier
+from repro.learn.tree import DecisionTreeClassifier
+from repro.learn.boosting import GradientBoostingClassifier
+from repro.learn.isotonic import IsotonicCalibrator, pool_adjacent_violators
+
+__all__ = [
+    "CalibratedClassifier",
+    "pool_adjacent_violators",
+    "IsotonicCalibrator",
+    "GradientBoostingClassifier",
+    "BaseEstimator",
+    "CVResult",
+    "Classifier",
+    "ConfusionMatrix",
+    "DecisionTreeClassifier",
+    "FeatureEncoder",
+    "GaussianNaiveBayes",
+    "GridSearchResult",
+    "KNeighborsClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "PlattScaler",
+    "RandomForestClassifier",
+    "Regressor",
+    "ReliabilityCurve",
+    "RidgeRegression",
+    "StandardScaler",
+    "TableClassifier",
+    "accuracy",
+    "brier_score",
+    "confusion_matrix",
+    "cross_val_score",
+    "encode_labels",
+    "expected_calibration_error",
+    "f1_score",
+    "grid_search",
+    "log_loss",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "nearest_indices",
+    "pairwise_distances",
+    "precision",
+    "recall",
+    "reliability_curve",
+    "roc_auc",
+    "roc_curve",
+]

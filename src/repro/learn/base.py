@@ -1,0 +1,116 @@
+"""Estimator protocol for the from-scratch learning library.
+
+The toolkit standardises on *binary* classification with labels ``{0, 1}``
+(every decision the paper discusses — approve/deny, hire/reject, flag/pass
+— is binary) plus scalar regression.  ``predict_proba`` returns the
+probability of the positive class as a 1-D array, which keeps the
+fairness, conformal and transparency code simple and uniform.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+def check_matrix(X) -> np.ndarray:
+    """Validate and coerce a 2-D float design matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError(f"expected a 2-D design matrix, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise DataError("design matrix contains NaN or infinity")
+    return X
+
+
+def check_binary_labels(y) -> np.ndarray:
+    """Validate and coerce binary 0/1 labels."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise DataError(f"expected 1-D labels, got shape {y.shape}")
+    values = np.unique(y)
+    if not np.all(np.isin(values, (0.0, 1.0))):
+        raise DataError(f"labels must be 0/1, got values {values}")
+    return y
+
+
+def check_weights(sample_weight, n_rows: int) -> np.ndarray:
+    """Validate sample weights, defaulting to uniform."""
+    if sample_weight is None:
+        return np.ones(n_rows, dtype=np.float64)
+    weights = np.asarray(sample_weight, dtype=np.float64)
+    if weights.shape != (n_rows,):
+        raise DataError(
+            f"sample_weight shape {weights.shape} does not match {n_rows} rows"
+        )
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise DataError("sample weights must be finite and non-negative")
+    if weights.sum() <= 0:
+        raise DataError("sample weights must not all be zero")
+    return weights
+
+
+class BaseEstimator(abc.ABC):
+    """Common fitted-state bookkeeping."""
+
+    _fitted: bool = False
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fit before use"
+            )
+
+    def params(self) -> dict[str, object]:
+        """Public hyper-parameters (for model cards and provenance).
+
+        Follows the sklearn convention: fitted state ends with a trailing
+        underscore and is excluded; private state starts with one.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+    def clone(self) -> "BaseEstimator":
+        """A fresh, unfitted copy with the same hyper-parameters."""
+        return type(self)(**self.params())
+
+
+class Classifier(BaseEstimator):
+    """Binary probabilistic classifier."""
+
+    @abc.abstractmethod
+    def fit(self, X, y, sample_weight=None) -> "Classifier":
+        """Learn from a design matrix and 0/1 labels."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y = 1 | x) for each row, shape ``(n,)``."""
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 decisions at the given probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.float64)
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Monotone score used for ranking; defaults to the probability."""
+        return self.predict_proba(X)
+
+
+class Regressor(BaseEstimator):
+    """Scalar regressor."""
+
+    @abc.abstractmethod
+    def fit(self, X, y, sample_weight=None) -> "Regressor":
+        """Learn from a design matrix and real-valued targets."""
+
+    @abc.abstractmethod
+    def predict(self, X) -> np.ndarray:
+        """Point predictions, shape ``(n,)``."""

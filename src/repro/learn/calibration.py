@@ -1,0 +1,153 @@
+"""Probability calibration: reliability curves, ECE, Platt scaling.
+
+Calibration sits on the fault line between the accuracy and fairness
+pillars: a score can be perfectly calibrated overall yet mis-calibrated
+within protected groups (and, with unequal base rates, calibration and
+error-rate parity are mutually exclusive — see the recidivism experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synth.base import sigmoid
+from repro.exceptions import DataError, NotFittedError
+from repro.learn.metrics import _check_pair
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned predicted-vs-observed frequencies."""
+
+    bin_centers: np.ndarray
+    predicted_mean: np.ndarray
+    observed_rate: np.ndarray
+    bin_counts: np.ndarray
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """Count-weighted mean |predicted − observed| over non-empty bins."""
+        total = self.bin_counts.sum()
+        if total == 0:
+            return 0.0
+        gaps = np.abs(self.predicted_mean - self.observed_rate)
+        return float(np.sum(self.bin_counts * gaps) / total)
+
+    @property
+    def maximum_calibration_error(self) -> float:
+        """Worst-bin |predicted − observed|."""
+        occupied = self.bin_counts > 0
+        if not occupied.any():
+            return 0.0
+        gaps = np.abs(self.predicted_mean - self.observed_rate)
+        return float(gaps[occupied].max())
+
+
+def reliability_curve(y_true, probabilities, n_bins: int = 10) -> ReliabilityCurve:
+    """Bin probabilities into equal-width bins and compare with outcomes."""
+    if n_bins < 2:
+        raise DataError("need at least 2 bins")
+    y_true, probabilities = _check_pair(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    bin_index = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    predicted = np.zeros(n_bins)
+    observed = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for b in range(n_bins):
+        mask = bin_index == b
+        counts[b] = mask.sum()
+        if counts[b]:
+            predicted[b] = probabilities[mask].mean()
+            observed[b] = y_true[mask].mean()
+    return ReliabilityCurve(centers, predicted, observed, counts)
+
+
+def expected_calibration_error(y_true, probabilities, n_bins: int = 10) -> float:
+    """Shorthand for the ECE of :func:`reliability_curve`."""
+    return reliability_curve(y_true, probabilities, n_bins).expected_calibration_error
+
+
+class CalibratedClassifier:
+    """Any classifier + a recalibration map fitted on held-out data.
+
+    ``method`` is ``"platt"`` (sigmoid) or ``"isotonic"`` (monotone step
+    function).  The wrapped model must already be fitted; ``calibrate``
+    consumes data the model never trained on — recalibrating on training
+    data just memorises its own overconfidence.
+    """
+
+    def __init__(self, model, method: str = "platt"):
+        if method not in ("platt", "isotonic"):
+            raise DataError("method must be 'platt' or 'isotonic'")
+        self.model = model
+        self.method = method
+        self._map = None
+
+    def calibrate(self, X_cal, y_cal) -> "CalibratedClassifier":
+        """Fit the recalibration map on held-out (X, y)."""
+        scores = self.model.predict_proba(X_cal)
+        if self.method == "platt":
+            self._map = PlattScaler().fit(scores, y_cal)
+        else:
+            from repro.learn.isotonic import IsotonicCalibrator
+
+            self._map = IsotonicCalibrator().fit(scores, y_cal)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Recalibrated probabilities."""
+        if self._map is None:
+            raise NotFittedError("calibrate() must run before predict_proba()")
+        return np.asarray(self._map.transform(self.model.predict_proba(X)))
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        """Hard decisions on the recalibrated probabilities."""
+        return (self.predict_proba(X) >= threshold).astype(np.float64)
+
+
+class PlattScaler:
+    """Sigmoid recalibration: fit a, b so sigmoid(a·s + b) matches outcomes.
+
+    Fitted on held-out data by damped Newton iterations on the 2-parameter
+    log-loss.
+    """
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-8):
+        self.max_iter = max_iter
+        self.tol = tol
+        self._a: float | None = None
+        self._b: float = 0.0
+
+    def fit(self, scores, y_true) -> "PlattScaler":
+        """Fit the two-parameter sigmoid map."""
+        y_true, scores = _check_pair(y_true, scores)
+        a, b = 1.0, 0.0
+        for _ in range(self.max_iter):
+            z = a * scores + b
+            p = np.asarray(sigmoid(z))
+            gradient = np.array([
+                np.sum((p - y_true) * scores),
+                np.sum(p - y_true),
+            ])
+            curvature = p * (1.0 - p)
+            hessian = np.array([
+                [np.sum(curvature * scores**2) + 1e-9, np.sum(curvature * scores)],
+                [np.sum(curvature * scores), np.sum(curvature) + 1e-9],
+            ])
+            step = np.linalg.solve(hessian, gradient)
+            a -= step[0]
+            b -= step[1]
+            if np.abs(step).max() < self.tol:
+                break
+        self._a, self._b = float(a), float(b)
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        """Apply the fitted sigmoid map to new scores."""
+        if self._a is None:
+            raise NotFittedError("PlattScaler must be fit before transform")
+        scores = np.asarray(scores, dtype=np.float64)
+        return np.asarray(sigmoid(self._a * scores + self._b))

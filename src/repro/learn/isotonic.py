@@ -1,0 +1,100 @@
+"""Isotonic regression calibration (pool-adjacent-violators).
+
+The non-parametric companion to Platt scaling: fits the best *monotone*
+map from scores to outcome frequencies.  More flexible than a sigmoid,
+so it wins when the miscalibration is not sigmoid-shaped — the usual
+case for boosted trees, whose scores cluster near 0 and 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+def pool_adjacent_violators(values: np.ndarray,
+                            weights: np.ndarray | None = None) -> np.ndarray:
+    """The PAVA solution: the closest non-decreasing sequence (weighted L2)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) == 0:
+        raise DataError("values must be a non-empty 1-D array")
+    if weights is None:
+        weights = np.ones(len(values))
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != values.shape or np.any(weights <= 0):
+            raise DataError("weights must be positive and aligned")
+
+    # Blocks as (mean, weight, count) merged while order is violated.
+    means: list[float] = []
+    block_weights: list[float] = []
+    counts: list[int] = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            merged_weight = block_weights[-2] + block_weights[-1]
+            merged_mean = (
+                means[-2] * block_weights[-2] + means[-1] * block_weights[-1]
+            ) / merged_weight
+            merged_count = counts[-2] + counts[-1]
+            for stack in (means, block_weights, counts):
+                stack.pop()
+                stack.pop()
+            means.append(merged_mean)
+            block_weights.append(merged_weight)
+            counts.append(merged_count)
+    out = np.empty(len(values))
+    position = 0
+    for mean, count in zip(means, counts):
+        out[position:position + count] = mean
+        position += count
+    return out
+
+
+class IsotonicCalibrator:
+    """Monotone score-to-probability recalibration.
+
+    Fit on held-out (scores, outcomes); transform interpolates the
+    fitted step function (linear between knots, clamped at the ends).
+    """
+
+    def __init__(self):
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, scores, y_true) -> "IsotonicCalibrator":
+        """Run PAVA over outcomes sorted by score."""
+        scores = np.asarray(scores, dtype=np.float64)
+        y_true = np.asarray(y_true, dtype=np.float64)
+        if scores.shape != y_true.shape or scores.ndim != 1:
+            raise DataError("scores and y_true must be aligned 1-D arrays")
+        if len(scores) < 2:
+            raise DataError("need at least 2 calibration points")
+        order = np.argsort(scores, kind="stable")
+        fitted = pool_adjacent_violators(y_true[order])
+        # Collapse ties in score to one knot (mean fitted value).
+        sorted_scores = scores[order]
+        knots_x: list[float] = []
+        knots_y: list[float] = []
+        index = 0
+        while index < len(sorted_scores):
+            tie_end = index
+            while (tie_end + 1 < len(sorted_scores)
+                   and sorted_scores[tie_end + 1] == sorted_scores[index]):
+                tie_end += 1
+            knots_x.append(float(sorted_scores[index]))
+            knots_y.append(float(fitted[index:tie_end + 1].mean()))
+            index = tie_end + 1
+        self._x = np.asarray(knots_x)
+        self._y = np.asarray(knots_y)
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        """Calibrated probabilities for new scores."""
+        if self._x is None:
+            raise NotFittedError("IsotonicCalibrator must be fit first")
+        scores = np.asarray(scores, dtype=np.float64)
+        return np.clip(np.interp(scores, self._x, self._y), 0.0, 1.0)

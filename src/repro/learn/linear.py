@@ -1,0 +1,132 @@
+"""Linear models: logistic regression and ridge regression.
+
+Logistic regression is the toolkit's workhorse: it is the model whose
+coefficients the transparency pillar can read directly, the base learner
+for in-processing fairness methods, and the propensity model for the
+causal estimators.  Fitting uses L-BFGS on the weighted, L2-penalised
+log-loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.data.synth.base import sigmoid
+from repro.exceptions import ConvergenceError, DataError
+from repro.learn.base import (
+    Classifier,
+    Regressor,
+    check_binary_labels,
+    check_matrix,
+    check_weights,
+)
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression with L2 regularisation.
+
+    Parameters
+    ----------
+    l2:
+        Strength of the L2 penalty on the weights (not the intercept).
+    max_iter:
+        L-BFGS iteration budget.
+    tol:
+        Gradient-norm tolerance for convergence.
+    """
+
+    def __init__(self, l2: float = 1.0, max_iter: int = 500, tol: float = 1e-6):
+        if l2 < 0:
+            raise DataError("l2 must be non-negative")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y, sample_weight=None) -> "LogisticRegression":
+        """Minimise the weighted penalised negative log-likelihood."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if len(X) != len(y):
+            raise DataError(f"X has {len(X)} rows but y has {len(y)}")
+        weights = check_weights(sample_weight, len(y))
+        weights = weights / weights.mean()
+        n_features = X.shape[1]
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            coef, intercept = theta[:n_features], theta[n_features]
+            z = X @ coef + intercept
+            p = sigmoid(z)
+            eps = 1e-12
+            loss = -np.sum(
+                weights * (y * np.log(p + eps) + (1.0 - y) * np.log(1.0 - p + eps))
+            )
+            loss += 0.5 * self.l2 * coef @ coef
+            residual = weights * (p - y)
+            grad_coef = X.T @ residual + self.l2 * coef
+            grad_intercept = residual.sum()
+            return loss, np.append(grad_coef, grad_intercept)
+
+        theta0 = np.zeros(n_features + 1)
+        result = optimize.minimize(
+            objective, theta0, jac=True, method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        if not result.success and result.status != 1:  # status 1 = maxiter
+            raise ConvergenceError(
+                f"logistic regression failed to converge: {result.message}"
+            )
+        self.coef_ = result.x[:n_features]
+        self.intercept_ = float(result.x[n_features])
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y = 1 | x) via the fitted linear logit."""
+        self._require_fitted()
+        X = check_matrix(X)
+        return np.asarray(sigmoid(X @ self.coef_ + self.intercept_))
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Raw logits (monotone in the probability)."""
+        self._require_fitted()
+        return check_matrix(X) @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(Regressor):
+    """Linear regression with an L2 penalty, solved in closed form."""
+
+    def __init__(self, l2: float = 1.0):
+        if l2 < 0:
+            raise DataError("l2 must be non-negative")
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y, sample_weight=None) -> "RidgeRegression":
+        """Solve the weighted normal equations."""
+        X = check_matrix(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1 or len(y) != len(X):
+            raise DataError("y must be 1-D and match X's row count")
+        weights = check_weights(sample_weight, len(y))
+        sqrt_w = np.sqrt(weights / weights.mean())
+        ones = np.ones((len(X), 1))
+        design = np.hstack([X, ones]) * sqrt_w[:, None]
+        target = y * sqrt_w
+        penalty = self.l2 * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0  # do not penalise the intercept
+        theta = np.linalg.solve(
+            design.T @ design + penalty, design.T @ target
+        )
+        self.coef_ = theta[:-1]
+        self.intercept_ = float(theta[-1])
+        self._mark_fitted()
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Linear point predictions."""
+        self._require_fitted()
+        return check_matrix(X) @ self.coef_ + self.intercept_

@@ -1,0 +1,146 @@
+"""A small multi-layer perceptron — the paper's "black box".
+
+§2-Q4: "the neural networks used by the deep learning approach cannot be
+understood by humans … they serve as a black box that apparently makes
+good decisions, but cannot rationalize them."  This MLP is the minimal
+instance of that object: accurate on the non-linear census task, opaque
+by construction, and therefore the subject of every explainer in
+:mod:`repro.transparency`.
+
+Training: mini-batch Adam on the weighted cross-entropy, ReLU hidden
+layers, Glorot initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synth.base import sigmoid
+from repro.exceptions import DataError
+from repro.learn.base import (
+    Classifier,
+    check_binary_labels,
+    check_matrix,
+    check_weights,
+)
+
+
+class MLPClassifier(Classifier):
+    """Fully-connected binary classifier.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(32, 16)``.
+    learning_rate, epochs, batch_size:
+        Adam optimiser settings.
+    l2:
+        Weight decay strength.
+    seed:
+        Seeds initialisation and batch shuffling.
+    """
+
+    def __init__(self, hidden: tuple[int, ...] = (32, 16),
+                 learning_rate: float = 0.01, epochs: int = 60,
+                 batch_size: int = 64, l2: float = 1e-4, seed: int = 0):
+        if not hidden or any(width < 1 for width in hidden):
+            raise DataError("hidden must be a non-empty tuple of positive widths")
+        self.hidden = tuple(hidden)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+
+    def _initialise(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, (fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [X]
+        out = X
+        for layer, (W, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ W + b
+            if layer < len(self._weights) - 1:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return activations, np.asarray(sigmoid(out[:, 0]))
+
+    def fit(self, X, y, sample_weight=None) -> "MLPClassifier":
+        """Mini-batch Adam on weighted cross-entropy."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if len(X) != len(y):
+            raise DataError(f"X has {len(X)} rows but y has {len(y)}")
+        weights = check_weights(sample_weight, len(y))
+        weights = weights / weights.mean()
+        rng = np.random.default_rng(self.seed)
+        self._initialise(X.shape[1], rng)
+
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(X))
+            for start in range(0, len(X), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                if len(batch) == 0:
+                    continue
+                step += 1
+                Xb, yb, wb = X[batch], y[batch], weights[batch]
+                activations, probabilities = self._forward(Xb)
+                # dL/dz for sigmoid + cross-entropy, per-sample weighted.
+                delta = (wb * (probabilities - yb) / len(batch))[:, None]
+                grads_w: list[np.ndarray] = [None] * len(self._weights)
+                grads_b: list[np.ndarray] = [None] * len(self._weights)
+                for layer in reversed(range(len(self._weights))):
+                    grads_w[layer] = (
+                        activations[layer].T @ delta + self.l2 * self._weights[layer]
+                    )
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ self._weights[layer].T
+                        delta *= activations[layer] > 0.0
+                for layer in range(len(self._weights)):
+                    for params, grads, m, v in (
+                        (self._weights, grads_w, m_w, v_w),
+                        (self._biases, grads_b, m_b, v_b),
+                    ):
+                        m[layer] = beta1 * m[layer] + (1 - beta1) * grads[layer]
+                        v[layer] = beta2 * v[layer] + (1 - beta2) * grads[layer] ** 2
+                        m_hat = m[layer] / (1 - beta1**step)
+                        v_hat = v[layer] / (1 - beta2**step)
+                        params[layer] -= (
+                            self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                        )
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Forward pass probabilities."""
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self._weights[0].shape[0]:
+            raise DataError(
+                f"expected {self._weights[0].shape[0]} features, got {X.shape[1]}"
+            )
+        return self._forward(X)[1]
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable parameter count (opacity proxy for E9)."""
+        self._require_fitted()
+        return int(
+            sum(W.size for W in self._weights) + sum(b.size for b in self._biases)
+        )

@@ -1,0 +1,116 @@
+"""Cross-validation and grid search over the table interface.
+
+§2-Q2 warns that "if enough hypotheses are tested, one will eventually be
+true for the sample data used" — model selection is hypothesis testing in
+disguise, so scores here always come with their across-fold spread, and
+grid search reports *every* configuration it tried (the forking paths are
+recorded, not hidden).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.split import k_fold_indices
+from repro.exceptions import DataError
+from repro.learn import metrics as metrics_module
+from repro.learn.base import Classifier
+
+_METRICS = {
+    "accuracy": lambda y, p: metrics_module.accuracy(y, (p >= 0.5).astype(float)),
+    "auc": metrics_module.roc_auc,
+    "log_loss": metrics_module.log_loss,
+    "brier": metrics_module.brier_score,
+}
+_HIGHER_IS_BETTER = {"accuracy": True, "auc": True, "log_loss": False, "brier": False}
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Per-fold scores for one configuration."""
+
+    scores: np.ndarray
+    metric: str
+
+    @property
+    def mean(self) -> float:
+        """Mean across folds."""
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation across folds."""
+        return float(np.std(self.scores))
+
+
+def cross_val_score(model: Classifier, X, y, n_folds: int,
+                    rng: np.random.Generator,
+                    metric: str = "accuracy") -> CVResult:
+    """K-fold cross-validation of a classifier on a design matrix."""
+    if metric not in _METRICS:
+        raise DataError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    scorer = _METRICS[metric]
+    scores = []
+    for train_idx, test_idx in k_fold_indices(len(y), n_folds, rng):
+        fold_model = model.clone()
+        fold_model.fit(X[train_idx], y[train_idx])
+        probabilities = fold_model.predict_proba(X[test_idx])
+        scores.append(scorer(y[test_idx], probabilities))
+    return CVResult(np.asarray(scores), metric)
+
+
+@dataclass
+class GridSearchResult:
+    """Everything a grid search tried, plus the winner.
+
+    ``trials`` keeps the full forking-paths record: (params, CVResult)
+    for every configuration, in evaluation order.
+    """
+
+    best_params: dict[str, object]
+    best_score: float
+    metric: str
+    trials: list[tuple[dict[str, object], CVResult]] = field(default_factory=list)
+
+    @property
+    def n_configurations(self) -> int:
+        """How many hypotheses the search implicitly tested."""
+        return len(self.trials)
+
+
+def grid_search(model_factory, grid: dict[str, list], X, y, n_folds: int,
+                rng: np.random.Generator,
+                metric: str = "accuracy") -> GridSearchResult:
+    """Exhaustive search over a parameter grid with k-fold scoring.
+
+    ``model_factory`` is called with each parameter combination as keyword
+    arguments and must return an unfitted classifier.
+    """
+    if not grid:
+        raise DataError("grid must contain at least one parameter")
+    names = list(grid)
+    trials: list[tuple[dict[str, object], CVResult]] = []
+    seed_sequence = rng.bit_generator.seed_seq.spawn(
+        int(np.prod([len(grid[name]) for name in names]))
+    )
+    for combo_index, combo in enumerate(itertools.product(*(grid[name] for name in names))):
+        params = dict(zip(names, combo))
+        fold_rng = np.random.default_rng(seed_sequence[combo_index])
+        result = cross_val_score(
+            model_factory(**params), X, y, n_folds, fold_rng, metric
+        )
+        trials.append((params, result))
+    higher = _HIGHER_IS_BETTER[metric]
+    best_params, best_result = (
+        max(trials, key=lambda item: item[1].mean) if higher
+        else min(trials, key=lambda item: item[1].mean)
+    )
+    return GridSearchResult(
+        best_params=best_params, best_score=best_result.mean,
+        metric=metric, trials=trials,
+    )

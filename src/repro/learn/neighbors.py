@@ -1,0 +1,82 @@
+"""k-nearest-neighbour classification.
+
+Besides being a baseline classifier, the neighbour machinery backs two
+responsibility tools: *situation testing* for individual fairness (find a
+person's cross-group twins and compare decisions) and the consistency
+metric (do similar people get similar outcomes?).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import (
+    Classifier,
+    check_binary_labels,
+    check_matrix,
+    check_weights,
+)
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between the rows of ``A`` and ``B``."""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    squared = (
+        np.sum(A**2, axis=1)[:, None]
+        + np.sum(B**2, axis=1)[None, :]
+        - 2.0 * A @ B.T
+    )
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+def nearest_indices(queries: np.ndarray, pool: np.ndarray,
+                    k: int) -> np.ndarray:
+    """Indices into ``pool`` of the ``k`` nearest rows for each query."""
+    if k < 1:
+        raise DataError("k must be >= 1")
+    if len(pool) < k:
+        raise DataError(f"pool has {len(pool)} rows, need at least {k}")
+    distances = pairwise_distances(queries, pool)
+    return np.argsort(distances, axis=1, kind="stable")[:, :k]
+
+
+class KNeighborsClassifier(Classifier):
+    """Weighted k-NN with distance or uniform vote weighting."""
+
+    def __init__(self, k: int = 5, distance_weighted: bool = False):
+        if k < 1:
+            raise DataError("k must be >= 1")
+        self.k = k
+        self.distance_weighted = distance_weighted
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+
+    def fit(self, X, y, sample_weight=None) -> "KNeighborsClassifier":
+        """Memorise the training set."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if len(X) != len(y):
+            raise DataError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) < self.k:
+            raise DataError(f"need at least k={self.k} training rows")
+        self._X = X
+        self._y = y
+        self._w = check_weights(sample_weight, len(y))
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Weighted positive-vote fraction among the k nearest points."""
+        self._require_fitted()
+        X = check_matrix(X)
+        distances = pairwise_distances(X, self._X)
+        neighbour_idx = np.argsort(distances, axis=1, kind="stable")[:, :self.k]
+        votes = self._y[neighbour_idx]
+        weights = self._w[neighbour_idx]
+        if self.distance_weighted:
+            d = np.take_along_axis(distances, neighbour_idx, axis=1)
+            weights = weights / (d + 1e-9)
+        return (votes * weights).sum(axis=1) / weights.sum(axis=1)

@@ -1,0 +1,151 @@
+"""Table-to-matrix encoding: standardised numerics + one-hot categoricals.
+
+The encoder is where the FACT roles bite: by default it encodes only
+FEATURE columns, so sensitive attributes and identifiers never reach a
+model unless the caller opts in explicitly — "responsible by design" at
+the representation layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError, NotFittedError
+
+
+class StandardScaler:
+    """Center/scale numeric arrays to zero mean, unit variance."""
+
+    def __init__(self):
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Record column means and standard deviations."""
+        X = np.asarray(X, dtype=np.float64)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the recorded centering and scaling."""
+        if self._mean is None:
+            raise NotFittedError("StandardScaler must be fit before transform")
+        return (np.asarray(X, dtype=np.float64) - self._mean) / self._scale
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one step."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the scaling (used by counterfactual search)."""
+        if self._mean is None:
+            raise NotFittedError("StandardScaler must be fit before use")
+        return np.asarray(X, dtype=np.float64) * self._scale + self._mean
+
+
+class FeatureEncoder:
+    """Encode a :class:`Table` into a dense design matrix.
+
+    Numeric columns are standardised; categorical columns are one-hot
+    encoded with category levels frozen at fit time (unseen levels at
+    transform time map to the all-zeros row, a deliberate "novel category"
+    encoding rather than an error).
+    """
+
+    def __init__(self, columns: list[str] | None = None,
+                 standardize: bool = True,
+                 include_sensitive: bool = False):
+        self.columns = columns
+        self.standardize = standardize
+        self.include_sensitive = include_sensitive
+        self._numeric: list[str] = []
+        self._categorical: list[str] = []
+        self._levels: dict[str, list[str]] = {}
+        self._scaler: StandardScaler | None = None
+        self._feature_names: list[str] = []
+        self._fitted = False
+
+    def _resolve_columns(self, table: Table) -> list[str]:
+        if self.columns is not None:
+            return list(self.columns)
+        names = list(table.schema.feature_names)
+        if self.include_sensitive:
+            names += table.schema.sensitive_names
+        if not names:
+            raise DataError("table has no FEATURE columns to encode")
+        return names
+
+    def fit(self, table: Table) -> "FeatureEncoder":
+        """Freeze the encoding using ``table``'s columns and levels."""
+        names = self._resolve_columns(table)
+        self._numeric = []
+        self._categorical = []
+        self._levels = {}
+        for name in names:
+            spec = table.schema[name]
+            if spec.ctype is ColumnType.NUMERIC:
+                self._numeric.append(name)
+            else:
+                self._categorical.append(name)
+                self._levels[name] = [
+                    str(level) for level in table.unique(name)
+                ]
+        self._feature_names = list(self._numeric)
+        for name in self._categorical:
+            self._feature_names += [
+                f"{name}={level}" for level in self._levels[name]
+            ]
+        if self.standardize and self._numeric:
+            numeric_block = np.column_stack(table.columns(self._numeric))
+            self._scaler = StandardScaler().fit(numeric_block)
+        else:
+            self._scaler = None
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` with the frozen mapping."""
+        if not self._fitted:
+            raise NotFittedError("FeatureEncoder must be fit before transform")
+        blocks: list[np.ndarray] = []
+        if self._numeric:
+            numeric_block = np.column_stack(table.columns(self._numeric))
+            if self._scaler is not None:
+                numeric_block = self._scaler.transform(numeric_block)
+            blocks.append(numeric_block)
+        for name in self._categorical:
+            values = table.column(name)
+            levels = self._levels[name]
+            onehot = np.zeros((table.n_rows, len(levels)), dtype=np.float64)
+            for column_index, level in enumerate(levels):
+                onehot[:, column_index] = values == level
+            blocks.append(onehot)
+        if not blocks:
+            return np.zeros((table.n_rows, 0))
+        return np.hstack(blocks)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        """Fit then transform in one step."""
+        return self.fit(table).transform(table)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Names of the encoded columns, in matrix order."""
+        if not self._fitted:
+            raise NotFittedError("FeatureEncoder must be fit before use")
+        return list(self._feature_names)
+
+    @property
+    def n_features(self) -> int:
+        """Width of the encoded design matrix."""
+        return len(self.feature_names)
+
+
+def encode_labels(values: np.ndarray, positive: object) -> np.ndarray:
+    """Binarise a column: 1.0 where equal to ``positive``, else 0.0."""
+    return (np.asarray(values) == positive).astype(np.float64)

@@ -1,0 +1,130 @@
+"""Glue between tables and estimators: the role-aware model wrapper.
+
+``TableClassifier`` is what the rest of the toolkit trains and audits: it
+encodes FEATURE columns (sensitive attributes excluded unless explicitly
+opted in), binarises the TARGET column, and exposes table-level
+prediction.  Fairness mitigators, the pipeline stages, explainers and the
+FACT auditor all speak this interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+from repro.learn.preprocessing import FeatureEncoder, encode_labels
+
+
+class TableClassifier:
+    """A classifier bound to a table schema through a feature encoder.
+
+    Parameters
+    ----------
+    estimator:
+        Any :class:`repro.learn.base.Classifier`.
+    include_sensitive:
+        Whether SENSITIVE columns are offered to the model.  Default
+        ``False`` — and E1 demonstrates why that is *not* sufficient.
+    columns:
+        Explicit feature columns, overriding role-based selection.
+    positive_label:
+        For categorical targets, the level treated as the positive class.
+    threshold:
+        Default decision threshold for :meth:`predict`.
+    """
+
+    def __init__(self, estimator: Classifier,
+                 include_sensitive: bool = False,
+                 columns: list[str] | None = None,
+                 positive_label: object = 1.0,
+                 threshold: float = 0.5):
+        self.estimator = estimator
+        self.include_sensitive = include_sensitive
+        self.columns = columns
+        self.positive_label = positive_label
+        self.threshold = threshold
+        self.encoder = FeatureEncoder(
+            columns=columns, include_sensitive=include_sensitive
+        )
+        self._target_name: str | None = None
+
+    # -- label handling -----------------------------------------------------
+
+    def labels(self, table: Table, target: str | None = None) -> np.ndarray:
+        """Binary labels extracted from the table's target column."""
+        name = target or self._target_name or table.target_name
+        if name is None:
+            raise DataError("no target column declared or named")
+        spec = table.schema[name]
+        values = table.column(name)
+        if spec.ctype is ColumnType.NUMERIC:
+            unique = np.unique(values)
+            if not np.all(np.isin(unique, (0.0, 1.0))):
+                raise DataError(
+                    f"numeric target {name!r} must be 0/1, got {unique}"
+                )
+            return values.astype(np.float64)
+        return encode_labels(values, self.positive_label)
+
+    # -- training / prediction -------------------------------------------------
+
+    def fit(self, table: Table, target: str | None = None,
+            sample_weight=None) -> "TableClassifier":
+        """Encode ``table`` and train the wrapped estimator."""
+        self._target_name = target or table.target_name
+        if self._target_name is None:
+            raise DataError("no target column declared or named")
+        X = self.encoder.fit_transform(table)
+        y = self.labels(table)
+        self.estimator.fit(X, y, sample_weight=sample_weight)
+        return self
+
+    def predict_proba(self, table: Table) -> np.ndarray:
+        """P(positive | row) for every table row."""
+        return self.estimator.predict_proba(self.encoder.transform(table))
+
+    def predict(self, table: Table,
+                threshold: float | None = None) -> np.ndarray:
+        """Hard decisions at ``threshold`` (default: the wrapper's)."""
+        cutoff = self.threshold if threshold is None else threshold
+        return (self.predict_proba(table) >= cutoff).astype(np.float64)
+
+    def decision_scores(self, table: Table) -> np.ndarray:
+        """Monotone ranking scores from the wrapped estimator."""
+        return self.estimator.decision_scores(self.encoder.transform(table))
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Encoded feature names, in design-matrix order."""
+        return self.encoder.feature_names
+
+    @property
+    def target_name(self) -> str | None:
+        """Target column the model was fit against."""
+        return self._target_name
+
+    def params(self) -> dict[str, object]:
+        """Wrapper + estimator hyper-parameters (for model cards)."""
+        return {
+            "estimator": type(self.estimator).__name__,
+            "include_sensitive": self.include_sensitive,
+            "columns": self.columns,
+            "positive_label": self.positive_label,
+            "threshold": self.threshold,
+            **{f"estimator.{k}": v for k, v in self.estimator.params().items()},
+        }
+
+    def clone(self) -> "TableClassifier":
+        """Fresh, unfitted copy (same estimator hyper-parameters)."""
+        return TableClassifier(
+            self.estimator.clone(),
+            include_sensitive=self.include_sensitive,
+            columns=self.columns,
+            positive_label=self.positive_label,
+            threshold=self.threshold,
+        )

@@ -1,0 +1,256 @@
+"""CART decision trees.
+
+The tree serves three FACT roles: a capable classifier, the base learner
+of the random forest, and — crucially for the transparency pillar — the
+*interpretable surrogate* that the black-box explainers distil into.
+Leaves store weighted positive-class fractions so trees are probabilistic
+like every other classifier here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import (
+    Classifier,
+    check_binary_labels,
+    check_matrix,
+    check_weights,
+)
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    probability: float = 0.5
+    weight: float = 0.0
+    depth: int = 0
+
+
+def _weighted_gini(pos_weight: float, total_weight: float) -> float:
+    if total_weight <= 0:
+        return 0.0
+    p = pos_weight / total_weight
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART tree with weighted Gini splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth budget; small values keep the tree human-readable (the
+        transparency experiments sweep this).
+    min_samples_leaf:
+        Minimum *weighted* fraction-equivalent sample count per leaf.
+    min_impurity_decrease:
+        Minimum Gini improvement to accept a split.
+    max_features:
+        Number of features considered per split (``None`` = all); the
+        forest sets this for decorrelation.
+    rng:
+        Generator used only when ``max_features`` subsamples features.
+    """
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 5,
+                 min_impurity_decrease: float = 0.0,
+                 max_features: int | None = None,
+                 rng: np.random.Generator | None = None):
+        if max_depth < 1:
+            raise DataError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise DataError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.rng = rng
+        self._nodes: list[_Node] = []
+        self._n_features = 0
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Grow the tree depth-first."""
+        X = check_matrix(X)
+        y = check_binary_labels(y)
+        if len(X) != len(y):
+            raise DataError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise DataError("cannot fit a tree on zero rows")
+        weights = check_weights(sample_weight, len(y))
+        self._n_features = X.shape[1]
+        self._nodes = []
+        self._grow(X, y, weights, np.arange(len(y)), depth=0)
+        self._mark_fitted()
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray,
+              indices: np.ndarray, depth: int) -> int:
+        node_index = len(self._nodes)
+        w = weights[indices]
+        total = w.sum()
+        pos = float(w[y[indices] == 1.0].sum())
+        probability = pos / total if total > 0 else 0.5
+        node = _Node(probability=probability, weight=float(total), depth=depth)
+        self._nodes.append(node)
+
+        if (depth >= self.max_depth or len(indices) < 2 * self.min_samples_leaf
+                or probability in (0.0, 1.0)):
+            return node_index
+        split = self._best_split(X, y, weights, indices)
+        if split is None:
+            return node_index
+        feature, threshold = split
+        mask = X[indices, feature] <= threshold
+        left_idx, right_idx = indices[mask], indices[~mask]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X, y, weights, left_idx, depth + 1)
+        node.right = self._grow(X, y, weights, right_idx, depth + 1)
+        return node_index
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        rng = self.rng if self.rng is not None else np.random.default_rng(0)
+        return rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray,
+                    indices: np.ndarray) -> tuple[int, float] | None:
+        w = weights[indices]
+        labels = y[indices]
+        total = w.sum()
+        total_pos = float(w[labels == 1.0].sum())
+        parent_impurity = _weighted_gini(total_pos, total)
+        best: tuple[float, int, float] | None = None
+
+        for feature in self._candidate_features(X.shape[1]):
+            values = X[indices, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_w = w[order]
+            sorted_pos = sorted_w * (labels[order] == 1.0)
+            cum_w = np.cumsum(sorted_w)
+            cum_pos = np.cumsum(sorted_pos)
+            # Split between distinct consecutive values only.
+            boundaries = np.flatnonzero(np.diff(sorted_values) > 0)
+            for boundary in boundaries:
+                n_left = boundary + 1
+                n_right = len(indices) - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_w = cum_w[boundary]
+                right_w = total - left_w
+                left_pos = cum_pos[boundary]
+                right_pos = total_pos - left_pos
+                impurity = (
+                    left_w / total * _weighted_gini(left_pos, left_w)
+                    + right_w / total * _weighted_gini(right_pos, right_w)
+                )
+                gain = parent_impurity - impurity
+                if gain <= self.min_impurity_decrease + 1e-12:
+                    continue
+                if best is None or gain > best[0]:
+                    midpoint = 0.5 * (
+                        sorted_values[boundary] + sorted_values[boundary + 1]
+                    )
+                    best = (gain, int(feature), float(midpoint))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Leaf positive-class fractions, computed by batched descent."""
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self._n_features:
+            raise DataError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        out = np.empty(len(X), dtype=np.float64)
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(len(X)))]
+        while stack:
+            node_index, rows = stack.pop()
+            if len(rows) == 0:
+                continue
+            node = self._nodes[node_index]
+            if node.feature == -1:
+                out[rows] = node.probability
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    # -- introspection (transparency pillar) --------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        self._require_fitted()
+        return len(self._nodes)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count — the usual proxy for rule-set size."""
+        self._require_fitted()
+        return sum(1 for node in self._nodes if node.feature == -1)
+
+    def depth(self) -> int:
+        """Realised depth of the fitted tree."""
+        self._require_fitted()
+        return max(node.depth for node in self._nodes)
+
+    def feature_importances(self) -> np.ndarray:
+        """Weighted impurity decrease attributed to each feature."""
+        self._require_fitted()
+        importances = np.zeros(self._n_features)
+        for node in self._nodes:
+            if node.feature == -1:
+                continue
+            left, right = self._nodes[node.left], self._nodes[node.right]
+            parent_imp = _weighted_gini(node.probability * node.weight, node.weight)
+            child_imp = (
+                _weighted_gini(left.probability * left.weight, left.weight)
+                + _weighted_gini(right.probability * right.weight, right.weight)
+            )
+            importances[node.feature] += max(0.0, parent_imp - child_imp)
+        total = importances.sum()
+        return importances / total if total > 0 else importances
+
+    def to_rules(self, feature_names: list[str] | None = None) -> list[str]:
+        """Render the tree as human-readable decision rules."""
+        self._require_fitted()
+
+        def name(feature: int) -> str:
+            if feature_names is not None:
+                return feature_names[feature]
+            return f"x[{feature}]"
+
+        rules: list[str] = []
+
+        def walk(node_index: int, conditions: list[str]) -> None:
+            node = self._nodes[node_index]
+            if node.feature == -1:
+                clause = " and ".join(conditions) if conditions else "always"
+                rules.append(f"if {clause}: P(positive) = {node.probability:.3f}")
+                return
+            walk(node.left,
+                 conditions + [f"{name(node.feature)} <= {node.threshold:.4g}"])
+            walk(node.right,
+                 conditions + [f"{name(node.feature)} > {node.threshold:.4g}"])
+
+        walk(0, [])
+        return rules

@@ -1,0 +1,65 @@
+"""Append-only audit log (Q4).
+
+Provenance says *what* was derived from *what*; the audit log says *who
+did what, in what order, and why*.  Entries are sequence-numbered rather
+than wall-clock-stamped so that runs are reproducible byte-for-byte; a
+wall-clock field can be attached by the caller when deployments need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded action."""
+
+    sequence: int
+    actor: str
+    action: str
+    detail: dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Single-line rendering."""
+        extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        return f"[{self.sequence:04d}] {self.actor}: {self.action}" + (
+            f" ({extras})" if extras else ""
+        )
+
+
+class AuditLog:
+    """Append-only, queryable action trail."""
+
+    def __init__(self):
+        self._events: list[AuditEvent] = []
+
+    def record(self, actor: str, action: str,
+               **detail: object) -> AuditEvent:
+        """Append one event (detail values are stringified)."""
+        event = AuditEvent(
+            sequence=len(self._events), actor=actor, action=action,
+            detail={key: str(value) for key, value in detail.items()},
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self, actor: str | None = None,
+               action: str | None = None) -> list[AuditEvent]:
+        """Filtered view of the trail."""
+        return [
+            event for event in self._events
+            if (actor is None or event.actor == actor)
+            and (action is None or event.action == action)
+        ]
+
+    def render(self, last: int | None = None) -> str:
+        """The trail (or its tail) as text."""
+        selected = self._events if last is None else self._events[-last:]
+        return "\n".join(event.render() for event in selected)

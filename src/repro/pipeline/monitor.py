@@ -1,0 +1,154 @@
+"""Deployment monitoring: responsibility after the launch (S9 extension).
+
+"Responsible by design" does not end at deployment — a model audited
+fair on Tuesday drifts by December.  The monitor consumes scored batches
+and raises typed alarms when:
+
+* the *population* drifts (population-stability index on the score
+  distribution vs the reference window);
+* the *fairness* drifts (selection-rate gap between groups exceeds its
+  declared bound);
+* the *accuracy* drifts (batch accuracy falls below its declared floor,
+  when labels arrive).
+
+Alarms are recorded in the same audit-log shape the pipeline uses, so a
+deployment's history is one trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.pipeline.audit_log import AuditLog
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raised monitoring alarm."""
+
+    batch_index: int
+    kind: str
+    observed: float
+    threshold: float
+
+    def render(self) -> str:
+        """One-line description."""
+        return (f"batch {self.batch_index}: {self.kind} "
+                f"observed={self.observed:.4f} threshold={self.threshold:.4f}")
+
+
+def population_stability_index(reference, observed, n_bins: int = 10) -> float:
+    """PSI between a reference and an observed score distribution.
+
+    Conventional reading: < 0.1 stable, 0.1-0.25 drifting, > 0.25 major
+    shift.  Bins are reference quantiles; empty bins are floored to keep
+    the logarithm finite.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if len(reference) < n_bins or len(observed) == 0:
+        raise DataError("need at least n_bins reference points and 1 observation")
+    edges = np.quantile(reference, np.linspace(0.0, 1.0, n_bins + 1))
+    edges[0], edges[-1] = -np.inf, np.inf
+    edges = np.unique(edges)
+    reference_counts, _ = np.histogram(reference, bins=edges)
+    observed_counts, _ = np.histogram(observed, bins=edges)
+    reference_p = np.maximum(reference_counts / len(reference), 1e-6)
+    observed_p = np.maximum(observed_counts / len(observed), 1e-6)
+    return float(np.sum(
+        (observed_p - reference_p) * np.log(observed_p / reference_p)
+    ))
+
+
+@dataclass
+class FairnessDriftMonitor:
+    """Streaming FACT monitor for a deployed scorer.
+
+    Parameters
+    ----------
+    reference_scores:
+        Scores from the validation window the model was approved on.
+    psi_threshold:
+        Alarm when a batch's PSI against the reference exceeds this.
+    max_selection_gap:
+        Alarm when the batch's inter-group selection-rate gap exceeds this.
+    min_accuracy:
+        Alarm when labelled-batch accuracy falls below this (``None``
+        disables the check).
+    decision_threshold:
+        Probability cut used to turn scores into decisions.
+    """
+
+    reference_scores: np.ndarray
+    psi_threshold: float = 0.25
+    max_selection_gap: float = 0.1
+    min_accuracy: float | None = None
+    decision_threshold: float = 0.5
+    audit: AuditLog = field(default_factory=AuditLog)
+    _alarms: list[Alarm] = field(default_factory=list)
+    _n_batches: int = 0
+
+    def observe(self, scores, group=None, y_true=None) -> list[Alarm]:
+        """Ingest one scored batch; return any alarms it raised."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if len(scores) == 0:
+            raise DataError("empty batch")
+        batch_index = self._n_batches
+        self._n_batches += 1
+        raised: list[Alarm] = []
+
+        psi = population_stability_index(self.reference_scores, scores)
+        self.audit.record("monitor", "batch_observed",
+                          batch=batch_index, n=len(scores), psi=round(psi, 4))
+        if psi > self.psi_threshold:
+            raised.append(Alarm(batch_index, "population_drift",
+                                psi, self.psi_threshold))
+
+        if group is not None:
+            group = np.asarray(group)
+            decisions = (scores >= self.decision_threshold).astype(np.float64)
+            rates = [
+                float(decisions[group == value].mean())
+                for value in np.unique(group)
+                if (group == value).any()
+            ]
+            if len(rates) >= 2:
+                gap = max(rates) - min(rates)
+                if gap > self.max_selection_gap:
+                    raised.append(Alarm(batch_index, "fairness_drift",
+                                        gap, self.max_selection_gap))
+
+        if y_true is not None and self.min_accuracy is not None:
+            y_true = np.asarray(y_true, dtype=np.float64)
+            decisions = (scores >= self.decision_threshold).astype(np.float64)
+            batch_accuracy = float(np.mean(decisions == y_true))
+            if batch_accuracy < self.min_accuracy:
+                raised.append(Alarm(batch_index, "accuracy_drift",
+                                    batch_accuracy, self.min_accuracy))
+
+        for alarm in raised:
+            self.audit.record("monitor", f"alarm:{alarm.kind}",
+                              batch=batch_index,
+                              observed=round(alarm.observed, 4))
+        self._alarms.extend(raised)
+        return raised
+
+    @property
+    def alarms(self) -> list[Alarm]:
+        """All alarms raised so far."""
+        return list(self._alarms)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches observed so far."""
+        return self._n_batches
+
+    def render(self) -> str:
+        """Status summary."""
+        lines = [f"monitor: {self._n_batches} batches, "
+                 f"{len(self._alarms)} alarms"]
+        lines += [f"  {alarm.render()}" for alarm in self._alarms]
+        return "\n".join(lines)

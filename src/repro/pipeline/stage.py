@@ -1,0 +1,232 @@
+"""Pipeline stages: the composable steps of a responsible pipeline.
+
+Every stage is a named, parameterised, pure-ish transformation of a
+:class:`~repro.data.table.Table` executing inside a
+:class:`~repro.pipeline.pipeline.PipelineContext`.  The context carries
+the cross-cutting FACT state — provenance graph, audit log, privacy
+accountant, the trained model, and fairness sample weights — so stages
+stay small and the responsibility machinery stays centralised.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.fairness.preprocessing import disparate_impact_repair, reweigh
+from repro.learn.table_model import TableClassifier
+
+
+class Stage(abc.ABC):
+    """One named step of a pipeline."""
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def apply(self, table: Table, context) -> Table:
+        """Transform the table (and/or the context)."""
+
+    def params(self) -> dict[str, object]:
+        """Stage parameters recorded in provenance."""
+        return {
+            key: value for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.params()})"
+
+
+class ValidateSchemaStage(Stage):
+    """Fail fast when FACT-critical roles are missing.
+
+    "Responsible by design" starts by refusing to run a decision pipeline
+    on data whose sensitive attribute or target was never declared.
+    """
+
+    name = "validate_schema"
+
+    def __init__(self, require_target: bool = True,
+                 require_sensitive: bool = True,
+                 required_columns: list[str] | None = None):
+        self.require_target = require_target
+        self.require_sensitive = require_sensitive
+        self.required_columns = list(required_columns or ())
+
+    def apply(self, table: Table, context) -> Table:
+        if self.require_target and table.target_name is None:
+            raise DataError("pipeline requires a declared TARGET column")
+        if self.require_sensitive and not table.schema.sensitive_names:
+            raise DataError(
+                "pipeline requires a declared SENSITIVE column for auditing"
+            )
+        missing = [
+            name for name in self.required_columns if name not in table
+        ]
+        if missing:
+            raise DataError(f"missing required columns: {missing}")
+        return table
+
+
+class CleanStage(Stage):
+    """Drop rows with NaN in numeric columns; clip declared outliers."""
+
+    name = "clean"
+
+    def __init__(self, clips: dict[str, tuple[float, float]] | None = None):
+        self.clips = dict(clips or {})
+
+    def apply(self, table: Table, context) -> Table:
+        from repro.data.schema import ColumnType
+
+        keep = np.ones(table.n_rows, dtype=bool)
+        for spec in table.schema:
+            if spec.ctype is ColumnType.NUMERIC:
+                keep &= ~np.isnan(table.column(spec.name))
+        cleaned = table.filter(keep) if not keep.all() else table
+        for name, (lower, upper) in self.clips.items():
+            spec = cleaned.schema[name]
+            cleaned = cleaned.with_column(
+                spec, np.clip(cleaned.column(name), lower, upper)
+            )
+        return cleaned
+
+
+class ImputeStage(Stage):
+    """Fill missing values with statistics learned on this run's table.
+
+    The fitted imputer is kept on the stage, so a pipeline applied later
+    to fresh data reuses the original statistics (no test-time leakage).
+    """
+
+    name = "impute"
+
+    def __init__(self, strategy: str = "mean"):
+        from repro.data.impute import SimpleImputer
+
+        self.strategy = strategy
+        self._imputer = SimpleImputer(strategy=strategy)
+        self._fitted = False
+
+    def apply(self, table: Table, context) -> Table:
+        if not self._fitted:
+            self._imputer.fit(table)
+            self._fitted = True
+        return self._imputer.transform(table)
+
+
+class RedactStage(Stage):
+    """Pseudonymise identifiers and strip oracle metadata before use."""
+
+    name = "redact"
+
+    def apply(self, table: Table, context) -> Table:
+        from repro.confidentiality.pseudonym import redact_for_release
+
+        return redact_for_release(table)
+
+
+class ReweighStage(Stage):
+    """Compute Kamiran-Calders weights into the context for training."""
+
+    name = "reweigh"
+
+    def apply(self, table: Table, context) -> Table:
+        context.sample_weight = reweigh(table)
+        return table
+
+
+class RepairStage(Stage):
+    """Disparate-impact repair of numeric features."""
+
+    name = "di_repair"
+
+    def __init__(self, repair_level: float = 1.0):
+        self.repair_level = repair_level
+
+    def apply(self, table: Table, context) -> Table:
+        return disparate_impact_repair(table, self.repair_level)
+
+
+class TrainStage(Stage):
+    """Fit the pipeline's model (consuming any staged sample weights)."""
+
+    name = "train"
+
+    def __init__(self, model: TableClassifier):
+        self.model = model
+
+    def apply(self, table: Table, context) -> Table:
+        self.model.fit(table, sample_weight=context.sample_weight)
+        context.model = self.model
+        return table
+
+
+class PredictStage(Stage):
+    """Attach model scores as a new column."""
+
+    name = "predict"
+
+    def __init__(self, column: str = "score"):
+        self.column = column
+
+    def apply(self, table: Table, context) -> Table:
+        from repro.data.schema import ColumnRole, numeric
+
+        if context.model is None:
+            raise DataError("no trained model in the pipeline context")
+        scores = context.model.predict_proba(table)
+        return table.with_column(
+            numeric(self.column, role=ColumnRole.METADATA,
+                    description="model score"),
+            scores,
+        )
+
+
+class DecideStage(Stage):
+    """Threshold scores into decisions."""
+
+    name = "decide"
+
+    def __init__(self, score_column: str = "score",
+                 decision_column: str = "decision",
+                 threshold: float = 0.5):
+        self.score_column = score_column
+        self.decision_column = decision_column
+        self.threshold = threshold
+
+    def apply(self, table: Table, context) -> Table:
+        from repro.data.schema import ColumnRole, numeric
+
+        decisions = (
+            table.column(self.score_column) >= self.threshold
+        ).astype(np.float64)
+        return table.with_column(
+            numeric(self.decision_column, role=ColumnRole.METADATA,
+                    description="pipeline decision"),
+            decisions,
+        )
+
+
+class FunctionStage(Stage):
+    """Wrap an arbitrary table transformation with a declared name.
+
+    The escape hatch — but a *named* one, so even ad-hoc steps appear in
+    the provenance graph with their parameters.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Table], Table],
+                 **params: object):
+        self.name = name
+        self._fn = fn
+        self._params = dict(params)
+
+    def params(self) -> dict[str, object]:
+        return dict(self._params)
+
+    def apply(self, table: Table, context) -> Table:
+        return self._fn(table)

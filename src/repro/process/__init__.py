@@ -1,0 +1,48 @@
+"""Process mining substrate: logs, discovery, conformance, privacy.
+
+The Responsible Data Science initiative's home discipline (the editorial
+cites van der Aalst's *Process Mining: Data Science in Action*); this
+subpackage applies the FACT machinery to event logs — the datasets where
+a single trace can identify a person.
+"""
+
+from repro.process.conformance import (
+    ConformanceResult,
+    evaluate,
+    trace_fitness,
+)
+from repro.process.discovery import (
+    directly_follows_counts,
+    discover_dfg_model,
+    discover_from_counts,
+)
+from repro.process.generator import OrderProcessGenerator
+from repro.process.log import EventLog, Trace
+from repro.process.model import END, START, ProcessModel
+from repro.process.privacy import (
+    VariantAnonymityResult,
+    dp_directly_follows,
+    dp_discover_model,
+    k_anonymous_log,
+    variant_uniqueness,
+)
+
+__all__ = [
+    "END",
+    "START",
+    "ConformanceResult",
+    "EventLog",
+    "OrderProcessGenerator",
+    "ProcessModel",
+    "Trace",
+    "VariantAnonymityResult",
+    "directly_follows_counts",
+    "discover_dfg_model",
+    "discover_from_counts",
+    "dp_directly_follows",
+    "dp_discover_model",
+    "evaluate",
+    "k_anonymous_log",
+    "trace_fitness",
+    "variant_uniqueness",
+]

@@ -1,0 +1,88 @@
+"""Conformance checking: how well does a model explain a log?
+
+Two complementary numbers, as in mainstream process mining:
+
+* **fitness** — fraction of directly-follows moves in the log that the
+  model allows (replay-based); 1.0 means every observed behaviour is
+  explained.
+* **precision** — fraction of the model's allowed continuations that the
+  log actually uses; low precision means the model overgeneralises
+  ("flower models" explain everything and say nothing — a transparency
+  failure, not a modelling success).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataError
+from repro.process.discovery import directly_follows_counts
+from repro.process.log import EventLog
+from repro.process.model import END, START, ProcessModel
+
+
+@dataclass(frozen=True)
+class ConformanceResult:
+    """Fitness/precision of one (log, model) pair."""
+
+    fitness: float
+    precision: float
+    n_traces: int
+    n_perfect_traces: int
+
+    @property
+    def f_score(self) -> float:
+        """Harmonic mean of fitness and precision."""
+        if self.fitness + self.precision == 0:
+            return 0.0
+        return (2 * self.fitness * self.precision
+                / (self.fitness + self.precision))
+
+
+def trace_fitness(trace_activities: tuple[str, ...],
+                  model: ProcessModel) -> float:
+    """Fraction of the trace's moves (incl. start/end) the model allows."""
+    if not trace_activities:
+        raise DataError("cannot replay an empty trace")
+    path = (START, *trace_activities, END)
+    moves = list(zip(path[:-1], path[1:]))
+    allowed = sum(1 for source, target in moves if model.allows(source, target))
+    return allowed / len(moves)
+
+
+def evaluate(log: EventLog, model: ProcessModel) -> ConformanceResult:
+    """Replay the whole log against the model."""
+    if len(log) == 0:
+        raise DataError("cannot evaluate on an empty log")
+    fitnesses = []
+    perfect = 0
+    for trace in log:
+        value = trace_fitness(trace.activities, model)
+        fitnesses.append(value)
+        if value == 1.0:
+            perfect += 1
+    fitness = sum(fitnesses) / len(fitnesses)
+
+    # Precision: of the model's outgoing edges per activity, how many are
+    # exercised by the log (frequency-weighted by the log's visits).
+    log_edges = directly_follows_counts(log)
+    used_sources = {source for (source, _) in log_edges}
+    total_allowed = 0
+    total_used = 0
+    for source in used_sources:
+        allowed = model.successors(source)
+        if not allowed:
+            continue
+        used = {
+            target for (edge_source, target) in log_edges
+            if edge_source == source and model.allows(source, target)
+        }
+        total_allowed += len(allowed)
+        total_used += len(used)
+    precision = total_used / total_allowed if total_allowed else 0.0
+    return ConformanceResult(
+        fitness=float(fitness),
+        precision=float(precision),
+        n_traces=len(log),
+        n_perfect_traces=perfect,
+    )

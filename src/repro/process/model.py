@@ -1,0 +1,131 @@
+"""Directly-follows process models.
+
+The model class used throughout the process subpackage: a weighted
+directly-follows graph (DFG) with explicit start/end activities.  Simple
+enough to read as a picture, expressive enough to replay traces against
+— which is what the transparency pillar needs from a process model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import DataError
+
+START = "__start__"
+END = "__end__"
+
+
+@dataclass
+class ProcessModel:
+    """A directly-follows model: edges with frequencies, start/end sets."""
+
+    edges: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for (source, target), weight in self.edges.items():
+            if weight < 0:
+                raise DataError(f"negative edge weight on {source}->{target}")
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def activities(self) -> list[str]:
+        """Sorted real activities (start/end markers excluded)."""
+        names: set[str] = set()
+        for source, target in self.edges:
+            names.update((source, target))
+        return sorted(names - {START, END})
+
+    @property
+    def start_activities(self) -> set[str]:
+        """Activities that can begin a case."""
+        return {
+            target for (source, target) in self.edges if source == START
+        }
+
+    @property
+    def end_activities(self) -> set[str]:
+        """Activities that can end a case."""
+        return {
+            source for (source, target) in self.edges if target == END
+        }
+
+    def successors(self, activity: str) -> set[str]:
+        """Activities allowed directly after ``activity``."""
+        return {
+            target for (source, target) in self.edges if source == activity
+        }
+
+    def allows(self, source: str, target: str) -> bool:
+        """Is the direct succession source→target in the model?"""
+        return (source, target) in self.edges
+
+    def frequency(self, source: str, target: str) -> float:
+        """Observed/assigned weight of one edge (0 if absent)."""
+        return self.edges.get((source, target), 0.0)
+
+    @property
+    def n_edges(self) -> int:
+        """Edge count, including start/end edges."""
+        return len(self.edges)
+
+    # -- behaviour -------------------------------------------------------------
+
+    def accepts(self, activities: tuple[str, ...]) -> bool:
+        """Can the trace be replayed start-to-end without violations?"""
+        if not activities:
+            return False
+        path = (START, *activities, END)
+        return all(
+            self.allows(source, target)
+            for source, target in zip(path[:-1], path[1:])
+        )
+
+    def simulate(self, rng: np.random.Generator,
+                 max_length: int = 100) -> tuple[str, ...]:
+        """Random walk from START to END, weighted by edge frequency."""
+        current = START
+        produced: list[str] = []
+        for _ in range(max_length):
+            options = [
+                (target, weight) for (source, target), weight in self.edges.items()
+                if source == current and weight > 0
+            ]
+            if not options:
+                break
+            targets, weights = zip(*options)
+            probabilities = np.asarray(weights, dtype=np.float64)
+            probabilities /= probabilities.sum()
+            current = targets[rng.choice(len(targets), p=probabilities)]
+            if current == END:
+                return tuple(produced)
+            produced.append(current)
+        raise DataError("simulation did not reach END; model may be malformed")
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The DFG as a networkx digraph (weights on edges)."""
+        graph = nx.DiGraph()
+        for (source, target), weight in self.edges.items():
+            graph.add_edge(source, target, weight=weight)
+        return graph
+
+    def render(self, top: int | None = None) -> str:
+        """The model as readable ``source -> target (weight)`` lines."""
+        ordered = sorted(
+            self.edges.items(), key=lambda item: -item[1]
+        )
+        if top is not None:
+            ordered = ordered[:top]
+        lines = [f"process model: {len(self.activities)} activities, "
+                 f"{self.n_edges} edges"]
+        for (source, target), weight in ordered:
+            pretty_source = "START" if source == START else source
+            pretty_target = "END" if target == END else target
+            lines.append(f"  {pretty_source} -> {pretty_target}  ({weight:g})")
+        return "\n".join(lines)

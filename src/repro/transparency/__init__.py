@@ -1,0 +1,40 @@
+"""Transparency pillar (Q4): explanations, surrogates, cards, datasheets."""
+
+from repro.transparency.counterfactual import Counterfactual, find_counterfactual
+from repro.transparency.datasheet import Datasheet, build_datasheet
+from repro.transparency.importance import ImportanceResult, permutation_importance
+from repro.transparency.local import LocalExplanation, LocalSurrogateExplainer
+from repro.transparency.model_card import ModelCard, build_model_card
+from repro.transparency.partial_dependence import (
+    PartialDependence,
+    partial_dependence,
+)
+from repro.transparency.shapley import ShapleyExplainer, ShapleyExplanation
+from repro.transparency.surrogate import (
+    SurrogateResult,
+    fidelity_by_depth,
+    fit_surrogate,
+)
+from repro.transparency.ice import ICEResult, ice_curves
+
+__all__ = [
+    "ice_curves",
+    "ICEResult",
+    "Counterfactual",
+    "Datasheet",
+    "ImportanceResult",
+    "LocalExplanation",
+    "LocalSurrogateExplainer",
+    "ModelCard",
+    "PartialDependence",
+    "ShapleyExplainer",
+    "ShapleyExplanation",
+    "SurrogateResult",
+    "build_datasheet",
+    "build_model_card",
+    "fidelity_by_depth",
+    "find_counterfactual",
+    "fit_surrogate",
+    "partial_dependence",
+    "permutation_importance",
+]

@@ -1,0 +1,129 @@
+"""Counterfactual explanations (Q4).
+
+"What is the smallest change to this application that would have flipped
+the decision?" — the explanation style regulators favour, because it is
+actionable.  Greedy coordinate search over standardised feature moves;
+``immutable`` marks features the person cannot change (and the search
+must not pretend they could).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+
+
+@dataclass(frozen=True)
+class Counterfactual:
+    """A found counterfactual point and its provenance."""
+
+    original: np.ndarray
+    counterfactual: np.ndarray
+    original_probability: float
+    counterfactual_probability: float
+    changed_features: list[tuple[str, float, float]]
+    n_steps: int
+
+    @property
+    def sparsity(self) -> int:
+        """How many features had to move."""
+        return len(self.changed_features)
+
+    @property
+    def distance(self) -> float:
+        """L2 distance travelled (standardised units are the caller's job)."""
+        return float(np.linalg.norm(self.counterfactual - self.original))
+
+    def render(self) -> str:
+        """Human-readable 'what would have changed the decision'."""
+        lines = [
+            f"counterfactual: P {self.original_probability:.3f} -> "
+            f"{self.counterfactual_probability:.3f} in {self.n_steps} steps"
+        ]
+        for name, before, after in self.changed_features:
+            lines.append(f"  {name}: {before:.4g} -> {after:.4g}")
+        return "\n".join(lines)
+
+
+def find_counterfactual(model: Classifier, x,
+                        feature_names: list[str] | None = None,
+                        target_class: float = 1.0,
+                        immutable: list[int] | None = None,
+                        step_scale=None,
+                        max_steps: int = 200,
+                        threshold: float = 0.5) -> Counterfactual | None:
+    """Greedy coordinate ascent toward the target class.
+
+    Each step tries moving every mutable feature ±1 step (of
+    ``step_scale``, default 0.25 per feature) and keeps the move that
+    most improves the target-class probability.  Returns ``None`` when
+    the search stalls before crossing the threshold — an honest "no small
+    change would have helped".
+    """
+    x = np.asarray(x, dtype=np.float64).ravel().copy()
+    d = len(x)
+    if feature_names is None:
+        feature_names = [f"x{index}" for index in range(d)]
+    if len(feature_names) != d:
+        raise DataError("feature_names must match x's width")
+    blocked = set(immutable or ())
+    scales = (np.full(d, 0.25) if step_scale is None
+              else np.asarray(step_scale, dtype=np.float64))
+    if scales.shape != (d,):
+        raise DataError("step_scale must have one entry per feature")
+
+    def probability(point: np.ndarray) -> float:
+        value = float(model.predict_proba(point[None, :])[0])
+        return value if target_class == 1.0 else 1.0 - value
+
+    original = x.copy()
+    original_probability = probability(x)
+    current_probability = original_probability
+    steps = 0
+    while current_probability < threshold and steps < max_steps:
+        # Evaluate all candidate single-coordinate moves in one batch.
+        candidates = []
+        moves = []
+        for feature in range(d):
+            if feature in blocked or scales[feature] == 0.0:
+                continue
+            for direction in (1.0, -1.0):
+                candidate = x.copy()
+                candidate[feature] += direction * scales[feature]
+                candidates.append(candidate)
+                moves.append(feature)
+        if not candidates:
+            break
+        stacked = np.vstack(candidates)
+        probabilities = model.predict_proba(stacked)
+        if target_class != 1.0:
+            probabilities = 1.0 - probabilities
+        best = int(np.argmax(probabilities))
+        if probabilities[best] <= current_probability + 1e-12:
+            break  # stalled
+        x = stacked[best]
+        current_probability = float(probabilities[best])
+        steps += 1
+    if current_probability < threshold:
+        return None
+    changed = [
+        (feature_names[index], float(original[index]), float(x[index]))
+        for index in range(d)
+        if abs(x[index] - original[index]) > 1e-12
+    ]
+    final_probability = float(model.predict_proba(x[None, :])[0])
+    return Counterfactual(
+        original=original, counterfactual=x,
+        original_probability=(
+            original_probability if target_class == 1.0
+            else 1.0 - original_probability
+        ),
+        counterfactual_probability=(
+            final_probability if target_class == 1.0 else 1.0 - final_probability
+        ),
+        changed_features=changed, n_steps=steps,
+    )

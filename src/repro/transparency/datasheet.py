@@ -1,0 +1,71 @@
+"""Dataset datasheets (Q4).
+
+The data-side companion of the model card: where the data came from, what
+each column is (with its FACT role), summary statistics, known injected
+or suspected biases, and disclosure-risk figures.  "Each step in the
+data science pipeline may create inaccuracies" — the datasheet is step
+zero's paper trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confidentiality.risk import RiskProfile, assess_risk
+from repro.data.table import Table
+
+
+@dataclass
+class Datasheet:
+    """A structured, renderable description of one dataset."""
+
+    name: str
+    provenance: str
+    n_rows: int
+    column_summary: dict[str, dict[str, object]]
+    known_biases: list[str] = field(default_factory=list)
+    collection_notes: list[str] = field(default_factory=list)
+    risk: RiskProfile | None = None
+
+    def render(self) -> str:
+        """The datasheet as markdown."""
+        lines = [f"# Datasheet: {self.name}", ""]
+        lines.append(f"**Provenance:** {self.provenance}")
+        lines.append(f"**Rows:** {self.n_rows}")
+        lines += ["", "## Columns"]
+        for name, summary in self.column_summary.items():
+            role = summary.get("role", "?")
+            ctype = summary.get("type", "?")
+            extras = ", ".join(
+                f"{key}={value:.3g}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in summary.items()
+                if key not in ("role", "type", "n")
+            )
+            lines.append(f"- `{name}` ({ctype}, role={role}) {extras}")
+        if self.known_biases:
+            lines += ["", "## Known biases"]
+            lines += [f"- {item}" for item in self.known_biases]
+        if self.collection_notes:
+            lines += ["", "## Collection notes"]
+            lines += [f"- {item}" for item in self.collection_notes]
+        if self.risk is not None:
+            lines += ["", "## Disclosure risk", f"- {self.risk.render()}"]
+        return "\n".join(lines)
+
+
+def build_datasheet(table: Table, name: str, provenance: str,
+                    known_biases: list[str] | None = None,
+                    collection_notes: list[str] | None = None) -> Datasheet:
+    """Assemble a datasheet from the table's schema and statistics."""
+    risk = None
+    if table.schema.quasi_identifier_names:
+        risk = assess_risk(table)
+    return Datasheet(
+        name=name,
+        provenance=provenance,
+        n_rows=table.n_rows,
+        column_summary=table.describe(),
+        known_biases=list(known_biases or ()),
+        collection_notes=list(collection_notes or ()),
+        risk=risk,
+    )

@@ -1,0 +1,81 @@
+"""Individual conditional expectation (ICE) curves (Q4).
+
+Partial dependence averages over the population; ICE keeps one curve per
+individual, revealing when "the average effect" hides opposite effects
+for different people — heterogeneity that a responsible explanation must
+not paper over.  The spread statistic flags features whose effect is
+strongly interaction-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+
+
+@dataclass(frozen=True)
+class ICEResult:
+    """Per-individual response curves for one feature."""
+
+    feature: str
+    grid: np.ndarray
+    curves: np.ndarray  # shape (n_individuals, grid_size)
+
+    @property
+    def partial_dependence(self) -> np.ndarray:
+        """The PD curve: the mean of the ICE curves."""
+        return self.curves.mean(axis=0)
+
+    @property
+    def heterogeneity(self) -> float:
+        """Mean std of centred curves — 0 when everyone responds alike.
+
+        Curves are centred at their own first value so level differences
+        between individuals don't masquerade as interaction effects.
+        """
+        centred = self.curves - self.curves[:, :1]
+        return float(centred.std(axis=0).mean())
+
+    def fraction_non_monotone(self, tolerance: float = 1e-6) -> float:
+        """Share of individuals whose curve changes direction."""
+        deltas = np.diff(self.curves, axis=1)
+        rises = (deltas > tolerance).any(axis=1)
+        falls = (deltas < -tolerance).any(axis=1)
+        return float(np.mean(rises & falls))
+
+
+def ice_curves(model: Classifier, X, feature_index: int,
+               grid_size: int = 20, max_individuals: int = 100,
+               feature_name: str | None = None,
+               rng: np.random.Generator | None = None) -> ICEResult:
+    """ICE curves of P(positive) for a sample of individuals.
+
+    At most ``max_individuals`` rows are traced (randomly sampled when an
+    ``rng`` is supplied, else the first rows).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or len(X) == 0:
+        raise DataError("X must be a non-empty 2-D matrix")
+    if not 0 <= feature_index < X.shape[1]:
+        raise DataError(f"feature_index {feature_index} out of range")
+    if grid_size < 2:
+        raise DataError("grid_size must be >= 2")
+    if len(X) > max_individuals:
+        if rng is not None:
+            rows = rng.choice(len(X), size=max_individuals, replace=False)
+        else:
+            rows = np.arange(max_individuals)
+        X = X[rows]
+    values = X[:, feature_index]
+    grid = np.linspace(values.min(), values.max(), grid_size)
+    curves = np.empty((len(X), grid_size))
+    for column, value in enumerate(grid):
+        modified = X.copy()
+        modified[:, feature_index] = value
+        curves[:, column] = model.predict_proba(modified)
+    name = feature_name if feature_name is not None else f"x{feature_index}"
+    return ICEResult(feature=name, grid=grid, curves=curves)

@@ -1,0 +1,87 @@
+"""Permutation feature importance (Q4).
+
+Model-agnostic: shuffle one feature at a time and measure how much the
+model's quality drops.  Works on the MLP "black box" exactly as on a
+tree, which is the point — transparency tooling must not depend on the
+model's goodwill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+from repro.learn.metrics import accuracy, roc_auc
+
+
+@dataclass(frozen=True)
+class ImportanceResult:
+    """Per-feature importance with repeat spread."""
+
+    feature_names: list[str]
+    importances: np.ndarray
+    stds: np.ndarray
+    baseline_score: float
+    metric: str
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """(name, importance) pairs, most important first."""
+        order = np.argsort(-self.importances, kind="stable")
+        return [
+            (self.feature_names[index], float(self.importances[index]))
+            for index in order
+        ]
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable importance table."""
+        lines = [f"permutation importance ({self.metric}, baseline "
+                 f"{self.baseline_score:.4f})"]
+        for name, value in self.ranked()[:top]:
+            lines.append(f"  {name}: {value:+.4f}")
+        return "\n".join(lines)
+
+
+def permutation_importance(model: Classifier, X, y,
+                           rng: np.random.Generator,
+                           n_repeats: int = 5,
+                           metric: str = "accuracy",
+                           feature_names: list[str] | None = None,
+                           ) -> ImportanceResult:
+    """Mean score drop when each column is independently shuffled."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or len(X) != len(y):
+        raise DataError("X must be 2-D and aligned with y")
+    if n_repeats < 1:
+        raise DataError("n_repeats must be >= 1")
+
+    def score(matrix: np.ndarray) -> float:
+        probabilities = model.predict_proba(matrix)
+        if metric == "accuracy":
+            return accuracy(y, (probabilities >= 0.5).astype(np.float64))
+        if metric == "auc":
+            return roc_auc(y, probabilities)
+        raise DataError(f"unknown metric {metric!r}")
+
+    baseline = score(X)
+    n_features = X.shape[1]
+    if feature_names is None:
+        feature_names = [f"x{index}" for index in range(n_features)]
+    if len(feature_names) != n_features:
+        raise DataError("feature_names must match the matrix width")
+    drops = np.zeros((n_features, n_repeats))
+    for feature in range(n_features):
+        for repeat in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, feature] = rng.permutation(shuffled[:, feature])
+            drops[feature, repeat] = baseline - score(shuffled)
+    return ImportanceResult(
+        feature_names=list(feature_names),
+        importances=drops.mean(axis=1),
+        stds=drops.std(axis=1),
+        baseline_score=baseline,
+        metric=metric,
+    )

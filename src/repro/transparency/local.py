@@ -1,0 +1,114 @@
+"""Local surrogate explanations (LIME-style) (Q4).
+
+For one decision about one person — the case the paper's "non-transparent
+life-changing decisions" phrase is about — fit a small weighted linear
+model to the black box in a neighbourhood of that person, and read the
+coefficients as the local rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+from repro.learn.linear import RidgeRegression
+
+
+@dataclass(frozen=True)
+class LocalExplanation:
+    """The local linear rationale for one prediction."""
+
+    feature_names: list[str]
+    coefficients: np.ndarray
+    intercept: float
+    prediction: float
+    local_fit_r2: float
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """(name, weight) by absolute local influence."""
+        order = np.argsort(-np.abs(self.coefficients), kind="stable")
+        return [
+            (self.feature_names[index], float(self.coefficients[index]))
+            for index in order
+        ]
+
+    def render(self, top: int = 5) -> str:
+        """Human-readable local rationale."""
+        lines = [
+            f"local explanation (prediction {self.prediction:.3f}, "
+            f"local fit R² {self.local_fit_r2:.3f})"
+        ]
+        for name, weight in self.ranked()[:top]:
+            direction = "pushes toward positive" if weight > 0 else "pushes toward negative"
+            lines.append(f"  {name}: {weight:+.4f} ({direction})")
+        return "\n".join(lines)
+
+
+class LocalSurrogateExplainer:
+    """Perturb-around-the-point weighted linear surrogate.
+
+    Parameters
+    ----------
+    kernel_width:
+        Bandwidth of the Gaussian proximity kernel in standardised
+        feature units.
+    n_samples:
+        Perturbations drawn per explanation.
+    scale:
+        Per-feature perturbation scales; default: the feature stds of the
+        background data supplied at construction.
+    """
+
+    def __init__(self, model: Classifier, background,
+                 kernel_width: float = 1.0, n_samples: int = 500,
+                 l2: float = 1e-3,
+                 feature_names: list[str] | None = None):
+        self.model = model
+        background = np.asarray(background, dtype=np.float64)
+        if background.ndim != 2 or len(background) < 2:
+            raise DataError("background must be a 2-D matrix with >= 2 rows")
+        self._scale = background.std(axis=0)
+        self._scale[self._scale == 0.0] = 1.0
+        self.kernel_width = kernel_width
+        self.n_samples = n_samples
+        self.l2 = l2
+        self.feature_names = feature_names or [
+            f"x{index}" for index in range(background.shape[1])
+        ]
+        if len(self.feature_names) != background.shape[1]:
+            raise DataError("feature_names must match the background width")
+
+    def explain(self, x, rng: np.random.Generator) -> LocalExplanation:
+        """Explain the model's probability at one point ``x``."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if len(x) != len(self._scale):
+            raise DataError(
+                f"x has {len(x)} features, expected {len(self._scale)}"
+            )
+        noise = rng.standard_normal((self.n_samples, len(x))) * self._scale
+        samples = x[None, :] + noise
+        samples = np.vstack([x[None, :], samples])
+        probabilities = self.model.predict_proba(samples)
+        distances = np.linalg.norm(
+            (samples - x) / self._scale, axis=1
+        ) / np.sqrt(len(x))
+        weights = np.exp(-(distances**2) / (self.kernel_width**2))
+        surrogate = RidgeRegression(l2=self.l2)
+        surrogate.fit(samples, probabilities, sample_weight=weights)
+        fitted = surrogate.predict(samples)
+        total = np.average(
+            (probabilities - np.average(probabilities, weights=weights))**2,
+            weights=weights,
+        )
+        residual = np.average((probabilities - fitted)**2, weights=weights)
+        r2 = 1.0 - residual / total if total > 0 else 1.0
+        return LocalExplanation(
+            feature_names=list(self.feature_names),
+            coefficients=surrogate.coef_.copy(),
+            intercept=surrogate.intercept_,
+            prediction=float(probabilities[0]),
+            local_fit_r2=float(r2),
+        )

@@ -1,0 +1,59 @@
+"""Partial-dependence curves (Q4).
+
+The average model response as one feature sweeps its range with all other
+features held at their observed values — the standard "what does the
+black box think this feature does" plot, numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.learn.base import Classifier
+
+
+@dataclass(frozen=True)
+class PartialDependence:
+    """One feature's grid and averaged model response."""
+
+    feature: str
+    grid: np.ndarray
+    response: np.ndarray
+
+    @property
+    def range_effect(self) -> float:
+        """max - min of the response: the feature's total leverage."""
+        return float(self.response.max() - self.response.min())
+
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        """Does the response move in only one direction along the grid?"""
+        deltas = np.diff(self.response)
+        return bool(
+            np.all(deltas >= -tolerance) or np.all(deltas <= tolerance)
+        )
+
+
+def partial_dependence(model: Classifier, X, feature_index: int,
+                       grid_size: int = 20,
+                       feature_name: str | None = None,
+                       ) -> PartialDependence:
+    """Average predicted probability over a grid of one feature's values."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("X must be 2-D")
+    if not 0 <= feature_index < X.shape[1]:
+        raise DataError(f"feature_index {feature_index} out of range")
+    if grid_size < 2:
+        raise DataError("grid_size must be >= 2")
+    values = X[:, feature_index]
+    grid = np.linspace(values.min(), values.max(), grid_size)
+    response = np.empty(grid_size)
+    for index, value in enumerate(grid):
+        modified = X.copy()
+        modified[:, feature_index] = value
+        response[index] = float(model.predict_proba(modified).mean())
+    name = feature_name if feature_name is not None else f"x{feature_index}"
+    return PartialDependence(feature=name, grid=grid, response=response)

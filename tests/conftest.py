@@ -1,0 +1,64 @@
+"""Shared fixtures: deterministic generators and small canonical tables."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    ColumnRole,
+    Schema,
+    categorical,
+    numeric,
+)
+from repro.data.table import Table
+from repro.data.synth import CensusIncomeGenerator, CreditScoringGenerator
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table():
+    """A 6-row table with every FACT role represented."""
+    schema = Schema([
+        numeric("income"),
+        numeric("debt"),
+        categorical("city", role=ColumnRole.QUASI_IDENTIFIER),
+        categorical("group", role=ColumnRole.SENSITIVE),
+        categorical("ssn", role=ColumnRole.IDENTIFIER),
+        numeric("approved", role=ColumnRole.TARGET),
+    ])
+    return Table(schema, {
+        "income": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        "debt": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        "city": ["north", "north", "south", "south", "north", "south"],
+        "group": ["A", "B", "A", "B", "A", "B"],
+        "ssn": ["s1", "s2", "s3", "s4", "s5", "s6"],
+        "approved": [0.0, 0.0, 1.0, 0.0, 1.0, 1.0],
+    })
+
+
+@pytest.fixture
+def credit_tables(rng):
+    """(train, test) from the biased credit generator."""
+    generator = CreditScoringGenerator(label_bias=0.3, proxy_strength=0.8)
+    return generator.generate_pair(1200, 600, rng)
+
+
+@pytest.fixture
+def census_tables(rng):
+    """(train, test) from the census generator."""
+    generator = CensusIncomeGenerator()
+    return generator.generate_pair(1200, 600, rng)
+
+
+@pytest.fixture
+def toy_classification(rng):
+    """A linearly separable-ish (X, y) pair for estimator tests."""
+    X = rng.standard_normal((400, 4))
+    weights = np.array([2.0, -1.5, 0.0, 1.0])
+    logits = X @ weights
+    y = (logits + 0.5 * rng.standard_normal(400) > 0).astype(np.float64)
+    return X, y

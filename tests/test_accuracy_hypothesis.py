@@ -1,0 +1,149 @@
+"""Unit tests for hypothesis tests and multiple-testing corrections."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.hypothesis import (
+    correlation_test,
+    mean_difference,
+    permutation_test,
+    proportion_z_test,
+    two_sample_t_test,
+)
+from repro.accuracy.multiple_testing import (
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    correct,
+    holm,
+)
+from repro.exceptions import DataError
+
+
+def test_t_test_detects_real_difference(rng):
+    a = rng.normal(0.0, 1.0, 200)
+    b = rng.normal(1.0, 1.0, 200)
+    result = two_sample_t_test(a, b)
+    assert result.p_value < 1e-6
+    assert result.significant()
+    assert "mean difference" in result.detail
+
+
+def test_t_test_null_is_uniform_ish(rng):
+    p_values = [
+        two_sample_t_test(rng.normal(0, 1, 50), rng.normal(0, 1, 50)).p_value
+        for _ in range(200)
+    ]
+    # Under the null roughly 5% significant at alpha=0.05.
+    rate = np.mean(np.asarray(p_values) < 0.05)
+    assert rate < 0.12
+
+
+def test_correlation_test(rng):
+    x = rng.standard_normal(300)
+    y = x + 0.2 * rng.standard_normal(300)
+    assert correlation_test(x, y).p_value < 1e-10
+    assert correlation_test(x, rng.standard_normal(300)).p_value > 0.001
+
+
+def test_correlation_degenerate():
+    result = correlation_test(np.ones(10), np.arange(10.0))
+    assert result.p_value == 1.0
+
+
+def test_proportion_z_test():
+    strong = proportion_z_test(80, 100, 40, 100)
+    assert strong.p_value < 1e-6
+    null = proportion_z_test(50, 100, 50, 100)
+    assert null.p_value == 1.0
+    with pytest.raises(DataError):
+        proportion_z_test(5, 0, 1, 10)
+    with pytest.raises(DataError):
+        proportion_z_test(11, 10, 1, 10)
+
+
+def test_proportion_degenerate_pooled():
+    result = proportion_z_test(0, 10, 0, 10)
+    assert result.p_value == 1.0
+
+
+def test_permutation_test_matches_t_test(rng):
+    a = rng.normal(0.0, 1.0, 60)
+    b = rng.normal(0.8, 1.0, 60)
+    perm = permutation_test(a, b, mean_difference, rng, n_permutations=500)
+    assert perm.p_value < 0.05
+    assert perm.statistic == pytest.approx(a.mean() - b.mean())
+
+
+def test_permutation_p_value_never_zero(rng):
+    a = np.zeros(20)
+    b = np.ones(20)
+    result = permutation_test(a, b, mean_difference, rng, n_permutations=99)
+    assert result.p_value >= 1.0 / 100.0
+
+
+# -- corrections ----------------------------------------------------------------
+
+P_VALUES = np.array([0.001, 0.008, 0.039, 0.041, 0.20, 0.9])
+
+
+def test_bonferroni():
+    result = bonferroni(P_VALUES, alpha=0.05)
+    np.testing.assert_allclose(
+        result.adjusted, np.minimum(P_VALUES * 6, 1.0)
+    )
+    assert result.n_rejected == 2
+
+
+def test_holm_uniformly_no_worse_than_bonferroni():
+    holm_result = holm(P_VALUES, alpha=0.05)
+    bonf_result = bonferroni(P_VALUES, alpha=0.05)
+    assert np.all(holm_result.adjusted <= bonf_result.adjusted + 1e-12)
+    assert holm_result.n_rejected >= bonf_result.n_rejected
+
+
+def test_holm_adjusted_monotone_in_sorted_order():
+    result = holm(P_VALUES)
+    order = np.argsort(P_VALUES)
+    assert np.all(np.diff(result.adjusted[order]) >= -1e-12)
+
+
+def test_benjamini_hochberg_known_example():
+    # Step-up: largest k with p_(k) <= k/m * q is k=2 here
+    # (0.039 > 3/6 * 0.05), so exactly the two smallest reject.
+    result = benjamini_hochberg(P_VALUES, alpha=0.05)
+    assert result.reject.tolist() == [True, True, False, False, False, False]
+    np.testing.assert_allclose(result.adjusted[:2], [0.006, 0.024])
+
+
+def test_by_more_conservative_than_bh():
+    bh = benjamini_hochberg(P_VALUES)
+    by = benjamini_yekutieli(P_VALUES)
+    assert np.all(by.adjusted >= bh.adjusted - 1e-12)
+    assert by.n_rejected <= bh.n_rejected
+
+
+def test_corrections_preserve_order_invariance(rng):
+    shuffled_index = rng.permutation(len(P_VALUES))
+    original = holm(P_VALUES).adjusted
+    shuffled = holm(P_VALUES[shuffled_index]).adjusted
+    np.testing.assert_allclose(original[shuffled_index], shuffled)
+
+
+def test_correct_dispatch():
+    assert correct(P_VALUES, "none").n_rejected == 4
+    assert correct(P_VALUES, "bonferroni").n_rejected == 2
+    with pytest.raises(DataError):
+        correct(P_VALUES, "magic")
+
+
+def test_correction_validation():
+    with pytest.raises(DataError):
+        bonferroni(np.array([1.5]))
+    with pytest.raises(DataError):
+        bonferroni(np.array([]))
+
+
+def test_adjusted_p_values_capped_at_one():
+    result = bonferroni(np.array([0.5, 0.9]))
+    assert np.all(result.adjusted <= 1.0)

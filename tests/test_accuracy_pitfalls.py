@@ -1,0 +1,122 @@
+"""Unit tests for the forking-paths hunter and Simpson's-paradox detector."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.forking_paths import (
+    expected_false_positives,
+    generate_noise_study,
+    hunt_spurious_predictors,
+)
+from repro.accuracy.simpson import detect_simpsons_paradox
+from repro.data.synth import AdmissionsGenerator, TreatmentParadoxGenerator
+from repro.data.schema import numeric
+from repro.exceptions import DataError
+
+
+def test_noise_study_is_pure_noise(rng):
+    response, predictors, names = generate_noise_study(300, 50, rng)
+    assert predictors.shape == (300, 50)
+    assert len(names) == 50
+    # Response independent of predictor 0 by construction.
+    assert abs(np.corrcoef(response, predictors[:, 0])[0, 1]) < 0.2
+
+
+def test_hunt_finds_spurious_raw_discoveries(rng):
+    response, predictors, names = generate_noise_study(400, 300, rng)
+    scan = hunt_spurious_predictors(response, predictors, names)
+    expected = expected_false_positives(300)
+    # Raw testing "discovers" roughly alpha * p false predictors.
+    assert scan.raw_false_discoveries == pytest.approx(expected, abs=12)
+    assert scan.raw_false_discoveries >= 3
+
+
+def test_corrections_kill_spurious_discoveries(rng):
+    response, predictors, names = generate_noise_study(400, 300, rng)
+    scan = hunt_spurious_predictors(response, predictors, names)
+    assert scan.discoveries["bonferroni"] <= 1
+    assert scan.discoveries["holm"] <= 1
+    assert scan.discoveries["benjamini_hochberg"] <= 2
+    assert scan.discoveries["benjamini_yekutieli"] <= 1
+
+
+def test_corrections_keep_real_signal(rng):
+    response, predictors, names = generate_noise_study(
+        500, 100, rng, binary_response=False
+    )
+    # Plant a genuinely predictive column.
+    predictors = predictors.copy()
+    predictors[:, 0] = response + 0.3 * rng.standard_normal(500)
+    scan = hunt_spurious_predictors(response, predictors, names)
+    assert scan.discoveries["holm"] >= 1
+    assert scan.top_predictors[0][0] == names[0]
+
+
+def test_hunt_validation(rng):
+    with pytest.raises(DataError):
+        hunt_spurious_predictors(np.ones(10), np.ones((5, 3)))
+    with pytest.raises(DataError):
+        hunt_spurious_predictors(np.ones(5), np.ones((5, 3)), names=["a"])
+    with pytest.raises(DataError):
+        generate_noise_study(2, 5, rng)
+
+
+def test_detector_finds_admissions_reversal(rng):
+    table = AdmissionsGenerator(within_department_edge=0.06).generate(20000, rng)
+    augmented = table.with_column(
+        numeric("is_b"), (table["group"] == "B").astype(float)
+    )
+    findings = detect_simpsons_paradox(
+        augmented, "is_b", "admitted", stratifiers=["department"]
+    )
+    assert findings[0].reverses
+    assert findings[0].aggregate_difference < 0  # aggregate hurts B
+    assert findings[0].adjusted_difference > 0   # strata favour B
+    assert "REVERSAL" in findings[0].render()
+
+
+def test_detector_finds_treatment_reversal(rng):
+    table = TreatmentParadoxGenerator().generate(20000, rng)
+    findings = detect_simpsons_paradox(table, "treated", "recovered")
+    severity = [f for f in findings if f.stratifier == "severity"][0]
+    assert severity.reverses
+
+
+def test_detector_no_false_reversal(rng):
+    # Exposure genuinely helps, confounder-free.
+    n = 10000
+    exposure = (rng.random(n) < 0.5).astype(float)
+    outcome = ((rng.random(n) < 0.3 + 0.2 * exposure)).astype(float)
+    stratum = np.where(rng.random(n) < 0.5, "x", "y").astype(object)
+    from repro.data.table import Table
+
+    table = Table.from_dict(
+        {"treated": exposure, "outcome": outcome, "stratum": stratum}
+    )
+    findings = detect_simpsons_paradox(table, "treated", "outcome")
+    assert not any(finding.reverses for finding in findings)
+
+
+def test_detector_weighted_adjustment_matches_manual(rng):
+    table = TreatmentParadoxGenerator().generate(5000, rng)
+    findings = detect_simpsons_paradox(table, "treated", "recovered",
+                                       stratifiers=["severity"])
+    finding = findings[0]
+    manual = sum(s.n * s.difference for s in finding.strata) / sum(
+        s.n for s in finding.strata
+    )
+    assert finding.adjusted_difference == pytest.approx(manual)
+
+
+def test_detector_skips_small_strata(rng):
+    table = TreatmentParadoxGenerator().generate(5000, rng)
+    findings = detect_simpsons_paradox(
+        table, "treated", "recovered", min_stratum_size=10**6
+    )
+    assert findings == []
+
+
+def test_detector_validation(rng):
+    table = TreatmentParadoxGenerator().generate(100, rng)
+    with pytest.raises(DataError, match="0/1"):
+        detect_simpsons_paradox(table, "severity", "recovered")

@@ -1,0 +1,122 @@
+"""Unit tests for differentially private learning."""
+
+import numpy as np
+import pytest
+
+from repro.confidentiality.accountant import PrivacyAccountant
+from repro.confidentiality.dp_learn import (
+    NoisyGradientLogisticRegression,
+    OutputPerturbationLogisticRegression,
+    clip_rows,
+)
+from repro.exceptions import DataError, PrivacyBudgetError
+from repro.learn import LogisticRegression
+from repro.learn.metrics import accuracy
+
+
+def test_clip_rows_bounds_norms(rng):
+    X = rng.standard_normal((100, 5)) * 10.0
+    clipped = clip_rows(X, max_norm=1.0)
+    norms = np.linalg.norm(clipped, axis=1)
+    assert norms.max() <= 1.0 + 1e-9
+    # Rows already inside the ball are untouched.
+    small = np.array([[0.1, 0.1]])
+    np.testing.assert_allclose(clip_rows(small), small)
+
+
+def test_output_perturbation_learns_at_large_epsilon(toy_classification):
+    X, y = toy_classification
+    model = OutputPerturbationLogisticRegression(
+        epsilon=50.0, l2=1e-3, seed=0
+    ).fit(X, y)
+    assert accuracy(y, model.predict(X)) > 0.75
+
+
+def test_output_perturbation_noise_grows_as_epsilon_shrinks(toy_classification):
+    X, y = toy_classification
+    reference = LogisticRegression(l2=1e-3 * len(y)).fit(clip_rows(X), y)
+
+    def coefficient_distance(epsilon):
+        distances = []
+        for seed in range(10):
+            model = OutputPerturbationLogisticRegression(
+                epsilon=epsilon, l2=1e-3, seed=seed
+            ).fit(X, y)
+            distances.append(np.linalg.norm(model.coef_ - reference.coef_))
+        return np.mean(distances)
+
+    assert coefficient_distance(0.1) > coefficient_distance(10.0)
+
+
+def test_output_perturbation_charges_accountant(toy_classification):
+    X, y = toy_classification
+    accountant = PrivacyAccountant(1.0)
+    OutputPerturbationLogisticRegression(
+        epsilon=1.0, accountant=accountant
+    ).fit(X, y)
+    assert accountant.epsilon_spent == pytest.approx(1.0)
+    with pytest.raises(PrivacyBudgetError):
+        OutputPerturbationLogisticRegression(
+            epsilon=1.0, accountant=accountant
+        ).fit(X, y)
+
+
+def test_output_perturbation_validation(toy_classification):
+    X, y = toy_classification
+    with pytest.raises(DataError):
+        OutputPerturbationLogisticRegression(epsilon=0.0)
+    with pytest.raises(DataError):
+        OutputPerturbationLogisticRegression(epsilon=1.0, l2=0.0)
+    with pytest.raises(DataError, match="weights"):
+        OutputPerturbationLogisticRegression(epsilon=1.0).fit(
+            X, y, sample_weight=np.ones(len(y))
+        )
+
+
+def test_noisy_gradient_learns_at_large_epsilon(toy_classification):
+    X, y = toy_classification
+    model = NoisyGradientLogisticRegression(
+        epsilon=20.0, n_steps=40, seed=0
+    ).fit(X, y)
+    assert accuracy(y, model.predict(X)) > 0.75
+
+
+def test_noisy_gradient_epsilon_utility_tradeoff(toy_classification):
+    X, y = toy_classification
+
+    def mean_accuracy(epsilon):
+        scores = []
+        for seed in range(5):
+            model = NoisyGradientLogisticRegression(
+                epsilon=epsilon, n_steps=30, seed=seed
+            ).fit(X, y)
+            scores.append(accuracy(y, model.predict(X)))
+        return np.mean(scores)
+
+    assert mean_accuracy(10.0) > mean_accuracy(0.05)
+
+
+def test_noisy_gradient_charges_accountant(toy_classification):
+    X, y = toy_classification
+    accountant = PrivacyAccountant(5.0, delta_budget=1e-4)
+    NoisyGradientLogisticRegression(
+        epsilon=2.0, delta=1e-5, accountant=accountant, n_steps=5
+    ).fit(X, y)
+    assert accountant.epsilon_spent == pytest.approx(2.0)
+    assert accountant.delta_spent == pytest.approx(1e-5)
+
+
+def test_noisy_gradient_validation():
+    with pytest.raises(DataError):
+        NoisyGradientLogisticRegression(epsilon=-1.0)
+    with pytest.raises(DataError):
+        NoisyGradientLogisticRegression(epsilon=1.0, delta=2.0)
+    with pytest.raises(DataError):
+        NoisyGradientLogisticRegression(epsilon=1.0, n_steps=0)
+
+
+def test_dp_models_deterministic_by_seed(toy_classification):
+    X, y = toy_classification
+    a = OutputPerturbationLogisticRegression(epsilon=1.0, seed=3).fit(X, y)
+    b = OutputPerturbationLogisticRegression(epsilon=1.0, seed=3).fit(X, y)
+    np.testing.assert_allclose(a.coef_, b.coef_)

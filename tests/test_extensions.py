@@ -1,0 +1,267 @@
+"""Unit tests for the extension modules: DP synthesis, intersectional
+fairness, audit power analysis, and deployment drift monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.power import (
+    achieved_power,
+    minimum_detectable_gap,
+    required_audit_size,
+)
+from repro.confidentiality import PrivacyAccountant
+from repro.confidentiality.synthesis import (
+    MarginalSynthesizer,
+    marginal_total_variation,
+)
+from repro.data.synth import CreditScoringGenerator
+from repro.exceptions import DataError, FairnessError
+from repro.fairness.intersectional import intersectional_audit
+from repro.pipeline.monitor import (
+    FairnessDriftMonitor,
+    population_stability_index,
+)
+
+
+# -- DP synthesis -------------------------------------------------------------
+
+def test_synthesizer_preserves_marginals_at_high_epsilon(credit_tables, rng):
+    train, _ = credit_tables
+    synthesizer = MarginalSynthesizer(epsilon=50.0).fit(train, rng)
+    synthetic = synthesizer.sample(train.n_rows, rng)
+    assert synthetic.column_names == train.column_names
+    for column in ("income", "group", "purpose"):
+        assert marginal_total_variation(train, synthetic, column) < 0.1
+
+
+def test_synthesizer_utility_degrades_at_low_epsilon(credit_tables, rng):
+    train, _ = credit_tables
+
+    def tv_at(epsilon):
+        synthesizer = MarginalSynthesizer(epsilon=epsilon).fit(train, rng)
+        synthetic = synthesizer.sample(train.n_rows, rng)
+        return np.mean([
+            marginal_total_variation(train, synthetic, column)
+            for column in train.column_names
+        ])
+
+    assert tv_at(0.05) > tv_at(20.0)
+
+
+def test_synthesizer_chain_preserves_pairwise_structure(rng):
+    from repro.data.table import Table
+
+    n = 3000
+    x = rng.standard_normal(n)
+    category = np.where(x > 0, "high", "low").astype(object)
+    table = Table.from_dict({"x": x, "band": category})
+    chained = MarginalSynthesizer(epsilon=50.0, mode="chain").fit(table, rng)
+    synthetic = chained.sample(n, rng)
+    synthetic_x = synthetic["x"]
+    synthetic_band = synthetic["band"]
+    # x should still separate the bands in the chained synthesis.
+    gap = (synthetic_x[synthetic_band == "high"].mean()
+           - synthetic_x[synthetic_band == "low"].mean())
+    assert gap > 0.5
+
+
+def test_synthesizer_charges_accountant(credit_tables, rng):
+    train, _ = credit_tables
+    accountant = PrivacyAccountant(2.0)
+    MarginalSynthesizer(epsilon=2.0, accountant=accountant).fit(train, rng)
+    assert accountant.epsilon_spent == pytest.approx(2.0)
+
+
+def test_synthesizer_validation(credit_tables, rng):
+    train, _ = credit_tables
+    with pytest.raises(DataError):
+        MarginalSynthesizer(epsilon=0.0)
+    with pytest.raises(DataError):
+        MarginalSynthesizer(epsilon=1.0, n_bins=1)
+    synthesizer = MarginalSynthesizer(epsilon=1.0)
+    with pytest.raises(DataError):
+        synthesizer.sample(10, rng)  # not fitted
+    synthesizer.fit(train, rng)
+    with pytest.raises(DataError):
+        synthesizer.sample(0, rng)
+
+
+def test_synthetic_rows_are_not_copies(credit_tables, rng):
+    train, _ = credit_tables
+    synthesizer = MarginalSynthesizer(epsilon=5.0).fit(train, rng)
+    synthetic = synthesizer.sample(200, rng)
+    real_incomes = set(np.round(train["income"], 10).tolist())
+    synthetic_incomes = set(np.round(synthetic["income"], 10).tolist())
+    # Numeric values are re-drawn inside bins, not copied.
+    assert len(synthetic_incomes & real_incomes) == 0
+
+
+# -- intersectional fairness ---------------------------------------------------------
+
+def test_intersectional_finds_hidden_cell(rng):
+    n = 2000
+    group = np.where(rng.random(n) < 0.5, "B", "A").astype(object)
+    age = np.where(rng.random(n) < 0.5, "old", "young").astype(object)
+    # Fair marginally, unfair at the intersection (old B).
+    selection_p = np.full(n, 0.6)
+    selection_p[(group == "B") & (age == "old")] = 0.2
+    selection_p[(group == "B") & (age == "young")] = 1.0
+    decisions = (rng.random(n) < selection_p).astype(float)
+
+    from repro.fairness.metrics import statistical_parity_difference
+
+    marginal_gap = statistical_parity_difference(decisions, group)
+    report = intersectional_audit(decisions, {"group": group, "age": age})
+    worst = report.worst_cell
+    assert worst.describe() == "age=old & group=B"
+    assert report.max_gap > marginal_gap
+    assert report.disparate_impact_ratio < 0.5
+    assert "intersectional audit" in report.render()
+
+
+def test_intersectional_single_attribute_matches_group_audit(rng):
+    n = 1000
+    group = np.where(rng.random(n) < 0.5, "B", "A").astype(object)
+    decisions = (rng.random(n) < np.where(group == "A", 0.8, 0.4)).astype(float)
+    report = intersectional_audit(decisions, {"group": group})
+    from repro.fairness.metrics import selection_rates
+
+    rates = selection_rates(decisions, group)
+    assert report.max_gap == pytest.approx(
+        max(rates.values()) - min(rates.values())
+    )
+
+
+def test_intersectional_min_cell_size(rng):
+    n = 200
+    group = np.asarray(["A"] * 195 + ["B"] * 5, dtype=object)
+    decisions = np.zeros(n)
+    decisions[:100] = 1.0
+    with pytest.raises(FairnessError):
+        intersectional_audit(decisions, {"group": group}, min_cell_size=50)
+
+
+def test_intersectional_validation(rng):
+    with pytest.raises(FairnessError):
+        intersectional_audit(np.ones(10), {})
+    with pytest.raises(FairnessError):
+        intersectional_audit(np.ones(10), {"g": np.asarray(["A"] * 5)})
+
+
+# -- power analysis ---------------------------------------------------------------------
+
+def test_required_audit_size_reasonable():
+    design = required_audit_size(0.5, 0.1)
+    # Classic two-proportion result: ~390 per group for 50% vs 40%.
+    assert 330 <= design.n_per_group <= 450
+    assert "per group" in design.render()
+
+
+def test_required_size_grows_for_smaller_gaps():
+    large = required_audit_size(0.5, 0.2).n_per_group
+    small = required_audit_size(0.5, 0.05).n_per_group
+    assert small > 4 * large  # ~1/gap^2 scaling
+
+
+def test_minimum_detectable_gap_inverts_required_size():
+    design = required_audit_size(0.5, 0.1)
+    gap = minimum_detectable_gap(design.n_per_group, 0.5)
+    assert gap == pytest.approx(0.1, abs=0.01)
+
+
+def test_minimum_detectable_gap_nan_when_hopeless():
+    assert np.isnan(minimum_detectable_gap(3, 0.5))
+
+
+def test_achieved_power_matches_design():
+    design = required_audit_size(0.5, 0.1, power=0.8)
+    power = achieved_power(design.n_per_group, 0.5, 0.1)
+    assert power == pytest.approx(0.8, abs=0.03)
+    assert achieved_power(design.n_per_group * 4, 0.5, 0.1) > 0.95
+
+
+def test_achieved_power_empirically(rng):
+    # Simulate many audits at the designed size; rejection rate ~ power.
+    design = required_audit_size(0.5, 0.1, power=0.8)
+    from repro.accuracy.hypothesis import proportion_z_test
+
+    n = design.n_per_group
+    rejections = 0
+    trials = 300
+    for _ in range(trials):
+        a = rng.binomial(n, 0.5)
+        b = rng.binomial(n, 0.4)
+        if proportion_z_test(a, n, b, n).p_value < 0.05:
+            rejections += 1
+    assert rejections / trials == pytest.approx(0.8, abs=0.08)
+
+
+def test_power_validation():
+    with pytest.raises(DataError):
+        required_audit_size(0.0, 0.1)
+    with pytest.raises(DataError):
+        required_audit_size(0.5, 0.6)
+    with pytest.raises(DataError):
+        achieved_power(1, 0.5, 0.1)
+
+
+# -- drift monitoring ---------------------------------------------------------------------
+
+def test_psi_zero_for_same_distribution(rng):
+    reference = rng.random(5000)
+    observed = rng.random(5000)
+    assert population_stability_index(reference, observed) < 0.01
+
+
+def test_psi_large_for_shifted_distribution(rng):
+    reference = rng.normal(0.3, 0.1, 5000)
+    shifted = rng.normal(0.7, 0.1, 5000)
+    assert population_stability_index(reference, shifted) > 0.25
+
+
+def test_monitor_raises_population_alarm(rng):
+    monitor = FairnessDriftMonitor(
+        reference_scores=rng.normal(0.4, 0.1, 2000)
+    )
+    assert monitor.observe(rng.normal(0.4, 0.1, 500)) == []
+    alarms = monitor.observe(rng.normal(0.9, 0.05, 500))
+    assert [alarm.kind for alarm in alarms] == ["population_drift"]
+    assert monitor.n_batches == 2
+    assert len(monitor.alarms) == 1
+    assert "alarm" in monitor.render()
+
+
+def test_monitor_raises_fairness_alarm(rng):
+    monitor = FairnessDriftMonitor(
+        reference_scores=rng.random(2000), max_selection_gap=0.2
+    )
+    scores = np.concatenate([np.full(250, 0.9), np.full(250, 0.1)])
+    group = np.asarray(["A"] * 250 + ["B"] * 250, dtype=object)
+    # Shuffle jointly so PSI stays calm but the gap is real.
+    order = rng.permutation(500)
+    alarms = monitor.observe(scores[order], group=group[order])
+    assert any(alarm.kind == "fairness_drift" for alarm in alarms)
+
+
+def test_monitor_raises_accuracy_alarm(rng):
+    reference = rng.random(2000)
+    monitor = FairnessDriftMonitor(
+        reference_scores=reference, min_accuracy=0.9
+    )
+    scores = rng.random(400)
+    wrong_labels = (scores < 0.5).astype(float)  # always disagrees
+    alarms = monitor.observe(scores, y_true=wrong_labels)
+    assert any(alarm.kind == "accuracy_drift" for alarm in alarms)
+
+
+def test_monitor_audit_trail(rng):
+    monitor = FairnessDriftMonitor(reference_scores=rng.random(1000))
+    monitor.observe(rng.random(100))
+    monitor.observe(rng.random(100))
+    assert len(monitor.audit.events(action="batch_observed")) == 2
+
+
+def test_monitor_validation(rng):
+    monitor = FairnessDriftMonitor(reference_scores=rng.random(100))
+    with pytest.raises(DataError):
+        monitor.observe(np.array([]))

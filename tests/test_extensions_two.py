@@ -1,0 +1,295 @@
+"""Unit tests for boosting, impossibility, ICE, local DP, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.confidentiality.local_dp import UnaryEncodingOracle
+from repro.data.synth import RecidivismGenerator
+from repro.exceptions import DataError, FairnessError
+from repro.fairness.impossibility import (
+    assess_impossibility,
+    feasible_fairness_criteria,
+    implied_false_positive_rate,
+)
+from repro.learn.boosting import GradientBoostingClassifier
+from repro.learn.metrics import accuracy, roc_auc
+from repro.transparency.ice import ice_curves
+
+
+# -- gradient boosting ---------------------------------------------------------
+
+def test_boosting_solves_xor(rng):
+    X = rng.uniform(-1, 1, (1200, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    model = GradientBoostingClassifier(n_stages=60, max_depth=3).fit(
+        X[:800], y[:800]
+    )
+    assert accuracy(y[800:], model.predict(X[800:])) > 0.95
+    assert model.n_trees == 60
+
+
+def test_boosting_beats_single_stage(toy_classification):
+    X, y = toy_classification
+    one = GradientBoostingClassifier(n_stages=1).fit(X, y)
+    many = GradientBoostingClassifier(n_stages=80).fit(X, y)
+    assert roc_auc(y, many.predict_proba(X)) > roc_auc(y, one.predict_proba(X))
+
+
+def test_boosting_deterministic_with_subsample(toy_classification):
+    X, y = toy_classification
+    a = GradientBoostingClassifier(n_stages=10, subsample=0.7, seed=4)
+    b = GradientBoostingClassifier(n_stages=10, subsample=0.7, seed=4)
+    np.testing.assert_allclose(
+        a.fit(X, y).predict_proba(X), b.fit(X, y).predict_proba(X)
+    )
+
+
+def test_boosting_respects_sample_weights(rng):
+    X = np.linspace(-1, 1, 300).reshape(-1, 1)
+    y = (X[:, 0] > 0).astype(float)
+    weights = np.where(y == 0.0, 20.0, 1.0)
+    weighted = GradientBoostingClassifier(n_stages=30).fit(
+        X, y, sample_weight=weights
+    )
+    plain = GradientBoostingClassifier(n_stages=30).fit(X, y)
+    assert weighted.predict(X).sum() <= plain.predict(X).sum()
+
+
+def test_boosting_validation():
+    with pytest.raises(DataError):
+        GradientBoostingClassifier(n_stages=0)
+    with pytest.raises(DataError):
+        GradientBoostingClassifier(learning_rate=0.0)
+    with pytest.raises(DataError):
+        GradientBoostingClassifier(subsample=1.5)
+
+
+# -- impossibility -------------------------------------------------------------------
+
+def test_identity_matches_direct_computation():
+    # p=0.5, PPV=0.8, FNR=0.2 -> FPR = 1 * 0.25 * 0.8 = 0.2
+    assert implied_false_positive_rate(0.5, 0.8, 0.2) == pytest.approx(0.2)
+
+
+def test_equal_base_rates_force_no_gap(rng):
+    n = 1000
+    group = np.asarray(["A"] * 500 + ["B"] * 500, dtype=object)
+    y = np.concatenate([
+        (rng.random(500) < 0.4), (rng.random(500) < 0.4)
+    ]).astype(float)
+    assessment = assess_impossibility(y, group)
+    assert assessment.forced_fpr_gap < 0.05
+
+
+def test_unequal_base_rates_force_gap(rng):
+    gapped = RecidivismGenerator(policing_gap=1.0).generate(6000, rng)
+    assessment = assess_impossibility(
+        gapped["reoffended"], gapped["group"]
+    )
+    assert assessment.base_rate_gap > 0.05
+    assert assessment.forced_fpr_gap > 0.02
+    assert "forced FPR gap" in assessment.render()
+
+
+def test_feasibility_table(rng):
+    n = 2000
+    group = np.asarray(["A"] * 1000 + ["B"] * 1000, dtype=object)
+    equal = np.concatenate([
+        rng.random(1000) < 0.3, rng.random(1000) < 0.3
+    ]).astype(float)
+    unequal = np.concatenate([
+        rng.random(1000) < 0.6, rng.random(1000) < 0.3
+    ]).astype(float)
+    assert feasible_fairness_criteria(equal, group)[
+        "calibration_and_equalized_odds"]
+    assert not feasible_fairness_criteria(unequal, group)[
+        "calibration_and_equalized_odds"]
+    # The single criteria stay individually achievable either way.
+    assert feasible_fairness_criteria(unequal, group)["calibration_alone"]
+
+
+def test_impossibility_validation():
+    with pytest.raises(FairnessError):
+        implied_false_positive_rate(0.0, 0.8, 0.2)
+    with pytest.raises(FairnessError):
+        assess_impossibility(np.ones(10), np.asarray(["A"] * 5 + ["B"] * 5))
+
+
+# -- ICE curves -------------------------------------------------------------------------
+
+def test_ice_mean_is_partial_dependence(toy_classification):
+    from repro.learn import LogisticRegression
+    from repro.transparency import partial_dependence
+
+    X, y = toy_classification
+    model = LogisticRegression().fit(X, y)
+    ice = ice_curves(model, X[:100], 0, grid_size=10)
+    pd = partial_dependence(model, X[:100], 0, grid_size=10)
+    np.testing.assert_allclose(ice.partial_dependence, pd.response, atol=1e-9)
+
+
+def test_ice_flags_heterogeneous_effects(rng):
+    # y depends on x0 * sign(x1): the average effect of x0 is ~zero, the
+    # individual effects are strong and opposite.
+    from repro.learn import MLPClassifier
+
+    X = rng.uniform(-1, 1, (800, 2))
+    y = (X[:, 0] * np.sign(X[:, 1]) > 0).astype(float)
+    model = MLPClassifier(hidden=(16, 8), epochs=100, seed=0).fit(X, y)
+    ice = ice_curves(model, X, 0, max_individuals=80)
+    assert ice.heterogeneity > 0.1
+    assert abs(ice.partial_dependence[-1] - ice.partial_dependence[0]) < 0.25
+
+
+def test_ice_homogeneous_for_linear(toy_classification):
+    from repro.learn import LogisticRegression
+
+    X, y = toy_classification
+    model = LogisticRegression().fit(X, y)
+    ice = ice_curves(model, X, 2, max_individuals=50)  # dead feature
+    assert ice.heterogeneity < 0.05
+    assert ice.fraction_non_monotone() < 0.6
+
+
+def test_ice_validation(toy_classification):
+    from repro.learn import LogisticRegression
+
+    X, y = toy_classification
+    model = LogisticRegression().fit(X, y)
+    with pytest.raises(DataError):
+        ice_curves(model, X, 99)
+    with pytest.raises(DataError):
+        ice_curves(model, X, 0, grid_size=1)
+
+
+# -- local DP ----------------------------------------------------------------------------
+
+def test_unary_encoding_recovers_frequencies(rng):
+    categories = ["a", "b", "c", "d"]
+    truth = rng.choice(categories, size=20000, p=[0.5, 0.3, 0.15, 0.05])
+    oracle = UnaryEncodingOracle(categories, epsilon=2.0)
+    reports = oracle.randomize_all(truth, rng)
+    estimates = oracle.estimate(reports).as_dict()
+    for category, probability in zip(categories, [0.5, 0.3, 0.15, 0.05]):
+        assert estimates[category] == pytest.approx(probability, abs=0.04)
+
+
+def test_unary_encoding_error_shrinks_with_epsilon(rng):
+    categories = ["x", "y"]
+    tight = UnaryEncodingOracle(categories, epsilon=4.0)
+    loose = UnaryEncodingOracle(categories, epsilon=0.5)
+    assert tight.expected_error(1000) < loose.expected_error(1000)
+    assert loose.expected_error(10000) < loose.expected_error(100)
+
+
+def test_unary_encoding_single_report_is_noisy(rng):
+    oracle = UnaryEncodingOracle(["a", "b", "c"], epsilon=1.0)
+    report = oracle.randomize("a", rng)
+    assert report.shape == (3,)
+    assert set(np.unique(report)) <= {0.0, 1.0}
+
+
+def test_unary_encoding_validation(rng):
+    with pytest.raises(DataError):
+        UnaryEncodingOracle(["only"], epsilon=1.0)
+    with pytest.raises(DataError):
+        UnaryEncodingOracle(["a", "a"], epsilon=1.0)
+    oracle = UnaryEncodingOracle(["a", "b"], epsilon=1.0)
+    with pytest.raises(DataError):
+        oracle.randomize("z", rng)
+    with pytest.raises(DataError):
+        oracle.estimate(np.ones((5, 3)))
+
+
+# -- CLI --------------------------------------------------------------------------------
+
+@pytest.fixture
+def credit_csv(tmp_path, rng):
+    from repro.data.io import write_csv
+    from repro.data.synth import CreditScoringGenerator
+
+    path = tmp_path / "credit.csv"
+    table = CreditScoringGenerator(
+        label_bias=0.3, proxy_strength=0.7
+    ).generate(800, rng)
+    write_csv(table, path)
+    return str(path)
+
+
+def test_cli_audit(credit_csv, capsys):
+    from repro.cli import main
+
+    code = main(["audit", credit_csv])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "FACT report" in out
+    assert "green data science scorecard" in out
+
+
+def test_cli_audit_strict_fails_on_violations(credit_csv, capsys):
+    from repro.cli import main
+
+    code = main(["audit", credit_csv, "--strict"])
+    out = capsys.readouterr().out
+    if "policy violations: 0" not in out:
+        assert code == 1
+
+
+def test_cli_datasheet(credit_csv, capsys):
+    from repro.cli import main
+
+    assert main(["datasheet", credit_csv, "--name", "demo"]) == 0
+    assert "# Datasheet: demo" in capsys.readouterr().out
+
+
+def test_cli_anonymize(credit_csv, tmp_path, capsys):
+    from repro.cli import main
+    from repro.data.io import read_csv
+
+    output = str(tmp_path / "anon.csv")
+    code = main([
+        "anonymize", credit_csv, "-k", "5",
+        "--quasi", "income", "--quasi", "employment_years",
+        "-o", output,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "before:" in out and "after:" in out
+    released = read_csv(output)
+    assert released.n_rows > 0
+    from repro.confidentiality import k_anonymity_level
+
+    assert k_anonymity_level(
+        released, ["income", "employment_years"]
+    ) >= 5
+
+
+def test_cli_anonymize_requires_quasi(credit_csv, capsys):
+    from repro.cli import main
+
+    assert main(["anonymize", credit_csv]) == 2
+    assert "--quasi" in capsys.readouterr().err
+
+
+def test_cli_synthesize(credit_csv, tmp_path, capsys):
+    from repro.cli import main
+    from repro.data.io import read_csv
+
+    output = str(tmp_path / "synthetic.csv")
+    code = main([
+        "synthesize", credit_csv, "--epsilon", "5", "--rows", "200",
+        "-o", output,
+    ])
+    assert code == 0
+    synthetic = read_csv(output)
+    assert synthetic.n_rows == 200
+
+
+def test_cli_audit_json(credit_csv, capsys):
+    import json
+
+    from repro.cli import main
+
+    assert main(["audit", credit_csv, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "fairness" in payload and "accuracy" in payload

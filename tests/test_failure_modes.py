@@ -1,0 +1,210 @@
+"""Failure-injection tests: the stack must fail loudly and precisely.
+
+"Errors should never pass silently" — each test feeds a realistic
+corruption (NaNs, empty groups, schema drift, degenerate labels,
+poisoned inputs) into a component and asserts it raises the *right*
+library exception rather than limping on or exploding uninformatively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Schema, categorical, numeric
+from repro.data.table import Table
+from repro.exceptions import (
+    AnonymityError,
+    CausalError,
+    DataError,
+    FairnessError,
+    NotFittedError,
+    PrivacyBudgetError,
+    ProvenanceError,
+    ReproError,
+    SchemaError,
+)
+
+
+def test_exception_hierarchy_is_catchable():
+    """Every library error derives from ReproError."""
+    for exc in (SchemaError, DataError, NotFittedError, FairnessError,
+                PrivacyBudgetError, AnonymityError, CausalError,
+                ProvenanceError):
+        assert issubclass(exc, ReproError)
+
+
+def test_nan_features_rejected_at_fit(toy_classification):
+    from repro.learn import LogisticRegression
+
+    X, y = toy_classification
+    poisoned = X.copy()
+    poisoned[3, 1] = np.nan
+    with pytest.raises(DataError, match="NaN"):
+        LogisticRegression().fit(poisoned, y)
+
+
+def test_infinite_features_rejected(toy_classification):
+    from repro.learn import DecisionTreeClassifier
+
+    X, y = toy_classification
+    poisoned = X.copy()
+    poisoned[0, 0] = np.inf
+    with pytest.raises(DataError):
+        DecisionTreeClassifier().fit(poisoned, y)
+
+
+def test_clean_stage_removes_nan_before_training(rng):
+    """The pipeline's defence: CleanStage drops NaN rows so TrainStage
+    never sees them."""
+    from repro.data.synth import CreditScoringGenerator
+    from repro.learn import LogisticRegression, TableClassifier
+    from repro.pipeline import CleanStage, Pipeline, TrainStage
+
+    table = CreditScoringGenerator().generate(400, rng)
+    income = table["income"].copy()
+    income[:10] = np.nan
+    poisoned = table.with_column(table.schema["income"], income)
+    result = Pipeline([
+        CleanStage(), TrainStage(TableClassifier(LogisticRegression())),
+    ]).run(poisoned, rng)
+    assert result.table.n_rows == 390
+    assert result.model is not None
+
+
+def test_single_class_training_fails_informatively(rng):
+    from repro.learn import GaussianNaiveBayes
+
+    X = rng.standard_normal((30, 2))
+    with pytest.raises(DataError):
+        GaussianNaiveBayes().fit(X, np.zeros(30))
+
+
+def test_schema_drift_between_fit_and_predict(credit_tables):
+    from repro.exceptions import SchemaError
+    from repro.learn import LogisticRegression, TableClassifier
+
+    train, test = credit_tables
+    model = TableClassifier(LogisticRegression()).fit(train)
+    drifted = test.drop(["income"])
+    with pytest.raises(SchemaError):
+        model.predict_proba(drifted)
+
+
+def test_fairness_audit_with_vanished_group(credit_tables):
+    from repro.fairness import audit_decisions
+
+    train, _ = credit_tables
+    only_a = train.filter(train["group"] == "A")
+    with pytest.raises(FairnessError, match="two groups"):
+        audit_decisions(only_a["approved"], only_a["approved"],
+                        only_a["group"])
+
+
+def test_budget_exhaustion_mid_analysis(rng):
+    """An analysis script that overruns its budget stops exactly at the
+    boundary with the ledger intact."""
+    from repro.confidentiality import PrivacyAccountant, dp_count
+
+    accountant = PrivacyAccountant(1.0)
+    completed = 0
+    with pytest.raises(PrivacyBudgetError):
+        for _ in range(10):
+            dp_count(100, 0.3, accountant, rng)
+            completed += 1
+    assert completed == 3
+    assert accountant.epsilon_spent == pytest.approx(0.9)
+
+
+def test_anonymizer_impossible_k(small_table):
+    from repro.confidentiality import MondrianAnonymizer
+
+    with pytest.raises(AnonymityError):
+        MondrianAnonymizer(k=10).anonymize(small_table)
+
+
+def test_causal_estimation_without_controls(rng):
+    from repro.accuracy.causal import inverse_probability_weighting
+
+    X = rng.standard_normal((40, 2))
+    with pytest.raises(CausalError):
+        inverse_probability_weighting(X, np.ones(40), np.ones(40))
+
+
+def test_provenance_foreign_artifact(small_table):
+    from repro.pipeline import ProvenanceGraph
+    from repro.pipeline.provenance import Artifact
+
+    graph_a = ProvenanceGraph()
+    graph_b = ProvenanceGraph()
+    artifact = graph_a.add_table(small_table)
+    with pytest.raises(ProvenanceError):
+        graph_b.lineage(artifact)
+    assert isinstance(artifact, Artifact)
+
+
+def test_conformal_without_calibration(toy_classification):
+    from repro.accuracy.conformal import SplitConformalClassifier
+    from repro.learn import LogisticRegression
+
+    X, y = toy_classification
+    model = LogisticRegression().fit(X, y)
+    with pytest.raises(NotFittedError):
+        SplitConformalClassifier(model).coverage(X, y)
+
+
+def test_empty_table_operations():
+    table = Table(Schema([numeric("x"), categorical("c")]),
+                  {"x": [], "c": []})
+    assert table.n_rows == 0
+    assert table.describe()["x"]["n"] == 0
+    with pytest.raises(DataError):
+        table.row(0)
+
+
+def test_corrupted_csv_roles_rejected(tmp_path):
+    from repro.data.io import read_csv
+
+    path = tmp_path / "bad.csv"
+    path.write_text("#repro-types:numeric\n#repro-roles:feature,target\na\n1\n")
+    with pytest.raises(DataError, match="metadata"):
+        read_csv(path)
+
+
+def test_monitor_survives_constant_scores(rng):
+    """A deployed model gone constant should alarm, not crash."""
+    from repro.pipeline.monitor import FairnessDriftMonitor
+
+    monitor = FairnessDriftMonitor(reference_scores=rng.random(1000))
+    alarms = monitor.observe(np.full(200, 0.99))
+    assert any(alarm.kind == "population_drift" for alarm in alarms)
+
+
+def test_synthesizer_on_constant_column(rng):
+    from repro.confidentiality.synthesis import MarginalSynthesizer
+
+    table = Table.from_dict({
+        "constant": np.ones(100),
+        "varying": rng.standard_normal(100),
+    })
+    synthesizer = MarginalSynthesizer(epsilon=5.0, mode="independent")
+    synthetic = synthesizer.fit(table, rng).sample(50, rng)
+    np.testing.assert_allclose(synthetic["constant"], 1.0)
+
+
+def test_process_log_with_empty_trace_is_skipped_in_counts():
+    from repro.process import EventLog, Trace, directly_follows_counts
+
+    log = EventLog([Trace("c1", ()), Trace("c2", ("a",))])
+    counts = directly_follows_counts(log)
+    assert sum(counts.values()) == 2  # START->a, a->END only
+
+
+def test_group_threshold_optimizer_degenerate_scores(rng):
+    """All-equal scores: thresholds exist, decisions are all-or-nothing."""
+    from repro.fairness import GroupThresholdOptimizer
+
+    scores = np.full(100, 0.5)
+    y = (rng.random(100) < 0.5).astype(float)
+    group = np.asarray(["A"] * 50 + ["B"] * 50, dtype=object)
+    optimizer = GroupThresholdOptimizer().fit(scores, y, group)
+    decisions = optimizer.predict(scores, group)
+    assert set(np.unique(decisions)) <= {0.0, 1.0}

@@ -1,0 +1,116 @@
+"""Unit tests for individual fairness and discrimination discovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FairnessError
+from repro.fairness.discovery import detect_proxies, find_worst_subgroups
+from repro.fairness.individual import consistency_score, situation_test
+
+
+def test_consistency_perfect_for_smooth_predictions(rng):
+    X = rng.standard_normal((200, 2))
+    constant = np.ones(200)
+    assert consistency_score(X, constant) == pytest.approx(1.0)
+
+
+def test_consistency_penalises_arbitrary_decisions(rng):
+    X = rng.standard_normal((300, 2))
+    smooth = (X[:, 0] > 0).astype(float)
+    noisy = (rng.random(300) < 0.5).astype(float)
+    assert consistency_score(X, smooth) > consistency_score(X, noisy)
+
+
+def test_consistency_validation(rng):
+    X = rng.standard_normal((10, 2))
+    with pytest.raises(FairnessError):
+        consistency_score(X, np.ones(5))
+    with pytest.raises(FairnessError):
+        consistency_score(X, np.ones(10), k=10)
+
+
+def test_situation_test_flags_pure_group_discrimination(rng):
+    n = 400
+    X = rng.standard_normal((n, 3))
+    group = np.where(rng.random(n) < 0.5, "B", "A").astype(object)
+    # Decision depends ONLY on group: maximal individual discrimination.
+    y_pred = (group == "A").astype(float)
+    result = situation_test(X, y_pred, group, "B", k=5, threshold=0.3)
+    assert result.flagged_fraction > 0.9
+    assert result.mean_gap > 0.8
+
+
+def test_situation_test_clean_when_decision_is_feature_based(rng):
+    n = 400
+    X = rng.standard_normal((n, 3))
+    group = np.where(rng.random(n) < 0.5, "B", "A").astype(object)
+    y_pred = (X[:, 0] > 0).astype(float)
+    result = situation_test(X, y_pred, group, "B", k=5, threshold=0.3)
+    assert result.flagged_fraction < 0.2
+    assert abs(result.mean_gap) < 0.1
+
+
+def test_situation_test_validation(rng):
+    X = rng.standard_normal((20, 2))
+    group = np.array(["A"] * 10 + ["B"] * 10, dtype=object)
+    with pytest.raises(FairnessError, match="protected"):
+        situation_test(X, np.ones(20), group, "Z")
+    with pytest.raises(FairnessError):
+        situation_test(X, np.ones(20), group, "B", k=15)
+
+
+def test_detect_proxies_finds_the_proxy(credit_tables):
+    train, _ = credit_tables
+    report = detect_proxies(train)
+    assert report.joint_auc > 0.85
+    strongest_name, strongest_auc = report.strongest(1)[0]
+    assert strongest_name == "neighborhood"
+    assert strongest_auc > 0.85
+    # Honest features are not proxies.
+    assert report.per_feature_auc["debt_ratio"] < 0.6
+
+
+def test_detect_proxies_clean_data(rng):
+    from repro.data.synth import CreditScoringGenerator
+
+    clean = CreditScoringGenerator(proxy_strength=0.0).generate(1500, rng)
+    report = detect_proxies(clean)
+    assert report.joint_auc < 0.65
+
+
+def test_detect_proxies_validation(small_table):
+    from repro.data.table import Table
+
+    table = Table.from_dict({"x": [1.0, 2.0]})
+    with pytest.raises(FairnessError):
+        detect_proxies(table)
+
+
+def test_find_worst_subgroups(credit_tables, rng):
+    train, _ = credit_tables
+    decisions = train["approved"]
+    subgroups = find_worst_subgroups(train, decisions, max_conditions=1,
+                                     min_size=40, top=3)
+    assert len(subgroups) <= 3
+    assert all(s.size >= 40 for s in subgroups)
+    # The label-biased group B (or its proxy neighbourhoods) must surface.
+    top_description = subgroups[0].describe()
+    assert ("group=B" in top_description) or ("neighborhood=" in top_description)
+    assert subgroups[0].shortfall > 0.05
+
+
+def test_find_worst_subgroups_conjunctions(credit_tables):
+    train, _ = credit_tables
+    subgroups = find_worst_subgroups(train, train["approved"],
+                                     max_conditions=2, min_size=30, top=5)
+    assert any(len(s.conditions) == 2 for s in subgroups)
+    rendered = subgroups[0].describe()
+    assert "=" in rendered
+
+
+def test_find_worst_subgroups_validation(credit_tables):
+    train, _ = credit_tables
+    with pytest.raises(FairnessError):
+        find_worst_subgroups(train, np.ones(3))
+    with pytest.raises(FairnessError, match="categorical"):
+        find_worst_subgroups(train, train["approved"], columns=[])

@@ -1,0 +1,156 @@
+"""Integration tests: the paper's scenarios end-to-end across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import FACTAuditor, FACTPolicy, build_scorecard
+from repro.data import three_way_split, train_test_split
+from repro.data.schema import ColumnRole, categorical
+from repro.data.synth import (
+    AdCampaignGenerator,
+    CreditScoringGenerator,
+    InternetMinuteGenerator,
+)
+from repro.fairness import audit_model, detect_proxies, reweigh
+from repro.learn import LogisticRegression, TableClassifier
+from repro.pipeline import (
+    CleanStage,
+    DecideStage,
+    Pipeline,
+    PredictStage,
+    RedactStage,
+    ReweighStage,
+    TrainStage,
+    ValidateSchemaStage,
+)
+
+
+def test_bias_propagates_without_sensitive_attribute(rng):
+    """The paper's central Q1 claim: dropping the sensitive attribute does
+    not stop discrimination when a proxy exists."""
+    generator = CreditScoringGenerator(label_bias=0.4, proxy_strength=0.9)
+    train, test = generator.generate_pair(2500, 1200, rng)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    # The model provably never saw `group`...
+    assert all(not name.startswith("group=") for name in model.feature_names)
+    # ...yet its decisions are group-disparate.
+    report = audit_model(model, test)
+    assert report.disparate_impact_ratio < 0.85
+    # And the proxy detector explains why.
+    proxies = detect_proxies(train)
+    assert proxies.strongest(1)[0][0] == "neighborhood"
+
+
+def test_no_proxy_no_label_bias_means_fair(rng):
+    generator = CreditScoringGenerator(label_bias=0.0, proxy_strength=0.0)
+    train, test = generator.generate_pair(2500, 1200, rng)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    report = audit_model(model, test)
+    assert report.disparate_impact_ratio > 0.9
+
+
+def test_full_remediation_loop(rng):
+    """Audit -> mitigate -> re-audit: the grade must improve."""
+    generator = CreditScoringGenerator(label_bias=0.35, proxy_strength=0.85)
+    data = generator.generate(4000, rng)
+    train, calibration, test = three_way_split(data, 0.25, 0.15, rng)
+    auditor = FACTAuditor()
+    policy = FACTPolicy(max_calibration_error=None,
+                        max_conformal_coverage_shortfall=None,
+                        max_unique_row_fraction=None,
+                        min_surrogate_fidelity=None)
+
+    biased = Pipeline([
+        ValidateSchemaStage(), CleanStage(),
+        TrainStage(TableClassifier(LogisticRegression())),
+        PredictStage(), DecideStage(),
+    ]).run(train, rng)
+    biased_report = auditor.audit(
+        biased.model, test, rng, calibration=calibration,
+        pipeline_result=biased,
+    )
+    assert policy.check(biased_report)  # violations present
+
+    remediated = Pipeline([
+        ValidateSchemaStage(), CleanStage(), ReweighStage(),
+        TrainStage(TableClassifier(LogisticRegression())),
+        PredictStage(), DecideStage(),
+    ]).run(train, rng)
+    remediated_report = auditor.audit(
+        remediated.model, test, rng, calibration=calibration,
+        pipeline_result=remediated,
+    )
+    assert (build_scorecard(remediated_report).fairness
+            > build_scorecard(biased_report).fairness)
+    fairness_violations = [
+        violation for violation in policy.check(remediated_report)
+        if violation.pillar == "fairness"
+        and violation.clause.startswith("disparate")
+    ]
+    assert not fairness_violations
+
+
+def test_observational_study_pipeline(rng):
+    """Q2 end-to-end: naive observational lift overstates; the causal
+    battery recovers the RCT answer."""
+    from repro.accuracy.causal import compare_estimators
+
+    generator = AdCampaignGenerator(true_lift=0.4, confounding=1.5)
+    observational = generator.generate_observational(5000, rng)
+    rct = generator.generate_rct(5000, rng)
+    X = np.column_stack([
+        observational["activity"],
+        observational["past_purchases"],
+        observational["ad_affinity"],
+    ])
+    truth = generator.true_ate(observational)
+    results = compare_estimators(
+        X, observational["exposed"], observational["purchase"],
+        rct_treatment=rct["exposed"], rct_outcome=rct["purchase"],
+    )
+    assert abs(results["naive"].ate - truth) > 2 * abs(results["aipw"].ate - truth)
+    lower, upper = results["rct"].ci95
+    assert lower <= generator.true_ate(rct) <= upper
+
+
+def test_event_stream_release_hygiene(rng):
+    """Q3 end-to-end: the Internet-Minute stream goes through redaction
+    and the released table carries no raw identifiers."""
+    stream = InternetMinuteGenerator(scale=2e-5).generate_stream(rng)
+    result = Pipeline([RedactStage()]).run(stream, rng)
+    released = result.table
+    assert released.schema.identifier_names == ["user_id"]
+    assert all(str(token).startswith("p_") for token in released["user_id"][:20])
+    # Pseudonymisation is consistent within the release...
+    raw_first = stream["user_id"][0]
+    same_user_rows = np.flatnonzero(stream["user_id"] == raw_first)
+    tokens = set(released["user_id"][same_user_rows].tolist())
+    assert len(tokens) == 1
+
+
+def test_csv_roundtrip_preserves_audit(tmp_path, rng):
+    """Persistence does not break the audit chain."""
+    from repro.data.io import read_csv, write_csv
+
+    generator = CreditScoringGenerator(label_bias=0.3, proxy_strength=0.7)
+    data = generator.generate(1500, rng)
+    path = tmp_path / "credit.csv"
+    write_csv(data, path)
+    loaded = read_csv(path)
+    train, test = train_test_split(loaded, 0.3, rng)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    report = audit_model(model, test)
+    assert report.sensitive == "group"
+    assert 0.0 <= report.disparate_impact_ratio <= 1.0
+
+
+def test_mixed_model_types_through_auditor(census_tables, rng):
+    from repro.learn import DecisionTreeClassifier, GaussianNaiveBayes
+
+    train, test = census_tables
+    for estimator in (DecisionTreeClassifier(max_depth=4),
+                      GaussianNaiveBayes()):
+        model = TableClassifier(estimator).fit(train)
+        report = FACTAuditor(n_bootstrap=100).audit(model, test, rng)
+        assert report.accuracy.accuracy.estimate > 0.5
+        assert report.transparency.model_type == type(estimator).__name__

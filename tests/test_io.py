@@ -1,0 +1,58 @@
+"""Unit tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_csv, read_csv_string, write_csv
+from repro.data.schema import ColumnRole, ColumnType
+from repro.exceptions import DataError
+
+
+def test_roundtrip_preserves_schema(small_table, tmp_path):
+    path = tmp_path / "table.csv"
+    write_csv(small_table, path)
+    loaded = read_csv(path)
+    assert loaded.column_names == small_table.column_names
+    assert loaded.schema["group"].role is ColumnRole.SENSITIVE
+    assert loaded.schema["approved"].role is ColumnRole.TARGET
+    np.testing.assert_allclose(loaded["income"], small_table["income"])
+    assert loaded == small_table
+
+
+def test_roundtrip_without_metadata(small_table, tmp_path):
+    path = tmp_path / "plain.csv"
+    write_csv(small_table, path, with_metadata=False)
+    loaded = read_csv(path)
+    # Without metadata all roles default to FEATURE.
+    assert loaded.schema["group"].role is ColumnRole.FEATURE
+    np.testing.assert_allclose(loaded["debt"], small_table["debt"])
+
+
+def test_read_plain_string_infers_types():
+    table = read_csv_string("a,b\n1.5,x\n2.5,y\n")
+    assert table.schema["a"].ctype is ColumnType.NUMERIC
+    assert table.schema["b"].ctype is ColumnType.CATEGORICAL
+    assert table.n_rows == 2
+
+
+def test_empty_csv_rejected():
+    with pytest.raises(DataError, match="empty"):
+        read_csv_string("")
+
+
+def test_ragged_rows_rejected():
+    with pytest.raises(DataError, match="fields"):
+        read_csv_string("a,b\n1,2\n3\n")
+
+
+def test_missing_numeric_becomes_nan():
+    table = read_csv_string("a,b\n1,x\n,y\n")
+    assert np.isnan(table["a"][1])
+
+
+def test_explicit_schema_overrides(small_table, tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path)
+    explicit = small_table.schema
+    loaded = read_csv(path, schema=explicit)
+    assert loaded.schema is explicit

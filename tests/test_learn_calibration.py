@@ -1,0 +1,110 @@
+"""Unit tests for calibration tooling."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth.base import sigmoid
+from repro.exceptions import DataError, NotFittedError
+from repro.learn.calibration import (
+    PlattScaler,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def test_perfectly_calibrated_scores(rng):
+    probabilities = rng.random(20000)
+    outcomes = (rng.random(20000) < probabilities).astype(float)
+    curve = reliability_curve(outcomes, probabilities, n_bins=10)
+    assert curve.expected_calibration_error < 0.02
+    assert curve.maximum_calibration_error < 0.05
+
+
+def test_overconfident_scores_flagged(rng):
+    # True rate 0.5 everywhere; model claims 0.9.
+    outcomes = (rng.random(5000) < 0.5).astype(float)
+    probabilities = np.full(5000, 0.9)
+    ece = expected_calibration_error(outcomes, probabilities)
+    assert ece == pytest.approx(0.4, abs=0.05)
+
+
+def test_reliability_bin_counts(rng):
+    probabilities = np.array([0.05, 0.05, 0.95, 0.95])
+    outcomes = np.array([0.0, 0.0, 1.0, 1.0])
+    curve = reliability_curve(outcomes, probabilities, n_bins=10)
+    assert curve.bin_counts.sum() == 4
+    assert curve.bin_counts[0] == 2
+    assert curve.bin_counts[-1] == 2
+
+
+def test_reliability_validation():
+    with pytest.raises(DataError):
+        reliability_curve(np.array([1.0, 0.0]), np.array([0.5, 0.5]), n_bins=1)
+
+
+def test_platt_fixes_miscalibrated_scores(rng):
+    # Latent probability p; model reports logit/3 (too flat).
+    logits = rng.normal(0.0, 2.0, 8000)
+    outcomes = (rng.random(8000) < sigmoid(logits)).astype(float)
+    distorted = np.asarray(sigmoid(logits / 3.0))
+    before = expected_calibration_error(outcomes, distorted)
+    scaler = PlattScaler().fit(distorted, outcomes)
+    after = expected_calibration_error(outcomes, scaler.transform(distorted))
+    assert after < before
+    assert after < 0.03
+
+
+def test_platt_identity_on_calibrated(rng):
+    probabilities = rng.random(5000)
+    outcomes = (rng.random(5000) < probabilities).astype(float)
+    scaler = PlattScaler().fit(probabilities, outcomes)
+    transformed = scaler.transform(np.array([0.2, 0.5, 0.8]))
+    # Should stay close to the identity.
+    np.testing.assert_allclose(transformed, [0.2, 0.5, 0.8], atol=0.08)
+
+
+def test_platt_requires_fit():
+    with pytest.raises(NotFittedError):
+        PlattScaler().transform(np.array([0.5]))
+
+
+def test_calibrated_classifier_both_methods(rng):
+    """Both recalibration methods reduce a boosted model's ECE."""
+    from repro.data.synth.base import bernoulli
+    from repro.learn import GradientBoostingClassifier
+    from repro.learn.calibration import CalibratedClassifier
+
+    n = 6000
+    X = rng.standard_normal((n, 3))
+    p = np.asarray(sigmoid(1.5 * X[:, 0] - X[:, 1]))
+    y = bernoulli(p, rng)
+    train, cal, test = slice(0, 2000), slice(2000, 4000), slice(4000, n)
+    model = GradientBoostingClassifier(
+        n_stages=150, max_depth=3, learning_rate=0.3
+    ).fit(X[train], y[train])
+    raw_ece = expected_calibration_error(
+        y[test], model.predict_proba(X[test])
+    )
+    for method in ("platt", "isotonic"):
+        calibrated = CalibratedClassifier(model, method=method)
+        calibrated.calibrate(X[cal], y[cal])
+        ece = expected_calibration_error(
+            y[test], calibrated.predict_proba(X[test])
+        )
+        assert ece <= raw_ece + 0.01, method
+        decisions = calibrated.predict(X[test])
+        assert set(np.unique(decisions)) <= {0.0, 1.0}
+
+
+def test_calibrated_classifier_validation(rng):
+    from repro.learn import LogisticRegression
+    from repro.learn.calibration import CalibratedClassifier
+
+    with pytest.raises(DataError):
+        CalibratedClassifier(LogisticRegression(), method="magic")
+    X = rng.standard_normal((20, 2))
+    wrapper = CalibratedClassifier(
+        LogisticRegression().fit(X, (X[:, 0] > 0).astype(float))
+    )
+    with pytest.raises(NotFittedError):
+        wrapper.predict_proba(X)

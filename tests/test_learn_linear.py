@@ -1,0 +1,131 @@
+"""Unit tests for logistic and ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, NotFittedError
+from repro.learn.linear import LogisticRegression, RidgeRegression
+from repro.learn.metrics import accuracy, roc_auc
+
+
+def test_logistic_learns_separable(toy_classification):
+    X, y = toy_classification
+    model = LogisticRegression(l2=0.1).fit(X, y)
+    predictions = model.predict(X)
+    assert accuracy(y, predictions) > 0.85
+    assert roc_auc(y, model.predict_proba(X)) > 0.9
+
+
+def test_logistic_recovers_signs(toy_classification):
+    X, y = toy_classification
+    model = LogisticRegression(l2=0.1).fit(X, y)
+    assert model.coef_[0] > 0
+    assert model.coef_[1] < 0
+    assert abs(model.coef_[2]) < abs(model.coef_[0])
+
+
+def test_logistic_probabilities_bounded(toy_classification):
+    X, y = toy_classification
+    probabilities = LogisticRegression().fit(X, y).predict_proba(X)
+    assert np.all(probabilities >= 0.0)
+    assert np.all(probabilities <= 1.0)
+
+
+def test_logistic_requires_fit(toy_classification):
+    X, _ = toy_classification
+    with pytest.raises(NotFittedError):
+        LogisticRegression().predict_proba(X)
+
+
+def test_logistic_input_validation(toy_classification, rng):
+    X, y = toy_classification
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X, y[:10])
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X, y + 2.0)  # labels not 0/1
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X[:, 0], y)  # 1-D X
+    bad = X.copy()
+    bad[0, 0] = np.nan
+    with pytest.raises(DataError):
+        LogisticRegression().fit(bad, y)
+    with pytest.raises(DataError):
+        LogisticRegression(l2=-1.0)
+
+
+def test_logistic_sample_weights_shift_boundary(rng):
+    X = np.linspace(-1, 1, 200).reshape(-1, 1)
+    y = (X[:, 0] > 0).astype(float)
+    # Upweight the negative class heavily: predictions shift negative.
+    weights = np.where(y == 0.0, 10.0, 1.0)
+    weighted = LogisticRegression(l2=0.01).fit(X, y, sample_weight=weights)
+    plain = LogisticRegression(l2=0.01).fit(X, y)
+    assert weighted.predict(X).sum() < plain.predict(X).sum()
+
+
+def test_logistic_weight_validation(toy_classification):
+    X, y = toy_classification
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X, y, sample_weight=np.ones(3))
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X, y, sample_weight=-np.ones(len(y)))
+    with pytest.raises(DataError):
+        LogisticRegression().fit(X, y, sample_weight=np.zeros(len(y)))
+
+
+def test_logistic_l2_shrinks_weights(toy_classification):
+    X, y = toy_classification
+    loose = LogisticRegression(l2=0.01).fit(X, y)
+    tight = LogisticRegression(l2=100.0).fit(X, y)
+    assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+def test_logistic_decision_scores_monotone(toy_classification):
+    X, y = toy_classification
+    model = LogisticRegression().fit(X, y)
+    scores = model.decision_scores(X)
+    probabilities = model.predict_proba(X)
+    order = np.argsort(scores)
+    assert np.all(np.diff(probabilities[order]) >= -1e-12)
+
+
+def test_ridge_recovers_linear_function(rng):
+    X = rng.standard_normal((300, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + 0.01 * rng.standard_normal(300)
+    model = RidgeRegression(l2=1e-6).fit(X, y)
+    assert model.coef_[0] == pytest.approx(2.0, abs=0.05)
+    assert model.coef_[1] == pytest.approx(-1.0, abs=0.05)
+    assert model.intercept_ == pytest.approx(0.5, abs=0.05)
+
+
+def test_ridge_weighted_fit(rng):
+    X = np.vstack([np.zeros((50, 1)), np.ones((50, 1))])
+    y = np.concatenate([np.zeros(50), np.ones(50) * 2.0])
+    weights = np.concatenate([np.full(50, 100.0), np.full(50, 1.0)])
+    model = RidgeRegression(l2=1e-9).fit(X, y, sample_weight=weights)
+    # Prediction at 0 should be pinned near 0 by the heavy weights.
+    assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(0.0, abs=0.01)
+
+
+def test_ridge_intercept_not_penalised(rng):
+    X = rng.standard_normal((200, 2))
+    y = np.full(200, 7.0)
+    model = RidgeRegression(l2=1000.0).fit(X, y)
+    assert model.intercept_ == pytest.approx(7.0, abs=0.1)
+
+
+def test_ridge_validation(rng):
+    X = rng.standard_normal((10, 2))
+    with pytest.raises(DataError):
+        RidgeRegression(l2=-0.1)
+    with pytest.raises(DataError):
+        RidgeRegression().fit(X, np.ones(5))
+
+
+def test_clone_resets_fit(toy_classification):
+    X, y = toy_classification
+    model = LogisticRegression(l2=3.0).fit(X, y)
+    fresh = model.clone()
+    assert fresh.l2 == 3.0
+    with pytest.raises(NotFittedError):
+        fresh.predict_proba(X)

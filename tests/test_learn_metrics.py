@@ -1,0 +1,101 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.learn.metrics import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision,
+    recall,
+    roc_auc,
+    roc_curve,
+)
+
+Y_TRUE = np.array([1, 1, 0, 0, 1, 0], dtype=float)
+Y_PRED = np.array([1, 0, 0, 1, 1, 0], dtype=float)
+
+
+def test_confusion_counts():
+    cm = confusion_matrix(Y_TRUE, Y_PRED)
+    assert (cm.tp, cm.fp, cm.tn, cm.fn) == (2, 1, 2, 1)
+    assert cm.n == 6
+    assert cm.accuracy == pytest.approx(4 / 6)
+    assert cm.precision == pytest.approx(2 / 3)
+    assert cm.recall == pytest.approx(2 / 3)
+    assert cm.false_positive_rate == pytest.approx(1 / 3)
+    assert cm.false_negative_rate == pytest.approx(1 / 3)
+    assert cm.selection_rate == pytest.approx(0.5)
+
+
+def test_scalar_metrics():
+    assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(4 / 6)
+    assert precision(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    assert recall(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+
+def test_degenerate_precision_is_zero():
+    cm = confusion_matrix(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+    assert cm.precision == 0.0
+    assert cm.f1 == 0.0
+
+
+def test_auc_perfect_and_random():
+    y = np.array([0, 0, 1, 1], dtype=float)
+    assert roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+    assert roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+    assert roc_auc(y, np.array([0.5, 0.5, 0.5, 0.5])) == 0.5
+
+
+def test_auc_handles_ties_with_midranks():
+    y = np.array([0, 1, 0, 1], dtype=float)
+    scores = np.array([0.3, 0.3, 0.1, 0.9])
+    # Pairs: (0.3 vs 0.3)=0.5, (0.3 vs 0.9)=1, (0.1 vs 0.3)=1, (0.1 vs 0.9)=1
+    assert roc_auc(y, scores) == pytest.approx(3.5 / 4)
+
+
+def test_auc_requires_both_classes():
+    with pytest.raises(DataError):
+        roc_auc(np.ones(4), np.linspace(0, 1, 4))
+
+
+def test_roc_curve_endpoints():
+    y = np.array([0, 0, 1, 1], dtype=float)
+    scores = np.array([0.1, 0.4, 0.35, 0.8])
+    fpr, tpr, thresholds = roc_curve(y, scores)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+    assert np.all(np.diff(fpr) >= 0)
+    assert np.all(np.diff(tpr) >= 0)
+    assert thresholds[0] == np.inf
+
+
+def test_log_loss_and_brier():
+    y = np.array([1.0, 0.0])
+    good = np.array([0.9, 0.1])
+    bad = np.array([0.1, 0.9])
+    assert log_loss(y, good) < log_loss(y, bad)
+    assert brier_score(y, good) == pytest.approx(0.01)
+    # Log loss never infinite thanks to clipping.
+    assert np.isfinite(log_loss(y, np.array([1.0, 0.0])))
+
+
+def test_regression_metrics():
+    y = np.array([1.0, 2.0, 3.0])
+    pred = np.array([1.0, 2.5, 2.0])
+    assert mean_squared_error(y, pred) == pytest.approx((0 + 0.25 + 1.0) / 3)
+    assert mean_absolute_error(y, pred) == pytest.approx(0.5)
+
+
+def test_metric_input_validation():
+    with pytest.raises(DataError):
+        accuracy(np.array([1.0]), np.array([1.0, 0.0]))
+    with pytest.raises(DataError):
+        accuracy(np.array([]), np.array([]))

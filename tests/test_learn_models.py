@@ -1,0 +1,159 @@
+"""Unit tests for forest, naive Bayes, k-NN and MLP classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, NotFittedError
+from repro.learn import (
+    GaussianNaiveBayes,
+    KNeighborsClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.learn.metrics import accuracy
+from repro.learn.neighbors import nearest_indices, pairwise_distances
+
+
+def test_forest_beats_stump_on_xor(rng):
+    X = rng.uniform(-1, 1, (500, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    forest = RandomForestClassifier(n_trees=20, max_depth=4, seed=1).fit(X, y)
+    assert accuracy(y, forest.predict(X)) > 0.9
+
+
+def test_forest_deterministic_by_seed(toy_classification):
+    X, y = toy_classification
+    a = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict_proba(X)
+    b = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict_proba(X)
+    np.testing.assert_allclose(a, b)
+
+
+def test_forest_importances_average(toy_classification):
+    X, y = toy_classification
+    forest = RandomForestClassifier(n_trees=10, seed=0).fit(X, y)
+    importances = forest.feature_importances()
+    assert importances.shape == (4,)
+    assert importances.sum() == pytest.approx(1.0, abs=1e-6)
+    # Informative features dominate the dead one.
+    assert importances[0] > importances[2]
+
+
+def test_forest_validation():
+    with pytest.raises(DataError):
+        RandomForestClassifier(n_trees=0)
+
+
+def test_naive_bayes_gaussian_blobs(rng):
+    X0 = rng.normal(-2.0, 1.0, (200, 3))
+    X1 = rng.normal(2.0, 1.0, (200, 3))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(200), np.ones(200)])
+    model = GaussianNaiveBayes().fit(X, y)
+    assert accuracy(y, model.predict(X)) > 0.98
+    assert model.class_prior_[0] == pytest.approx(0.5)
+    assert model.means_[1].mean() == pytest.approx(2.0, abs=0.2)
+
+
+def test_naive_bayes_needs_both_classes(rng):
+    X = rng.standard_normal((20, 2))
+    with pytest.raises(DataError, match="absent"):
+        GaussianNaiveBayes().fit(X, np.zeros(20))
+
+
+def test_naive_bayes_weights(rng):
+    X = np.array([[0.0], [0.0], [1.0], [1.0]])
+    y = np.array([0.0, 1.0, 0.0, 1.0])
+    weights = np.array([1.0, 1.0, 1.0, 100.0])
+    model = GaussianNaiveBayes().fit(X, y, sample_weight=weights)
+    assert model.class_prior_[1] > 0.9
+
+
+def test_knn_memorises(toy_classification):
+    X, y = toy_classification
+    model = KNeighborsClassifier(k=1).fit(X, y)
+    np.testing.assert_allclose(model.predict(X), y)
+
+
+def test_knn_probability_is_vote_fraction(rng):
+    X = np.array([[0.0], [0.1], [0.2], [10.0]])
+    y = np.array([1.0, 1.0, 0.0, 0.0])
+    model = KNeighborsClassifier(k=3).fit(X, y)
+    assert model.predict_proba(np.array([[0.05]]))[0] == pytest.approx(2.0 / 3.0)
+
+
+def test_knn_distance_weighting(rng):
+    X = np.array([[0.0], [0.2], [5.0], [5.1], [5.2]])
+    y = np.array([1.0, 1.0, 0.0, 0.0, 0.0])
+    uniform = KNeighborsClassifier(k=5).fit(X, y)
+    weighted = KNeighborsClassifier(k=5, distance_weighted=True).fit(X, y)
+    query = np.array([[0.05]])
+    assert weighted.predict_proba(query)[0] > uniform.predict_proba(query)[0]
+
+
+def test_knn_validation(toy_classification):
+    X, y = toy_classification
+    with pytest.raises(DataError):
+        KNeighborsClassifier(k=0)
+    with pytest.raises(DataError):
+        KNeighborsClassifier(k=999).fit(X, y)
+
+
+def test_pairwise_distances_matches_numpy(rng):
+    A = rng.standard_normal((10, 3))
+    B = rng.standard_normal((7, 3))
+    distances = pairwise_distances(A, B)
+    brute = np.sqrt(((A[:, None, :] - B[None, :, :]) ** 2).sum(axis=2))
+    np.testing.assert_allclose(distances, brute, atol=1e-9)
+
+
+def test_nearest_indices(rng):
+    pool = np.array([[0.0], [1.0], [2.0], [3.0]])
+    queries = np.array([[0.1], [2.9]])
+    neighbours = nearest_indices(queries, pool, 2)
+    assert neighbours[0].tolist() == [0, 1]
+    assert neighbours[1].tolist() == [3, 2]
+    with pytest.raises(DataError):
+        nearest_indices(queries, pool, 10)
+
+
+def test_mlp_learns_nonlinear(rng):
+    X = rng.uniform(-1, 1, (600, 2))
+    y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 0.5).astype(float)
+    model = MLPClassifier(hidden=(16, 8), epochs=120, seed=0).fit(X, y)
+    assert accuracy(y, model.predict(X)) > 0.9
+
+
+def test_mlp_deterministic_by_seed(toy_classification):
+    X, y = toy_classification
+    a = MLPClassifier(epochs=5, seed=9).fit(X, y).predict_proba(X)
+    b = MLPClassifier(epochs=5, seed=9).fit(X, y).predict_proba(X)
+    np.testing.assert_allclose(a, b)
+
+
+def test_mlp_parameter_count(toy_classification):
+    X, y = toy_classification
+    model = MLPClassifier(hidden=(8,), epochs=2).fit(X, y)
+    # 4*8 + 8 + 8*1 + 1 = 49
+    assert model.n_parameters == 49
+
+
+def test_mlp_feature_width_check(toy_classification):
+    X, y = toy_classification
+    model = MLPClassifier(epochs=2).fit(X, y)
+    with pytest.raises(DataError, match="features"):
+        model.predict_proba(X[:, :2])
+
+
+def test_mlp_validation():
+    with pytest.raises(DataError):
+        MLPClassifier(hidden=())
+    with pytest.raises(DataError):
+        MLPClassifier(hidden=(0,))
+
+
+def test_all_models_require_fit(toy_classification):
+    X, _ = toy_classification
+    for model in (RandomForestClassifier(n_trees=2), GaussianNaiveBayes(),
+                  KNeighborsClassifier(), MLPClassifier()):
+        with pytest.raises(NotFittedError):
+            model.predict_proba(X)

@@ -1,0 +1,174 @@
+"""Unit tests for preprocessing, model selection, and the table model."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnRole
+from repro.exceptions import DataError, NotFittedError
+from repro.learn import LogisticRegression, TableClassifier
+from repro.learn.model_selection import cross_val_score, grid_search
+from repro.learn.preprocessing import FeatureEncoder, StandardScaler, encode_labels
+
+
+def test_standard_scaler_roundtrip(rng):
+    X = rng.normal(5.0, 3.0, (200, 3))
+    scaler = StandardScaler()
+    Z = scaler.fit_transform(X)
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+    np.testing.assert_allclose(scaler.inverse_transform(Z), X, atol=1e-9)
+
+
+def test_standard_scaler_constant_column(rng):
+    X = np.hstack([np.ones((50, 1)), rng.standard_normal((50, 1))])
+    Z = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(Z))
+    with pytest.raises(NotFittedError):
+        StandardScaler().transform(X)
+
+
+def test_encoder_excludes_sensitive_by_default(small_table):
+    encoder = FeatureEncoder()
+    X = encoder.fit_transform(small_table)
+    assert not any(name.startswith("group=") for name in encoder.feature_names)
+    assert X.shape == (6, 2)  # income, debt
+
+
+def test_encoder_includes_sensitive_when_asked(small_table):
+    encoder = FeatureEncoder(include_sensitive=True)
+    encoder.fit(small_table)
+    assert any(name.startswith("group=") for name in encoder.feature_names)
+
+
+def test_encoder_onehot_levels_frozen(small_table):
+    encoder = FeatureEncoder(columns=["city"])
+    encoder.fit(small_table)
+    unseen = small_table.with_column(
+        small_table.schema["city"],
+        ["north", "east", "east", "south", "east", "east"],
+    )
+    X = encoder.transform(unseen)
+    # Unseen level "east" encodes to all-zeros rather than erroring.
+    assert X.shape == (6, 2)
+    assert X[1].sum() == 0.0
+
+
+def test_encoder_explicit_columns(small_table):
+    encoder = FeatureEncoder(columns=["income", "city"])
+    X = encoder.fit_transform(small_table)
+    assert encoder.feature_names == ["income", "city=north", "city=south"]
+    assert X.shape == (6, 3)
+    assert encoder.n_features == 3
+
+
+def test_encoder_requires_fit(small_table):
+    with pytest.raises(NotFittedError):
+        FeatureEncoder().transform(small_table)
+    with pytest.raises(NotFittedError):
+        FeatureEncoder().feature_names
+
+
+def test_encode_labels():
+    values = np.array(["yes", "no", "yes"], dtype=object)
+    np.testing.assert_allclose(encode_labels(values, "yes"), [1.0, 0.0, 1.0])
+
+
+def test_cross_val_score(toy_classification, rng):
+    X, y = toy_classification
+    result = cross_val_score(LogisticRegression(), X, y, 4, rng)
+    assert result.scores.shape == (4,)
+    assert result.mean > 0.8
+    assert result.std >= 0.0
+    with pytest.raises(DataError):
+        cross_val_score(LogisticRegression(), X, y, 4, rng, metric="nope")
+
+
+def test_grid_search_records_all_trials(toy_classification, rng):
+    X, y = toy_classification
+    result = grid_search(
+        lambda l2: LogisticRegression(l2=l2),
+        {"l2": [0.01, 1.0, 100.0]},
+        X, y, 3, rng,
+    )
+    assert result.n_configurations == 3
+    assert result.best_params["l2"] in (0.01, 1.0, 100.0)
+    assert result.best_score == max(r.mean for _, r in result.trials)
+    with pytest.raises(DataError):
+        grid_search(lambda: None, {}, X, y, 3, rng)
+
+
+def test_grid_search_minimises_loss_metrics(toy_classification, rng):
+    X, y = toy_classification
+    result = grid_search(
+        lambda l2: LogisticRegression(l2=l2),
+        {"l2": [0.1, 1000.0]},
+        X, y, 3, rng, metric="log_loss",
+    )
+    assert result.best_params["l2"] == 0.1  # heavy shrinkage hurts log loss
+
+
+def test_table_classifier_end_to_end(credit_tables):
+    train, test = credit_tables
+    model = TableClassifier(LogisticRegression()).fit(train)
+    probabilities = model.predict_proba(test)
+    assert probabilities.shape == (test.n_rows,)
+    decisions = model.predict(test)
+    assert set(np.unique(decisions)) <= {0.0, 1.0}
+    assert model.target_name == "approved"
+    assert "neighborhood=north" in model.feature_names
+
+
+def test_table_classifier_never_sees_sensitive(credit_tables):
+    train, _ = credit_tables
+    model = TableClassifier(LogisticRegression()).fit(train)
+    assert not any(name.startswith("group=") for name in model.feature_names)
+
+
+def test_table_classifier_categorical_target(small_table):
+    labelled = small_table.with_column(
+        small_table.schema["approved"].with_role(ColumnRole.METADATA),
+        small_table["approved"],
+    )
+    from repro.data.schema import categorical
+
+    labelled = labelled.with_column(
+        categorical("outcome", role=ColumnRole.TARGET),
+        ["deny", "deny", "grant", "deny", "grant", "grant"],
+    )
+    model = TableClassifier(LogisticRegression(), positive_label="grant")
+    y = model.labels(labelled)
+    np.testing.assert_allclose(y, [0, 0, 1, 0, 1, 1])
+
+
+def test_table_classifier_bad_numeric_target(small_table):
+    bad = small_table.with_column(small_table.schema["approved"],
+                                  [0.0, 1.0, 2.0, 0.0, 1.0, 2.0])
+    model = TableClassifier(LogisticRegression())
+    with pytest.raises(DataError, match="0/1"):
+        model.fit(bad)
+
+
+def test_table_classifier_requires_target():
+    from repro.data.table import Table
+
+    table = Table.from_dict({"x": [1.0, 2.0]})
+    with pytest.raises(DataError, match="target"):
+        TableClassifier(LogisticRegression()).fit(table)
+
+
+def test_table_classifier_clone(credit_tables):
+    train, _ = credit_tables
+    model = TableClassifier(LogisticRegression(l2=5.0), threshold=0.4).fit(train)
+    fresh = model.clone()
+    assert fresh.threshold == 0.4
+    assert fresh.estimator.l2 == 5.0
+    with pytest.raises(NotFittedError):
+        fresh.predict_proba(train)
+
+
+def test_table_classifier_params(credit_tables):
+    train, _ = credit_tables
+    model = TableClassifier(LogisticRegression(l2=2.0)).fit(train)
+    params = model.params()
+    assert params["estimator"] == "LogisticRegression"
+    assert params["estimator.l2"] == 2.0

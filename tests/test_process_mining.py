@@ -1,0 +1,248 @@
+"""Unit tests for the process-mining substrate."""
+
+import numpy as np
+import pytest
+
+from repro.confidentiality import PrivacyAccountant
+from repro.exceptions import DataError, PrivacyBudgetError
+from repro.process import (
+    END,
+    START,
+    EventLog,
+    OrderProcessGenerator,
+    ProcessModel,
+    Trace,
+    directly_follows_counts,
+    discover_dfg_model,
+    discover_from_counts,
+    dp_directly_follows,
+    dp_discover_model,
+    evaluate,
+    k_anonymous_log,
+    trace_fitness,
+    variant_uniqueness,
+)
+
+
+@pytest.fixture
+def tiny_log():
+    return EventLog([
+        Trace("c1", ("a", "b", "c")),
+        Trace("c2", ("a", "b", "c")),
+        Trace("c3", ("a", "c")),
+    ])
+
+
+@pytest.fixture
+def order_log(rng):
+    return OrderProcessGenerator(noise=0.0).generate(400, rng)
+
+
+# -- log --------------------------------------------------------------------
+
+def test_trace_basics():
+    trace = Trace("c1", ("a", "b"), (1.0, 3.5))
+    assert len(trace) == 2
+    assert trace.duration == 2.5
+    assert trace.variant == ("a", "b")
+    with pytest.raises(DataError):
+        Trace("bad", ("a",), (1.0, 2.0))
+
+
+def test_log_statistics(tiny_log):
+    stats = tiny_log.statistics()
+    assert stats["n_cases"] == 3
+    assert stats["n_events"] == 8
+    assert stats["n_variants"] == 2
+    assert tiny_log.activities == ["a", "b", "c"]
+    assert tiny_log.variants()[("a", "b", "c")] == 2
+    assert tiny_log.variant_of("c3") == ("a", "c")
+    with pytest.raises(DataError):
+        tiny_log.variant_of("ghost")
+
+
+def test_log_rejects_duplicate_cases():
+    with pytest.raises(DataError):
+        EventLog([Trace("c1", ("a",)), Trace("c1", ("b",))])
+
+
+def test_log_table_roundtrip(tiny_log):
+    table = tiny_log.to_table()
+    assert table.n_rows == tiny_log.n_events
+    rebuilt = EventLog.from_table(table, "case_id", "activity", "timestamp")
+    assert rebuilt.variants() == tiny_log.variants()
+    assert len(rebuilt) == len(tiny_log)
+
+
+def test_from_table_orders_by_timestamp():
+    from repro.data.table import Table
+
+    table = Table.from_dict({
+        "case": ["c", "c", "c"],
+        "act": ["third", "first", "second"],
+        "t": [3.0, 1.0, 2.0],
+    })
+    log = EventLog.from_table(table, "case", "act", "t")
+    assert log.traces[0].activities == ("first", "second", "third")
+
+
+# -- model ------------------------------------------------------------------------
+
+def test_model_structure(order_log):
+    model = OrderProcessGenerator().true_model()
+    assert model.start_activities == {"receive_order"}
+    assert model.end_activities == {"receive_payment", "notify_customer"}
+    assert "check_order" in model.successors("receive_order")
+    assert model.allows("check_order", "approve_order")
+    assert not model.allows("approve_order", "check_order")
+
+
+def test_model_accepts(order_log):
+    model = OrderProcessGenerator().true_model()
+    for trace in order_log:
+        assert model.accepts(trace.activities)
+    assert not model.accepts(("ship_goods", "receive_order"))
+    assert not model.accepts(())
+
+
+def test_model_simulation_stays_in_language(rng):
+    model = OrderProcessGenerator().true_model()
+    for _ in range(50):
+        assert model.accepts(model.simulate(rng))
+
+
+def test_model_render():
+    model = OrderProcessGenerator().true_model()
+    text = model.render(top=3)
+    assert "process model" in text
+    assert "->" in text
+
+
+def test_model_rejects_negative_weights():
+    with pytest.raises(DataError):
+        ProcessModel({("a", "b"): -1.0})
+
+
+# -- discovery ------------------------------------------------------------------------
+
+def test_directly_follows_counts(tiny_log):
+    counts = directly_follows_counts(tiny_log)
+    assert counts[(START, "a")] == 3
+    assert counts[("a", "b")] == 2
+    assert counts[("a", "c")] == 1
+    assert counts[("c", END)] == 3
+
+
+def test_discovery_recovers_true_model(order_log):
+    mined = discover_dfg_model(order_log)
+    true_edges = set(OrderProcessGenerator().true_model().edges)
+    assert set(mined.edges) == true_edges
+
+
+def test_noise_filtering_removes_corruption(rng):
+    noisy_log = OrderProcessGenerator(noise=0.15).generate(600, rng)
+    raw = discover_dfg_model(noisy_log, noise_threshold=0.0)
+    filtered = discover_dfg_model(noisy_log, noise_threshold=0.05)
+    true_edges = set(OrderProcessGenerator().true_model().edges)
+    assert len(set(filtered.edges) - true_edges) < len(set(raw.edges) - true_edges)
+
+
+def test_discovery_validation(order_log):
+    with pytest.raises(DataError):
+        discover_dfg_model(EventLog([]))
+    with pytest.raises(DataError):
+        discover_dfg_model(order_log, noise_threshold=2.0)
+
+
+def test_discover_from_counts():
+    model = discover_from_counts({("a", "b"): 5.0, ("b", "c"): 0.5},
+                                 minimum_weight=1.0)
+    assert model.allows("a", "b")
+    assert not model.allows("b", "c")
+    with pytest.raises(DataError):
+        discover_from_counts({("a", "b"): 0.1}, minimum_weight=1.0)
+
+
+# -- conformance ----------------------------------------------------------------------
+
+def test_perfect_conformance(order_log):
+    model = OrderProcessGenerator().true_model()
+    result = evaluate(order_log, model)
+    assert result.fitness == 1.0
+    assert result.n_perfect_traces == len(order_log)
+    assert 0.0 < result.precision <= 1.0
+    assert result.f_score > 0.9
+
+
+def test_fitness_penalises_unmodelled_behaviour():
+    model = ProcessModel({
+        (START, "a"): 1.0, ("a", "b"): 1.0, ("b", END): 1.0,
+    })
+    assert trace_fitness(("a", "b"), model) == 1.0
+    # One illegal move out of three: a -> c.
+    assert trace_fitness(("a", "c"), model) == pytest.approx(1.0 / 3.0)
+
+
+def test_flower_model_has_low_precision(order_log):
+    activities = OrderProcessGenerator().true_model().activities
+    flower_edges = {(a, b): 1.0 for a in activities for b in activities}
+    for activity in activities:
+        flower_edges[(START, activity)] = 1.0
+        flower_edges[(activity, END)] = 1.0
+    flower = ProcessModel(flower_edges)
+    true_model = OrderProcessGenerator().true_model()
+    flower_result = evaluate(order_log, flower)
+    true_result = evaluate(order_log, true_model)
+    assert flower_result.fitness == 1.0           # explains everything
+    assert flower_result.precision < true_result.precision  # says nothing
+
+
+# -- privacy ----------------------------------------------------------------------------
+
+def test_dp_counts_noisy_but_centered(order_log, rng):
+    accountant = PrivacyAccountant(100.0)
+    exact = directly_follows_counts(order_log)
+    draws = [
+        dp_directly_follows(order_log, 5.0, accountant, rng)
+        for _ in range(10)
+    ]
+    key = (START, "receive_order")
+    mean_noisy = np.mean([draw[key] for draw in draws])
+    assert mean_noisy == pytest.approx(exact[key], rel=0.1)
+
+
+def test_dp_discovery_recovers_structure_at_high_epsilon(order_log, rng):
+    accountant = PrivacyAccountant(100.0)
+    model = dp_discover_model(order_log, 20.0, accountant, rng)
+    true_edges = set(OrderProcessGenerator().true_model().edges)
+    recovered = len(set(model.edges) & true_edges) / len(true_edges)
+    assert recovered > 0.9
+
+
+def test_dp_discovery_charges_budget(order_log, rng):
+    accountant = PrivacyAccountant(1.0)
+    dp_discover_model(order_log, 1.0, accountant, rng)
+    with pytest.raises(PrivacyBudgetError):
+        dp_discover_model(order_log, 1.0, accountant, rng)
+
+
+def test_k_anonymous_log_suppresses_unique_variants(rng):
+    log = OrderProcessGenerator(noise=0.2).generate(300, rng)
+    assert variant_uniqueness(log) > 0.0
+    released, info = k_anonymous_log(log, k=5)
+    assert variant_uniqueness(released) == 0.0
+    frequencies = released.variants()
+    assert all(count >= 5 for count in frequencies.values())
+    assert info.suppression_rate > 0.0
+    assert info.n_released_traces == len(released)
+    # Case ids are pseudonymised.
+    assert all(trace.case_id.startswith("p_") for trace in released)
+
+
+def test_k_anonymous_log_validation(tiny_log):
+    with pytest.raises(DataError):
+        k_anonymous_log(tiny_log, k=0)
+
+
+def test_variant_uniqueness_empty():
+    assert variant_uniqueness(EventLog([])) == 0.0

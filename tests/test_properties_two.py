@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.confidentiality.mechanisms import (
+    randomized_response,
+    randomized_response_estimate,
+)
+from repro.learn.isotonic import IsotonicCalibrator, pool_adjacent_violators
+from repro.process.log import EventLog, Trace
+from repro.process.model import ProcessModel, START, END
+
+floats_array = arrays(
+    np.float64, st.integers(1, 60),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+# -- PAVA invariants ------------------------------------------------------------
+
+@given(floats_array)
+@settings(max_examples=80, deadline=None)
+def test_pava_output_monotone(values):
+    fitted = pool_adjacent_violators(values)
+    assert np.all(np.diff(fitted) >= -1e-9)
+
+
+@given(floats_array)
+@settings(max_examples=80, deadline=None)
+def test_pava_preserves_weighted_mean(values):
+    fitted = pool_adjacent_violators(values)
+    assert np.mean(fitted) == pytest.approx(np.mean(values), abs=1e-6)
+
+
+@given(floats_array)
+@settings(max_examples=80, deadline=None)
+def test_pava_idempotent(values):
+    once = pool_adjacent_violators(values)
+    twice = pool_adjacent_violators(once)
+    np.testing.assert_allclose(twice, once, atol=1e-9)
+
+
+@given(floats_array)
+@settings(max_examples=50, deadline=None)
+def test_pava_is_projection(values):
+    """The fitted sequence is no farther from the data than the data's
+    own sorted version (both are monotone candidates)."""
+    fitted = pool_adjacent_violators(values)
+    sorted_candidate = np.sort(values)
+    assert (np.sum((fitted - values) ** 2)
+            <= np.sum((sorted_candidate - values) ** 2) + 1e-6)
+
+
+# -- isotonic calibration -------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.integers(10, 200))
+@settings(max_examples=40, deadline=None)
+def test_isotonic_transform_bounded_and_monotone(seed, n):
+    rng = np.random.default_rng(seed)
+    scores = rng.random(n)
+    outcomes = (rng.random(n) < 0.5).astype(float)
+    calibrator = IsotonicCalibrator().fit(scores, outcomes)
+    grid = np.linspace(-0.5, 1.5, 30)
+    out = calibrator.transform(grid)
+    assert np.all((out >= 0.0) & (out <= 1.0))
+    assert np.all(np.diff(out) >= -1e-9)
+
+
+# -- randomised response ---------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.2, 5.0),
+       st.floats(0.05, 0.95))
+@settings(max_examples=30, deadline=None)
+def test_randomized_response_estimator_unbiased(seed, epsilon, rate):
+    rng = np.random.default_rng(seed)
+    truth = (rng.random(4000) < rate).astype(float)
+    noisy = randomized_response(truth, epsilon, rng)
+    estimate = randomized_response_estimate(noisy, epsilon)
+    # Debiased estimate tracks the true rate within sampling noise that
+    # grows as epsilon shrinks.
+    slack = 0.05 + 0.1 / epsilon
+    assert abs(estimate - truth.mean()) < slack
+
+
+# -- process model invariants -----------------------------------------------------------
+
+@st.composite
+def random_logs(draw):
+    alphabet = ["a", "b", "c", "d"]
+    n_traces = draw(st.integers(1, 15))
+    traces = []
+    for index in range(n_traces):
+        length = draw(st.integers(1, 6))
+        activities = tuple(
+            draw(st.sampled_from(alphabet)) for _ in range(length)
+        )
+        traces.append(Trace(f"c{index}", activities))
+    return EventLog(traces)
+
+
+@given(random_logs())
+@settings(max_examples=60, deadline=None)
+def test_discovered_model_accepts_its_own_log(log):
+    from repro.process.discovery import discover_dfg_model
+
+    model = discover_dfg_model(log)
+    for trace in log:
+        assert model.accepts(trace.activities)
+
+
+@given(random_logs())
+@settings(max_examples=60, deadline=None)
+def test_dfg_counts_sum_to_events_plus_traces(log):
+    from repro.process.discovery import directly_follows_counts
+
+    counts = directly_follows_counts(log)
+    non_empty = [trace for trace in log if len(trace) > 0]
+    expected = sum(len(trace) + 1 for trace in non_empty)
+    assert sum(counts.values()) == expected
+
+
+@given(random_logs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_simulation_stays_in_model_language(log, seed):
+    from repro.process.discovery import discover_dfg_model
+
+    model = discover_dfg_model(log)
+    rng = np.random.default_rng(seed)
+    trace = model.simulate(rng, max_length=200)
+    assert model.accepts(trace)
+
+
+@given(random_logs(), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_k_anonymous_release_guarantee(log, k):
+    from repro.process.privacy import k_anonymous_log, variant_uniqueness
+
+    released, info = k_anonymous_log(log, k=k)
+    frequencies = released.variants()
+    assert all(count >= k for count in frequencies.values())
+    if k >= 2:
+        assert variant_uniqueness(released) == 0.0
+    assert info.n_released_traces + sum(
+        count for variant, count in log.variants().items() if count < k
+    ) == len(log)
+
+
+# -- Mondrian guarantee -------------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.integers(20, 120),
+       st.integers(2, 8))
+@settings(max_examples=30, deadline=None)
+def test_mondrian_always_achieves_k(seed, n_rows, k):
+    from repro.confidentiality.anonymity import (
+        MondrianAnonymizer,
+        k_anonymity_level,
+    )
+    from repro.data.schema import ColumnRole, Schema, categorical, numeric
+    from repro.data.table import Table
+
+    assume(n_rows >= k)
+    rng = np.random.default_rng(seed)
+    schema = Schema([
+        numeric("age", role=ColumnRole.QUASI_IDENTIFIER),
+        categorical("city", role=ColumnRole.QUASI_IDENTIFIER),
+    ])
+    table = Table(schema, {
+        "age": rng.integers(18, 90, n_rows).astype(float),
+        "city": [f"city_{value}" for value in rng.integers(0, 6, n_rows)],
+    })
+    anonymized = MondrianAnonymizer(k=k).anonymize(table)
+    assert k_anonymity_level(anonymized) >= k
+    assert anonymized.n_rows == table.n_rows

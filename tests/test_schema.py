@@ -1,0 +1,103 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import (
+    ColumnRole,
+    ColumnSpec,
+    ColumnType,
+    Schema,
+    categorical,
+    numeric,
+)
+from repro.exceptions import SchemaError
+
+
+def make_schema():
+    return Schema([
+        numeric("a"),
+        categorical("b"),
+        categorical("s", role=ColumnRole.SENSITIVE),
+        numeric("y", role=ColumnRole.TARGET),
+        categorical("q", role=ColumnRole.QUASI_IDENTIFIER),
+        categorical("pid", role=ColumnRole.IDENTIFIER),
+        numeric("meta", role=ColumnRole.METADATA),
+    ])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema([numeric("a"), categorical("a")])
+
+
+def test_lookup_and_contains():
+    schema = make_schema()
+    assert "a" in schema
+    assert "missing" not in schema
+    assert schema["b"].ctype is ColumnType.CATEGORICAL
+    with pytest.raises(SchemaError, match="no column"):
+        schema["missing"]
+
+
+def test_role_views():
+    schema = make_schema()
+    assert schema.feature_names == ["a", "b"]
+    assert schema.sensitive_names == ["s"]
+    assert schema.target_name == "y"
+    assert schema.quasi_identifier_names == ["q"]
+    assert schema.identifier_names == ["pid"]
+
+
+def test_no_target_returns_none():
+    schema = Schema([numeric("a")])
+    assert schema.target_name is None
+
+
+def test_multiple_targets_rejected():
+    schema = Schema([
+        numeric("y1", role=ColumnRole.TARGET),
+        numeric("y2", role=ColumnRole.TARGET),
+    ])
+    with pytest.raises(SchemaError, match="multiple target"):
+        schema.target_name
+
+
+def test_select_preserves_order():
+    schema = make_schema().select(["y", "a"])
+    assert schema.names == ["y", "a"]
+
+
+def test_drop():
+    schema = make_schema().drop(["meta", "pid"])
+    assert "meta" not in schema
+    assert "pid" not in schema
+    with pytest.raises(SchemaError, match="unknown"):
+        make_schema().drop(["nope"])
+
+
+def test_with_column_appends_and_replaces():
+    schema = make_schema()
+    extended = schema.with_column(numeric("new"))
+    assert extended.names[-1] == "new"
+    replaced = schema.with_column(categorical("a"))
+    assert replaced["a"].ctype is ColumnType.CATEGORICAL
+    assert len(replaced) == len(schema)
+
+
+def test_with_role():
+    schema = make_schema().with_role("a", ColumnRole.METADATA)
+    assert "a" not in schema.feature_names
+    assert schema["a"].role is ColumnRole.METADATA
+
+
+def test_spec_with_role_is_copy():
+    spec = numeric("x")
+    other = spec.with_role(ColumnRole.TARGET)
+    assert spec.role is ColumnRole.FEATURE
+    assert other.role is ColumnRole.TARGET
+    assert other.name == "x"
+
+
+def test_shorthands():
+    assert numeric("n").ctype is ColumnType.NUMERIC
+    assert categorical("c").ctype is ColumnType.CATEGORICAL

@@ -1,0 +1,106 @@
+"""Unit tests for the bias injectors."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import bias
+from repro.exceptions import DataError
+
+
+def test_label_bias_flips_only_group_positives(small_table, rng):
+    biased, record = bias.inject_label_bias(
+        small_table, "group", "B", 1.0, rng, target="approved"
+    )
+    group_b = biased.filter(biased["group"] == "B")
+    assert group_b["approved"].sum() == 0.0
+    group_a = biased.filter(biased["group"] == "A")
+    original_a = small_table.filter(small_table["group"] == "A")
+    np.testing.assert_allclose(group_a["approved"], original_a["approved"])
+    assert record.kind == "label_bias"
+    assert record.n_affected == 1  # only one B-positive in the fixture
+
+
+def test_label_bias_zero_rate_is_identity(small_table, rng):
+    biased, record = bias.inject_label_bias(
+        small_table, "group", "B", 0.0, rng, target="approved"
+    )
+    assert biased == small_table
+    assert record.n_affected == 0
+
+
+def test_label_bias_validation(small_table, rng):
+    with pytest.raises(DataError):
+        bias.inject_label_bias(small_table, "group", "B", 1.5, rng)
+    with pytest.raises(DataError, match="no rows"):
+        bias.inject_label_bias(small_table, "group", "Z", 0.5, rng,
+                               target="approved")
+
+
+def test_selection_bias_drops_group_positives(small_table, rng):
+    thinned, record = bias.inject_selection_bias(
+        small_table, "group", "B", 1.0, rng, target="approved"
+    )
+    remaining_b = thinned.filter(thinned["group"] == "B")
+    assert remaining_b["approved"].sum() == 0.0
+    assert thinned.n_rows == small_table.n_rows - record.n_affected
+
+
+def test_selection_bias_all_labels(small_table, rng):
+    thinned, record = bias.inject_selection_bias(
+        small_table, "group", "B", 1.0, rng, positives_only=False
+    )
+    assert (thinned["group"] == "B").sum() == 0
+    assert record.kind == "selection_bias"
+
+
+def test_underrepresentation(small_table, rng):
+    thinned, record = bias.inject_underrepresentation(
+        small_table, "group", "B", 0.34, rng
+    )
+    assert (thinned["group"] == "B").sum() == 1
+    assert (thinned["group"] == "A").sum() == 3
+    assert record.kind == "underrepresentation"
+    with pytest.raises(DataError):
+        bias.inject_underrepresentation(small_table, "group", "B", 0.0, rng)
+
+
+def test_numeric_proxy_correlates(rng):
+    from repro.data.table import Table
+
+    n = 4000
+    group = np.where(rng.random(n) < 0.5, "B", "A")
+    table = Table.from_dict({"group": group, "x": rng.standard_normal(n)})
+    strong, _ = bias.add_numeric_proxy(table, "group", "B", "proxy", 0.9, rng)
+    weak, _ = bias.add_numeric_proxy(table, "group", "B", "weak", 0.0, rng)
+    membership = (group == "B").astype(float)
+    strong_corr = abs(np.corrcoef(strong["proxy"], membership)[0, 1])
+    weak_corr = abs(np.corrcoef(weak["weak"], membership)[0, 1])
+    assert strong_corr > 0.8
+    assert weak_corr < 0.1
+
+
+def test_categorical_proxy_purity(rng):
+    from repro.data.table import Table
+
+    n = 4000
+    group = np.where(rng.random(n) < 0.5, "B", "A")
+    table = Table.from_dict({"group": group})
+    pure, _ = bias.add_categorical_proxy(
+        table, "group", "B", "hood", ["n1", "n2", "s1", "s2"], 1.0, rng
+    )
+    b_side = pure.filter(pure["group"] == "B")["hood"]
+    assert set(np.unique(b_side)) <= {"n1", "n2"}
+    noisy, _ = bias.add_categorical_proxy(
+        table, "group", "B", "hood", ["n1", "n2", "s1", "s2"], 0.0, rng
+    )
+    b_noisy = noisy.filter(noisy["group"] == "B")["hood"]
+    # At zero purity both halves appear for group B.
+    assert len(set(np.unique(b_noisy))) == 4
+
+
+def test_categorical_proxy_validation(small_table, rng):
+    with pytest.raises(DataError):
+        bias.add_categorical_proxy(small_table, "group", "B", "p", ["only"], 0.5, rng)
+    with pytest.raises(DataError):
+        bias.add_categorical_proxy(small_table, "group", "B", "p",
+                                   ["a", "b"], 1.5, rng)

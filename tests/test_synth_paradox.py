@@ -1,0 +1,105 @@
+"""Unit tests for the paradox and experiment generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import (
+    AdCampaignGenerator,
+    AdmissionsGenerator,
+    TreatmentParadoxGenerator,
+)
+from repro.exceptions import DataError
+
+
+def group_rate(table, group, outcome):
+    subset = table.filter(table["group"] == group)
+    return subset[outcome].mean()
+
+
+def test_admissions_paradox_materialises(rng):
+    table = AdmissionsGenerator(within_department_edge=0.06).generate(30000, rng)
+    # Aggregate favours A...
+    assert group_rate(table, "A", "admitted") > group_rate(table, "B", "admitted") + 0.05
+    # ...but every department favours B.
+    for _, dept in table.group_by("department").items():
+        rate_a = dept.filter(dept["group"] == "A")["admitted"].mean()
+        rate_b = dept.filter(dept["group"] == "B")["admitted"].mean()
+        assert rate_b > rate_a - 0.02
+
+
+def test_admissions_rates_and_mix_are_valid():
+    generator = AdmissionsGenerator(n_departments=5)
+    rates = generator.department_rates()
+    assert len(rates) == 5
+    for rate_a, rate_b in rates.values():
+        assert 0.0 < rate_a < 1.0
+        assert rate_b > rate_a
+    mix = generator.application_mix()
+    assert sum(a for a, _ in mix.values()) == pytest.approx(1.0)
+    assert sum(b for _, b in mix.values()) == pytest.approx(1.0)
+
+
+def test_admissions_validation():
+    with pytest.raises(DataError):
+        AdmissionsGenerator(n_departments=1)
+    with pytest.raises(DataError):
+        AdmissionsGenerator(within_department_edge=0.5)
+
+
+def test_treatment_paradox_materialises(rng):
+    table = TreatmentParadoxGenerator(treatment_benefit=0.05).generate(30000, rng)
+    treated = table.filter(table["treated"] == 1.0)
+    control = table.filter(table["treated"] == 0.0)
+    # Aggregate: treatment looks harmful.
+    assert treated["recovered"].mean() < control["recovered"].mean()
+    # Within each severity stratum: treatment helps.
+    for _, stratum in table.group_by("severity").items():
+        t = stratum.filter(stratum["treated"] == 1.0)["recovered"].mean()
+        c = stratum.filter(stratum["treated"] == 0.0)["recovered"].mean()
+        assert t > c - 0.02
+
+
+def test_ad_campaign_rct_is_unconfounded(rng):
+    generator = AdCampaignGenerator(true_lift=0.4, confounding=2.0)
+    rct = generator.generate_rct(20000, rng)
+    naive = (rct.filter(rct["exposed"] == 1.0)["purchase"].mean()
+             - rct.filter(rct["exposed"] == 0.0)["purchase"].mean())
+    assert naive == pytest.approx(generator.true_ate(rct), abs=0.02)
+
+
+def test_ad_campaign_observational_is_confounded(rng):
+    generator = AdCampaignGenerator(true_lift=0.4, confounding=2.0)
+    obs = generator.generate_observational(20000, rng)
+    naive = (obs.filter(obs["exposed"] == 1.0)["purchase"].mean()
+             - obs.filter(obs["exposed"] == 0.0)["purchase"].mean())
+    assert naive > generator.true_ate(obs) + 0.05
+
+
+def test_ad_campaign_zero_confounding_behaves_like_rct(rng):
+    generator = AdCampaignGenerator(true_lift=0.4, confounding=0.0)
+    obs = generator.generate_observational(20000, rng)
+    naive = (obs.filter(obs["exposed"] == 1.0)["purchase"].mean()
+             - obs.filter(obs["exposed"] == 0.0)["purchase"].mean())
+    assert naive == pytest.approx(generator.true_ate(obs), abs=0.02)
+
+
+def test_ad_campaign_potential_outcomes_are_consistent(rng):
+    table = AdCampaignGenerator().generate_rct(2000, rng)
+    exposed = table["exposed"] == 1.0
+    np.testing.assert_allclose(
+        table["purchase"][exposed], table["purchase_if_exposed"][exposed]
+    )
+    np.testing.assert_allclose(
+        table["purchase"][~exposed], table["purchase_if_not"][~exposed]
+    )
+
+
+def test_ad_campaign_monotone_lift(rng):
+    table = AdCampaignGenerator(true_lift=0.8).generate_rct(2000, rng)
+    # Positive lift never turns a buyer into a non-buyer (shared uniforms).
+    assert np.all(table["purchase_if_exposed"] >= table["purchase_if_not"])
+
+
+def test_ad_campaign_exposure_rate_validation(rng):
+    with pytest.raises(DataError):
+        AdCampaignGenerator().generate_rct(100, rng, exposure_rate=0.0)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.data.table."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.table import Table
+from repro.exceptions import DataError, SchemaError
+
+
+def test_from_dict_infers_types(small_table):
+    table = Table.from_dict({"x": [1, 2, 3], "c": ["a", "b", "c"]})
+    assert table.schema["x"].ctype.value == "numeric"
+    assert table.schema["c"].ctype.value == "categorical"
+
+
+def test_mismatched_schema_rejected():
+    with pytest.raises(SchemaError, match="disagree"):
+        Table(Schema([numeric("a")]), {"b": [1.0]})
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(DataError, match="rows"):
+        Table.from_dict({"a": [1, 2], "b": [1, 2, 3]})
+
+
+def test_basic_properties(small_table):
+    assert small_table.n_rows == 6
+    assert small_table.n_columns == 6
+    assert len(small_table) == 6
+    assert "income" in small_table
+    assert "Table(" in repr(small_table)
+
+
+def test_column_access(small_table):
+    np.testing.assert_allclose(
+        small_table["income"], [10, 20, 30, 40, 50, 60]
+    )
+    with pytest.raises(SchemaError):
+        small_table.column("missing")
+
+
+def test_row_and_iter(small_table):
+    row = small_table.row(2)
+    assert row["city"] == "south"
+    assert row["income"] == 30.0
+    assert len(list(small_table.iter_rows())) == 6
+    with pytest.raises(DataError):
+        small_table.row(99)
+
+
+def test_select_drop(small_table):
+    selected = small_table.select(["debt", "income"])
+    assert selected.column_names == ["debt", "income"]
+    dropped = small_table.drop(["ssn"])
+    assert "ssn" not in dropped
+
+
+def test_with_column_replace_and_add(small_table):
+    doubled = small_table.with_column(
+        small_table.schema["income"], small_table["income"] * 2
+    )
+    assert doubled["income"][0] == 20.0
+    extended = small_table.with_column(numeric("zeros"), np.zeros(6))
+    assert extended.n_columns == 7
+    with pytest.raises(DataError, match="rows"):
+        small_table.with_column(numeric("bad"), [1.0])
+
+
+def test_rename(small_table):
+    renamed = small_table.rename({"income": "salary"})
+    assert "salary" in renamed
+    assert "income" not in renamed
+    assert renamed.schema["salary"].role is ColumnRole.FEATURE
+
+
+def test_take_filter_head(small_table):
+    taken = small_table.take([5, 0])
+    assert taken["income"][0] == 60.0
+    filtered = small_table.filter(small_table["group"] == "A")
+    assert filtered.n_rows == 3
+    assert small_table.head(2).n_rows == 2
+    with pytest.raises(DataError, match="mask"):
+        small_table.filter([True])
+
+
+def test_shuffle_sample(small_table, rng):
+    shuffled = small_table.shuffle(rng)
+    assert shuffled.n_rows == 6
+    assert sorted(shuffled["income"].tolist()) == sorted(
+        small_table["income"].tolist()
+    )
+    sample = small_table.sample(3, rng)
+    assert sample.n_rows == 3
+    with pytest.raises(DataError):
+        small_table.sample(100, rng)
+    assert small_table.sample(100, rng, replace=True).n_rows == 100
+
+
+def test_sort_by(small_table):
+    ascending = small_table.sort_by("income")
+    assert ascending["income"][0] == 10.0
+    descending = small_table.sort_by("income", descending=True)
+    assert descending["income"][0] == 60.0
+
+
+def test_concat(small_table):
+    combined = small_table.concat(small_table)
+    assert combined.n_rows == 12
+    with pytest.raises(SchemaError):
+        small_table.concat(small_table.drop(["ssn"]))
+
+
+def test_group_by_and_counts(small_table):
+    groups = small_table.group_by("group")
+    assert set(groups) == {"A", "B"}
+    assert groups["A"].n_rows == 3
+    counts = small_table.value_counts("city")
+    assert counts == {"north": 3, "south": 3}
+
+
+def test_describe(small_table):
+    summary = small_table.describe()
+    assert summary["income"]["mean"] == pytest.approx(35.0)
+    assert summary["group"]["n_unique"] == 2
+    assert summary["approved"]["role"] == "target"
+
+
+def test_equality(small_table):
+    assert small_table == small_table.take(range(6))
+    assert small_table != small_table.filter([True] * 5 + [False])
+    assert (small_table == 42) is False or True  # NotImplemented path
+
+
+def test_fact_conveniences(small_table):
+    np.testing.assert_allclose(
+        small_table.target(), [0, 0, 1, 0, 1, 1]
+    )
+    features = small_table.feature_table()
+    assert features.column_names == ["income", "debt"]
+    with_sensitive = small_table.feature_table(include_sensitive=True)
+    assert "group" in with_sensitive
+    assert (small_table.sensitive() == np.array(
+        ["A", "B", "A", "B", "A", "B"], dtype=object)).all()
+    with pytest.raises(SchemaError):
+        small_table.sensitive("income")
+
+
+def test_empty_like(small_table):
+    empty = Table.empty_like(small_table)
+    assert empty.n_rows == 0
+    assert empty.column_names == small_table.column_names
+
+
+def test_no_target_raises():
+    table = Table.from_dict({"x": [1.0, 2.0]})
+    with pytest.raises(SchemaError, match="no target"):
+        table.target()
+
+
+def test_unique(small_table):
+    assert small_table.unique("city").tolist() == ["north", "south"]

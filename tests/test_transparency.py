@@ -1,0 +1,186 @@
+"""Unit tests for the transparency pillar."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.learn import LogisticRegression, MLPClassifier
+from repro.transparency.counterfactual import find_counterfactual
+from repro.transparency.importance import permutation_importance
+from repro.transparency.local import LocalSurrogateExplainer
+from repro.transparency.partial_dependence import partial_dependence
+from repro.transparency.shapley import ShapleyExplainer
+from repro.transparency.surrogate import fidelity_by_depth, fit_surrogate
+
+
+@pytest.fixture
+def linear_model(toy_classification):
+    X, y = toy_classification
+    return LogisticRegression().fit(X, y), X, y
+
+
+def test_importance_ranks_informative_features(linear_model, rng):
+    model, X, y = linear_model
+    result = permutation_importance(model, X, y, rng, n_repeats=5)
+    ranked = result.ranked()
+    # x0 (weight 2.0) must beat x2 (weight 0.0).
+    names = [name for name, _ in ranked]
+    assert names.index("x0") < names.index("x2")
+    dead = dict(ranked)["x2"]
+    assert abs(dead) < 0.03
+    assert "baseline" in result.render()
+
+
+def test_importance_custom_names_and_metric(linear_model, rng):
+    model, X, y = linear_model
+    result = permutation_importance(
+        model, X, y, rng, metric="auc",
+        feature_names=["a", "b", "c", "d"],
+    )
+    assert result.feature_names == ["a", "b", "c", "d"]
+    with pytest.raises(DataError):
+        permutation_importance(model, X, y, rng, metric="nope")
+    with pytest.raises(DataError):
+        permutation_importance(model, X, y, rng, feature_names=["too", "few"])
+
+
+def test_partial_dependence_monotone_for_linear(linear_model):
+    model, X, _ = linear_model
+    curve = partial_dependence(model, X, 0)
+    assert curve.is_monotone()
+    assert curve.response[-1] > curve.response[0]  # positive weight
+    assert curve.range_effect > 0.1
+    # The dead feature's fitted coefficient is only noise, so its leverage
+    # is a small fraction of a real feature's.
+    flat = partial_dependence(model, X, 2)
+    assert flat.range_effect < curve.range_effect / 3.0
+
+
+def test_partial_dependence_validation(linear_model):
+    model, X, _ = linear_model
+    with pytest.raises(DataError):
+        partial_dependence(model, X, 99)
+    with pytest.raises(DataError):
+        partial_dependence(model, X, 0, grid_size=1)
+
+
+def test_surrogate_fidelity_high_for_simple_box(linear_model):
+    model, X, _ = linear_model
+    result = fit_surrogate(model, X, max_depth=4)
+    assert result.fidelity > 0.85
+    assert result.n_leaves <= 16
+    assert len(result.rules(["a", "b", "c", "d"])) == result.n_leaves
+    assert "fidelity" in result.render()
+
+
+def test_surrogate_fidelity_grows_with_depth(rng):
+    X = rng.uniform(-1, 1, (800, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    box = MLPClassifier(hidden=(16, 8), epochs=80, seed=0).fit(X, y)
+    curve = fidelity_by_depth(box, X, [1, 3, 6])
+    assert curve[6] >= curve[3] >= curve[1] - 0.02
+    assert curve[6] > 0.8
+
+
+def test_surrogate_rejects_constant_box(rng):
+    X = rng.standard_normal((50, 2))
+
+    class Constant:
+        def predict_proba(self, X):
+            return np.full(len(X), 0.9)
+
+    with pytest.raises(DataError, match="constant"):
+        fit_surrogate(Constant(), X)
+
+
+def test_local_explainer_recovers_linear_signs(linear_model, rng):
+    model, X, _ = linear_model
+    explainer = LocalSurrogateExplainer(model, X, n_samples=400)
+    # Explain a point near the decision boundary, where the model is
+    # locally linear (saturated points have a flat local surface).
+    boundary = X[np.argmin(np.abs(model.predict_proba(X) - 0.5))]
+    explanation = explainer.explain(boundary, rng)
+    assert explanation.coefficients[0] > 0      # weight +2.0
+    assert explanation.coefficients[1] < 0      # weight -1.5
+    assert explanation.local_fit_r2 > 0.5
+    assert "pushes toward" in explanation.render()
+
+
+def test_local_explainer_validation(linear_model, rng):
+    model, X, _ = linear_model
+    explainer = LocalSurrogateExplainer(model, X)
+    with pytest.raises(DataError):
+        explainer.explain(X[0][:2], rng)
+    with pytest.raises(DataError):
+        LocalSurrogateExplainer(model, X[:1])
+
+
+def test_shapley_exact_additivity(linear_model, rng):
+    model, X, _ = linear_model
+    explainer = ShapleyExplainer(model, X[:40], exact_limit=4)
+    explanation = explainer.explain(X[0])
+    assert explanation.method == "exact"
+    assert explanation.additivity_gap < 1e-9
+    # Dead feature gets ~zero attribution.
+    assert abs(explanation.values[2]) < 0.05
+
+
+def test_shapley_sampled_approximates_exact(linear_model, rng):
+    model, X, _ = linear_model
+    background = X[:40]
+    exact = ShapleyExplainer(model, background, exact_limit=4).explain(X[1])
+    sampled_explainer = ShapleyExplainer(model, background, exact_limit=0)
+    sampled = sampled_explainer.explain(X[1], rng, n_permutations=200)
+    np.testing.assert_allclose(sampled.values, exact.values, atol=0.06)
+    assert sampled.method.startswith("sampled")
+
+
+def test_shapley_validation(linear_model, rng):
+    model, X, _ = linear_model
+    explainer = ShapleyExplainer(model, X[:10], exact_limit=0)
+    with pytest.raises(DataError, match="rng"):
+        explainer.explain(X[0])
+    with pytest.raises(DataError):
+        ShapleyExplainer(model, X[:0])
+
+
+def test_counterfactual_flips_decision(linear_model):
+    model, X, _ = linear_model
+    probabilities = model.predict_proba(X)
+    rejected = X[np.argmin(probabilities)]
+    result = find_counterfactual(model, rejected, max_steps=400)
+    assert result is not None
+    assert result.counterfactual_probability >= 0.5
+    assert result.original_probability < 0.5
+    assert result.sparsity >= 1
+    assert result.distance > 0
+    assert "->" in result.render()
+
+
+def test_counterfactual_respects_immutable_features(linear_model):
+    model, X, _ = linear_model
+    probabilities = model.predict_proba(X)
+    rejected = X[np.argmin(probabilities)]
+    result = find_counterfactual(
+        model, rejected, immutable=[0], max_steps=400
+    )
+    if result is not None:
+        assert result.counterfactual[0] == pytest.approx(rejected[0])
+
+
+def test_counterfactual_returns_none_when_stalled(linear_model):
+    model, X, _ = linear_model
+
+    class Stubborn:
+        def predict_proba(self, X):
+            return np.zeros(len(np.atleast_2d(X)))
+
+    assert find_counterfactual(Stubborn(), X[0], max_steps=5) is None
+
+
+def test_counterfactual_validation(linear_model):
+    model, X, _ = linear_model
+    with pytest.raises(DataError):
+        find_counterfactual(model, X[0], feature_names=["just-one"])
+    with pytest.raises(DataError):
+        find_counterfactual(model, X[0], step_scale=np.ones(2))

@@ -1,0 +1,67 @@
+"""Unit tests for model cards and datasheets."""
+
+import pytest
+
+from repro.learn import LogisticRegression, TableClassifier
+from repro.transparency.datasheet import build_datasheet
+from repro.transparency.model_card import build_model_card
+
+
+def test_model_card_contents(credit_tables, rng):
+    train, test = credit_tables
+    model = TableClassifier(LogisticRegression()).fit(train)
+    card = build_model_card(
+        model, train, test, "credit-lr", "loan pre-screening", rng,
+        limitations=["synthetic data only"],
+        prohibited_uses=["employment decisions"],
+    )
+    assert card.model_type == "LogisticRegression"
+    assert card.training_rows == train.n_rows
+    assert card.fairness is not None
+    text = card.render()
+    assert "# Model card: credit-lr" in text
+    assert "accuracy" in text
+    assert "[" in card.metrics["accuracy"]  # interval present
+    assert "synthetic data only" in text
+    assert "Prohibited uses" in text
+    assert "Fairness" in text
+
+
+def test_model_card_without_sensitive(rng):
+    from repro.data.synth import CreditScoringGenerator
+    from repro.data.schema import ColumnRole
+
+    generator = CreditScoringGenerator()
+    train = generator.generate(400, rng)
+    test = generator.generate(200, rng)
+    train = train.with_role("group", ColumnRole.METADATA)
+    test = test.with_role("group", ColumnRole.METADATA)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    card = build_model_card(model, train, test, "m", "demo", rng)
+    assert card.fairness is None
+    assert "Fairness" not in card.render()
+
+
+def test_datasheet_contents(census_tables):
+    train, _ = census_tables
+    sheet = build_datasheet(
+        train, "census", "synthetic generator v1",
+        known_biases=["none injected"],
+        collection_notes=["drawn with seed 12345"],
+    )
+    assert sheet.n_rows == train.n_rows
+    assert sheet.risk is not None  # census has quasi-identifiers
+    text = sheet.render()
+    assert "# Datasheet: census" in text
+    assert "role=sensitive" in text
+    assert "Disclosure risk" in text
+    assert "none injected" in text
+
+
+def test_datasheet_without_quasi_identifiers():
+    from repro.data.table import Table
+
+    table = Table.from_dict({"x": [1.0, 2.0]})
+    sheet = build_datasheet(table, "plain", "unit test")
+    assert sheet.risk is None
+    assert "Disclosure risk" not in sheet.render()
