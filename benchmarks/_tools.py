@@ -6,6 +6,12 @@ pytest-benchmark timing wraps the experiment's core computation so
 ``pytest benchmarks/ --benchmark-only`` both reproduces the numbers and
 times the system.  Run with ``-s`` to see the tables inline; they are
 also appended to ``benchmarks/results.txt``.
+
+Every bench additionally runs under a wall-clock :mod:`repro.obs`
+telemetry session, so each invocation appends its span tree and metric
+summaries to ``benchmarks/telemetry.jsonl`` — the perf trajectory the
+ROADMAP's "fast as the hardware allows" goal is measured against.
+Inspect it with ``python -m repro telemetry benchmarks/telemetry.jsonl``.
 """
 
 from __future__ import annotations
@@ -13,7 +19,10 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
+from repro import obs
+
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+TELEMETRY_PATH = os.path.join(os.path.dirname(__file__), "telemetry.jsonl")
 SEED = 20170626  # the editorial's publication date
 
 
@@ -53,6 +62,16 @@ def run_once(benchmark, fn):
     """Time ``fn`` exactly once through pytest-benchmark and return it.
 
     The experiments are deterministic and heavy; one round gives the
-    timing without multiplying the work.
+    timing without multiplying the work.  The call runs inside a
+    wall-clock telemetry session whose merged records are appended to
+    :data:`TELEMETRY_PATH`.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    telemetry = obs.configure(clock=obs.WallClock())
+    try:
+        with telemetry.tracer.span(
+            f"bench:{getattr(fn, '__qualname__', type(fn).__name__)}"
+        ):
+            return benchmark.pedantic(fn, rounds=1, iterations=1)
+    finally:
+        obs.write_jsonl(TELEMETRY_PATH, telemetry.to_dicts(), append=True)
+        obs.reset()

@@ -28,6 +28,7 @@ Quickstart::
     print(report.render())
 """
 
+from repro import obs
 from repro.core import (
     FACTAuditor,
     FACTPolicy,

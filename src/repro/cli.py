@@ -6,6 +6,7 @@
     python -m repro datasheet data.csv --name my-dataset
     python -m repro anonymize data.csv -k 10 --quasi age --quasi zipcode -o safe.csv
     python -m repro synthesize data.csv --epsilon 2.0 -o synthetic.csv
+    python -m repro telemetry run.jsonl
 
 CSV files written by :func:`repro.data.write_csv` carry their FACT roles
 in metadata comments; for plain CSVs, declare roles with the flags.
@@ -29,6 +30,12 @@ from repro.data.schema import ColumnRole
 from repro.data.split import three_way_split
 from repro.exceptions import ReproError
 from repro.learn.linear import LogisticRegression
+from repro.obs import (
+    read_telemetry,
+    render_audit_tail,
+    render_metrics_table,
+    render_span_tree,
+)
 from repro.learn.table_model import TableClassifier
 from repro.transparency.datasheet import build_datasheet
 
@@ -110,6 +117,17 @@ def _cmd_synthesize(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    records = read_telemetry(args.run)
+    print(render_span_tree(records))
+    print()
+    print(render_metrics_table(records))
+    if any(record.get("record") == "audit" for record in records):
+        print()
+        print(render_audit_tail(records, last=args.audit_tail))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -161,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="rows to sample (default: input size)")
     synthesize.add_argument("-o", "--output", help="write the release here")
     synthesize.set_defaults(handler=_cmd_synthesize)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="render an exported telemetry file (span tree + metrics)",
+    )
+    telemetry.add_argument("run", help="telemetry JSONL file (repro.obs export)")
+    telemetry.add_argument("--audit-tail", type=int, default=10,
+                           help="audit events to show (default 10)")
+    telemetry.set_defaults(handler=_cmd_telemetry)
     return parser
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import DataError, PrivacyBudgetError
 
 
@@ -85,6 +86,18 @@ class PrivacyAccountant:
             )
         entry = LedgerEntry(label=label, epsilon=float(epsilon), delta=float(delta))
         self._ledger.append(entry)
+        telemetry = obs.get()
+        if telemetry is not None:
+            telemetry.metrics.counter("privacy.queries").inc()
+            telemetry.metrics.gauge("privacy.epsilon_spent").set(
+                self.epsilon_spent
+            )
+            telemetry.metrics.gauge("privacy.epsilon_remaining").set(
+                self.epsilon_remaining
+            )
+            telemetry.metrics.gauge("privacy.delta_spent").set(
+                self.delta_spent
+            )
         return entry
 
     def render_ledger(self) -> str:

@@ -1,0 +1,175 @@
+"""``repro.obs`` — the unified telemetry layer (tracing + metrics + export).
+
+The paper's Q4 asks for answers that are *inspectable after the fact*;
+``AuditLog`` and ``ProvenanceGraph`` record what happened, this module
+records how long it took, how often, and where the time and privacy
+budget went.  Dependency-free, deterministic by default, off by default.
+
+Off by default: until :func:`configure` runs, :func:`get` returns
+``None`` and every instrumented call site (``Pipeline.run``,
+``TableClassifier.fit``, ``FairnessDriftMonitor.observe``,
+``PrivacyAccountant.spend``) pays exactly one ``is None`` check.
+
+Typical use::
+
+    from repro import obs
+
+    telemetry = obs.configure(export_path="run.jsonl")
+    result = pipeline.run(table, rng)        # spans + metrics recorded
+    # run.jsonl now holds the merged telemetry; inspect it with
+    #   python -m repro telemetry run.jsonl
+
+Deployments wanting real timestamps configure a wall clock::
+
+    obs.configure(clock=obs.WallClock())
+
+Everything else (tests, CI, byte-reproducible experiment runs) keeps the
+default deterministic :class:`TickClock`.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+
+from repro.obs.clock import Clock, TickClock, WallClock
+from repro.obs.export import (
+    audit_to_dicts,
+    read_telemetry,
+    telemetry_to_dicts,
+    write_jsonl,
+    write_telemetry,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.render import (
+    render_audit_tail,
+    render_metrics_table,
+    render_span_tree,
+)
+from repro.obs.tracing import Span, Tracer, safe_attribute
+
+
+class Telemetry:
+    """One run's tracer + metrics registry sharing one clock."""
+
+    def __init__(self, clock: Clock | None = None,
+                 export_path: str | None = None):
+        self.clock = clock if clock is not None else TickClock()
+        self.tracer = Tracer(self.clock)
+        self.metrics = MetricsRegistry(self.clock)
+        self.export_path = export_path
+
+    @contextmanager
+    def timed(self, name: str, **attributes: object):
+        """Span *and* duration histogram (``<name>.duration``) in one."""
+        with self.tracer.span(name, **attributes) as span:
+            yield span
+        self.metrics.histogram(f"{name}.duration").observe(span.duration)
+
+    def to_dicts(self, audit=None) -> list[dict[str, object]]:
+        """Merged, sorted telemetry records (see :mod:`repro.obs.export`)."""
+        return telemetry_to_dicts(self, audit=audit)
+
+    def flush(self, audit=None, path: str | None = None) -> int:
+        """Write merged telemetry to ``path`` (default: ``export_path``).
+
+        Rewrites the whole file each call, so flushing is idempotent and
+        the file always holds the complete run so far.  Returns the
+        record count written, or 0 when no path is configured.
+        """
+        target = path or self.export_path
+        if target is None:
+            return 0
+        return write_telemetry(target, self, audit=audit)
+
+
+#: The module-level active telemetry — ``None`` means "not configured",
+#: and instrumented call sites skip all work on that single check.
+_ACTIVE: Telemetry | None = None
+
+
+def configure(clock: Clock | None = None,
+              export_path: str | None = None) -> Telemetry:
+    """Install (and return) a fresh active :class:`Telemetry`.
+
+    ``clock`` defaults to a deterministic :class:`TickClock`; pass
+    :class:`WallClock` for real timestamps.  When ``export_path`` is
+    set, instrumented runners flush merged JSONL telemetry there.
+    """
+    global _ACTIVE
+    _ACTIVE = Telemetry(clock=clock, export_path=export_path)
+    return _ACTIVE
+
+
+def get() -> Telemetry | None:
+    """The active telemetry, or ``None`` when unconfigured."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Is telemetry currently configured?"""
+    return _ACTIVE is not None
+
+
+def reset() -> None:
+    """Return to the unconfigured (no-op) state."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def instrument(name: str, **attributes: object):
+    """Decorator: time the function when telemetry is on, no-op when off.
+
+    Unlike :meth:`Tracer.trace`, the active telemetry is looked up *per
+    call*, so library code can decorate unconditionally::
+
+        @obs.instrument("table_classifier.fit")
+        def fit(self, ...): ...
+    """
+    def decorator(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            telemetry = _ACTIVE
+            if telemetry is None:
+                return fn(*args, **kwargs)
+            with telemetry.timed(name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorator
+
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TickClock",
+    "Tracer",
+    "WallClock",
+    "audit_to_dicts",
+    "configure",
+    "enabled",
+    "get",
+    "instrument",
+    "read_telemetry",
+    "render_audit_tail",
+    "render_metrics_table",
+    "render_span_tree",
+    "reset",
+    "safe_attribute",
+    "telemetry_to_dicts",
+    "write_jsonl",
+    "write_telemetry",
+]

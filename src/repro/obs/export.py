@@ -1,0 +1,101 @@
+"""Exporters: one run → one merged, sortable telemetry file.
+
+Spans, metric summaries, gauge samples, and audit-log events all become
+flat JSON records with a ``record`` discriminator and (where meaningful)
+a ``t`` sort key, written as JSON Lines so a run's whole story is one
+greppable, streamable file::
+
+    {"record": "span", "t": 0, "name": "pipeline.run", ...}
+    {"record": "gauge_sample", "t": 7, "name": "privacy.epsilon_spent", ...}
+    {"record": "metric", "kind": "histogram", "name": "...", "p50": ...}
+    {"record": "audit", "sequence": 3, "actor": "pipeline", ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.exceptions import DataError
+
+RECORD_KINDS = ("span", "metric", "gauge_sample", "audit")
+
+
+def _sort_key(record: dict) -> tuple:
+    t = record.get("t")
+    return (0 if isinstance(t, (int, float)) else 1,
+            t if isinstance(t, (int, float)) else 0.0)
+
+
+def audit_to_dicts(audit) -> list[dict[str, object]]:
+    """Audit-log events as telemetry records.
+
+    ``t`` is the wall timestamp when the log carries one, else the
+    sequence number — either way the trail sorts correctly.
+    """
+    records = []
+    for event in audit.to_dicts():
+        record = {"record": "audit", **event}
+        record["t"] = (event["timestamp"]
+                       if event.get("timestamp") is not None
+                       else float(event["sequence"]))
+        records.append(record)
+    return records
+
+
+def telemetry_to_dicts(telemetry, audit=None) -> list[dict[str, object]]:
+    """Merge one run's spans, metrics, and (optionally) audit trail.
+
+    Records are sorted by ``t`` (stable, so summary metric records —
+    which carry no ``t`` — sink to the end in registry order).
+    """
+    records: list[dict[str, object]] = []
+    records.extend(telemetry.tracer.to_dicts())
+    records.extend(telemetry.metrics.to_dicts())
+    if audit is not None:
+        records.extend(audit_to_dicts(audit))
+    return sorted(records, key=_sort_key)
+
+
+def write_jsonl(path: str, records: Iterable[dict],
+                append: bool = False) -> int:
+    """Write records as JSON Lines; returns how many were written."""
+    count = 0
+    with open(path, "a" if append else "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    default=repr) + "\n")
+            count += 1
+    return count
+
+
+def write_telemetry(path: str, telemetry, audit=None,
+                    append: bool = False) -> int:
+    """Export one run's merged telemetry to ``path`` (JSON Lines)."""
+    return write_jsonl(path, telemetry_to_dicts(telemetry, audit=audit),
+                       append=append)
+
+
+def read_telemetry(path: str) -> list[dict[str, object]]:
+    """Parse a telemetry JSONL file back into records."""
+    if not os.path.exists(path):
+        raise DataError(f"no telemetry file at {path!r}")
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DataError(
+                    f"{path}:{line_number} is not valid JSON: {error}"
+                ) from None
+            if not isinstance(record, dict) or "record" not in record:
+                raise DataError(
+                    f"{path}:{line_number} is not a telemetry record"
+                )
+            records.append(record)
+    return records

@@ -1,0 +1,140 @@
+"""Console rendering for exported telemetry.
+
+Turns the flat JSONL records back into the two views a human wants:
+the span tree (where did the time go?) and the metrics table (how often,
+how much?).  Powers ``python -m repro telemetry run.jsonl``.
+"""
+
+from __future__ import annotations
+
+
+def _format_number(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    if isinstance(value, (int, float)):
+        return f"{value:g}"
+    return str(value)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_attributes(attributes: dict) -> str:
+    return " ".join(
+        f"{key}={_format_number(value)}"
+        for key, value in attributes.items()
+    )
+
+
+def render_span_tree(records: list[dict]) -> str:
+    """The run's spans as an indented tree with durations."""
+    spans = [r for r in records if r.get("record") == "span"]
+    if not spans:
+        return "span tree: (no spans)"
+    spans = sorted(spans, key=lambda s: s.get("start") or 0.0)
+    by_parent: dict[object, list[dict]] = {}
+    ids = {span["span_id"] for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent not in ids:
+            parent = None  # orphaned span renders as a root
+        by_parent.setdefault(parent, []).append(span)
+
+    lines = ["span tree:"]
+
+    def walk(parent, depth):
+        for span in by_parent.get(parent, ()):
+            duration = span.get("duration")
+            timing = (f"[{_format_number(duration)}]"
+                      if duration is not None else "[open]")
+            attrs = _format_attributes(span.get("attributes") or {})
+            lines.append(
+                "  " * (depth + 1) + f"{span['name']} {timing}"
+                + (f"  {attrs}" if attrs else "")
+            )
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    return lines
+
+
+def render_metrics_table(records: list[dict]) -> str:
+    """Counters, gauges, and histograms as fixed-width tables."""
+    metrics = [r for r in records if r.get("record") == "metric"]
+    if not metrics:
+        return "metrics: (none)"
+    lines = ["metrics:"]
+    counters = [m for m in metrics if m.get("kind") == "counter"]
+    gauges = [m for m in metrics if m.get("kind") == "gauge"]
+    histograms = [m for m in metrics if m.get("kind") == "histogram"]
+
+    if counters:
+        lines.append("")
+        lines += _table(
+            ["counter", "value"],
+            [[m["name"] + _format_labels(m.get("labels") or {}),
+              _format_number(m.get("value"))] for m in counters],
+        )
+    if gauges:
+        lines.append("")
+        lines += _table(
+            ["gauge", "value", "samples"],
+            [[m["name"] + _format_labels(m.get("labels") or {}),
+              _format_number(m.get("value")),
+              _format_number(m.get("n_samples"))] for m in gauges],
+        )
+    if histograms:
+        lines.append("")
+        lines += _table(
+            ["histogram", "count", "mean", "p50", "p95", "max"],
+            [[m["name"] + _format_labels(m.get("labels") or {}),
+              _format_number(m.get("count")),
+              _format_number(
+                  m["sum"] / m["count"] if m.get("count") else None
+              ),
+              _format_number(m.get("p50")),
+              _format_number(m.get("p95")),
+              _format_number(m.get("max"))] for m in histograms],
+        )
+    return "\n".join(lines)
+
+
+def render_audit_tail(records: list[dict], last: int = 10) -> str:
+    """The final ``last`` audit events from a telemetry file."""
+    events = [r for r in records if r.get("record") == "audit"]
+    if not events:
+        return "audit trail: (none)"
+    events = sorted(events, key=lambda e: e.get("sequence", 0))
+    lines = [f"audit trail: {len(events)} events"
+             + (f" (last {last})" if len(events) > last else "")]
+    for event in events[-last:]:
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in (event.get("detail") or {}).items()
+        )
+        lines.append(
+            f"  [{event.get('sequence', 0):04d}] {event.get('actor')}: "
+            f"{event.get('action')}" + (f" ({detail})" if detail else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Tracing: nested spans over a run of the FACT pipeline.
+
+A :class:`Span` is one named, timed unit of work with attributes and a
+parent; a :class:`Tracer` hands them out, keeps the open-span stack, and
+remembers every finished span for export.  Usable three ways::
+
+    with tracer.span("stage:train", n_rows=100) as span:
+        span.set_attribute("converged", True)
+
+    span = tracer.start_span("manual"); ...; tracer.end_span(span)
+
+    @tracer.trace("hot_path")
+    def hot_path(...): ...
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataError
+from repro.obs.clock import Clock, TickClock
+
+#: Attribute values stored verbatim; everything else is ``repr``-ed.
+_PLAIN_TYPES = (bool, int, float, str, type(None))
+
+
+def safe_attribute(value: object) -> object:
+    """A JSON-serialisable, *deterministic* rendering of an attribute.
+
+    Plain scalars pass through; containers are ``repr``-ed; anything
+    else becomes its type name — the default ``repr`` of arbitrary
+    objects embeds a memory address, which would make otherwise
+    byte-reproducible telemetry differ between runs.
+    """
+    if isinstance(value, _PLAIN_TYPES):
+        return value
+    if isinstance(value, (list, tuple, dict, set, frozenset, bytes)):
+        return repr(value)
+    return f"<{type(value).__qualname__}>"
+
+
+@dataclass
+class Span:
+    """One named, timed, attributed unit of work."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = safe_attribute(value)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        """Has :meth:`Tracer.end_span` run for this span?"""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """``end - start`` (raises if the span is still open)."""
+        if self.end is None:
+            raise DataError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready record (``record="span"``, sortable on ``t``)."""
+        return {
+            "record": "span",
+            "t": self.start,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": None if self.end is None else self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Produces nested spans, timed by an injectable clock."""
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock if clock is not None else TickClock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def start_span(self, name: str, **attributes: object) -> Span:
+        """Open a span as a child of the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start=self.clock.now(),
+            attributes={
+                key: safe_attribute(value)
+                for key, value in attributes.items()
+            },
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span | None = None) -> Span:
+        """Close ``span`` (default: the innermost), and any open children."""
+        if not self._stack:
+            raise DataError("no open span to end")
+        target = span if span is not None else self._stack[-1]
+        if target not in self._stack:
+            raise DataError(f"span {target.name!r} is not open")
+        while self._stack:
+            closing = self._stack.pop()
+            closing.end = self.clock.now()
+            if closing is target:
+                break
+        return target
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        """Context manager: open on entry, close on exit (even on error)."""
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        except BaseException as error:
+            span.set_attribute("error", type(error).__name__)
+            raise
+        finally:
+            if not span.finished:
+                self.end_span(span)
+
+    def trace(self, name: str | None = None, **attributes: object):
+        """Decorator: run the function inside a span."""
+        def decorator(fn):
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorator
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every span started so far, in start order."""
+        return list(self._spans)
+
+    @property
+    def active_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def root_spans(self) -> list[Span]:
+        """Spans with no parent."""
+        return [span for span in self._spans if span.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in start order."""
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """All spans as JSON-ready records."""
+        return [span.to_dict() for span in self._spans]

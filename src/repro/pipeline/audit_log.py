@@ -3,11 +3,15 @@
 Provenance says *what* was derived from *what*; the audit log says *who
 did what, in what order, and why*.  Entries are sequence-numbered rather
 than wall-clock-stamped so that runs are reproducible byte-for-byte; a
-wall-clock field can be attached by the caller when deployments need it.
+deployment that needs wall-clock timestamps passes a ``clock`` (any
+object with ``now() -> float``, e.g. :class:`repro.obs.WallClock`) and
+every event gains a ``timestamp`` without perturbing the sequence
+numbers that reproducible runs compare.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -19,20 +23,41 @@ class AuditEvent:
     actor: str
     action: str
     detail: dict[str, str] = field(default_factory=dict)
+    timestamp: float | None = None
 
     def render(self) -> str:
         """Single-line rendering."""
         extras = " ".join(f"{key}={value}" for key, value in self.detail.items())
-        return f"[{self.sequence:04d}] {self.actor}: {self.action}" + (
+        stamp = "" if self.timestamp is None else f" @{self.timestamp:.6f}"
+        return f"[{self.sequence:04d}]{stamp} {self.actor}: {self.action}" + (
             f" ({extras})" if extras else ""
         )
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready record of this event."""
+        return {
+            "sequence": self.sequence,
+            "actor": self.actor,
+            "action": self.action,
+            "detail": dict(self.detail),
+            "timestamp": self.timestamp,
+        }
+
 
 class AuditLog:
-    """Append-only, queryable action trail."""
+    """Append-only, queryable action trail.
 
-    def __init__(self):
+    Parameters
+    ----------
+    clock:
+        Optional; when supplied, each event is stamped with
+        ``clock.now()``.  Default ``None`` keeps events timestamp-free
+        and runs byte-reproducible.
+    """
+
+    def __init__(self, clock=None):
         self._events: list[AuditEvent] = []
+        self._clock = clock
 
     def record(self, actor: str, action: str,
                **detail: object) -> AuditEvent:
@@ -40,6 +65,8 @@ class AuditLog:
         event = AuditEvent(
             sequence=len(self._events), actor=actor, action=action,
             detail={key: str(value) for key, value in detail.items()},
+            timestamp=None if self._clock is None
+            else float(self._clock.now()),
         )
         self._events.append(event)
         return event
@@ -58,6 +85,18 @@ class AuditLog:
             if (actor is None or event.actor == actor)
             and (action is None or event.action == action)
         ]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Every event as a JSON-ready dict, in sequence order."""
+        return [event.to_dict() for event in self._events]
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the trail as JSON Lines; returns the event count."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True)
+                             + "\n")
+        return len(self._events)
 
     def render(self, last: int | None = None) -> str:
         """The trail (or its tail) as text."""

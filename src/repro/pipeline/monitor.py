@@ -17,10 +17,12 @@ deployment's history is one trail.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import DataError
 from repro.pipeline.audit_log import AuditLog
 
@@ -46,14 +48,37 @@ def population_stability_index(reference, observed, n_bins: int = 10) -> float:
     Conventional reading: < 0.1 stable, 0.1-0.25 drifting, > 0.25 major
     shift.  Bins are reference quantiles; empty bins are floored to keep
     the logarithm finite.
+
+    When the reference scores are (near-)constant, its quantile edges
+    all coincide and quantile binning degenerates to a single bin — a
+    silent PSI of 0.0 forever, masking every drift.  In that case this
+    warns and falls back to value-based (equal-width) edges spanning the
+    combined range of both samples, which still separates a shifted
+    observed distribution from a constant reference.
     """
     reference = np.asarray(reference, dtype=np.float64)
     observed = np.asarray(observed, dtype=np.float64)
     if len(reference) < n_bins or len(observed) == 0:
         raise DataError("need at least n_bins reference points and 1 observation")
-    edges = np.quantile(reference, np.linspace(0.0, 1.0, n_bins + 1))
+    quantiles = np.quantile(reference, np.linspace(0.0, 1.0, n_bins + 1))
+    edges = quantiles.copy()
     edges[0], edges[-1] = -np.inf, np.inf
     edges = np.unique(edges)
+    # A constant reference still yields 3 edges (-inf, c, +inf) after the
+    # ±inf replacement, so degeneracy is judged on the raw quantiles.
+    if len(edges) < 3 or len(np.unique(quantiles)) < 3:
+        warnings.warn(
+            "reference scores are (near-)constant: quantile bin edges "
+            "collapsed; falling back to value-based bin edges",
+            RuntimeWarning, stacklevel=2,
+        )
+        lower = float(min(reference.min(), observed.min()))
+        upper = float(max(reference.max(), observed.max()))
+        if lower == upper:
+            # Both samples are the same point mass: genuinely no drift.
+            return 0.0
+        edges = np.linspace(lower, upper, n_bins + 1)
+        edges[0], edges[-1] = -np.inf, np.inf
     reference_counts, _ = np.histogram(reference, bins=edges)
     observed_counts, _ = np.histogram(observed, bins=edges)
     reference_p = np.maximum(reference_counts / len(reference), 1e-6)
@@ -100,6 +125,15 @@ class FairnessDriftMonitor:
         self._n_batches += 1
         raised: list[Alarm] = []
 
+        # One thresholding serves both the fairness and accuracy checks.
+        needs_decisions = group is not None or (
+            y_true is not None and self.min_accuracy is not None
+        )
+        decisions = (
+            (scores >= self.decision_threshold).astype(np.float64)
+            if needs_decisions else None
+        )
+
         psi = population_stability_index(self.reference_scores, scores)
         self.audit.record("monitor", "batch_observed",
                           batch=batch_index, n=len(scores), psi=round(psi, 4))
@@ -109,7 +143,6 @@ class FairnessDriftMonitor:
 
         if group is not None:
             group = np.asarray(group)
-            decisions = (scores >= self.decision_threshold).astype(np.float64)
             rates = [
                 float(decisions[group == value].mean())
                 for value in np.unique(group)
@@ -123,7 +156,6 @@ class FairnessDriftMonitor:
 
         if y_true is not None and self.min_accuracy is not None:
             y_true = np.asarray(y_true, dtype=np.float64)
-            decisions = (scores >= self.decision_threshold).astype(np.float64)
             batch_accuracy = float(np.mean(decisions == y_true))
             if batch_accuracy < self.min_accuracy:
                 raised.append(Alarm(batch_index, "accuracy_drift",
@@ -134,6 +166,15 @@ class FairnessDriftMonitor:
                               batch=batch_index,
                               observed=round(alarm.observed, 4))
         self._alarms.extend(raised)
+
+        telemetry = obs.get()
+        if telemetry is not None:
+            telemetry.metrics.counter("monitor.batches").inc()
+            telemetry.metrics.histogram("monitor.psi").observe(psi)
+            for alarm in raised:
+                telemetry.metrics.counter(
+                    "monitor.alarms", kind=alarm.kind
+                ).inc()
         return raised
 
     @property

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.confidentiality.accountant import PrivacyAccountant
 from repro.data.table import Table
 from repro.exceptions import DataError
@@ -99,31 +100,73 @@ class Pipeline:
         )
 
     def run(self, table: Table, rng: np.random.Generator) -> PipelineResult:
-        """Execute all stages; return the final table plus the FACT trail."""
+        """Execute all stages; return the final table plus the FACT trail.
+
+        When :func:`repro.obs.configure` is active, the run opens a root
+        span (``pipeline.run``) with one child span per stage carrying
+        row counts and the stage's parameters, samples the privacy
+        accountant's budget gauges, and flushes merged JSONL telemetry
+        to the configured export path.  Unconfigured runs pay a single
+        ``is None`` check per stage and produce byte-identical output.
+        """
+        telemetry = obs.get()
         graph = None if self.provenance_mode == "off" else ProvenanceGraph()
         context = PipelineContext(
             rng=rng, provenance=graph, accountant=self.accountant
         )
         current = table
         artifact = None
-        if graph is not None:
-            artifact = self._register(graph, current, "pipeline input")
-        context.audit.record(self.actor, "run_started",
-                             n_rows=table.n_rows, n_stages=len(self.stages))
-        for stage in self.stages:
-            current = stage.apply(current, context)
-            context.audit.record(
-                self.actor, f"stage:{stage.name}", n_rows=current.n_rows
+        root = None
+        if telemetry is not None:
+            root = telemetry.tracer.start_span(
+                "pipeline.run", actor=self.actor, n_stages=len(self.stages),
+                n_rows=table.n_rows, provenance=self.provenance_mode,
             )
+        try:
             if graph is not None:
-                next_artifact = self._register(
-                    graph, current, f"after {stage.name}"
+                artifact = self._register(graph, current, "pipeline input")
+            context.audit.record(self.actor, "run_started",
+                                 n_rows=table.n_rows,
+                                 n_stages=len(self.stages))
+            for stage in self.stages:
+                if telemetry is None:
+                    current = stage.apply(current, context)
+                else:
+                    with telemetry.tracer.span(
+                        f"stage:{stage.name}", **stage.params()
+                    ) as span:
+                        span.set_attribute("n_rows_in", current.n_rows)
+                        current = stage.apply(current, context)
+                        span.set_attribute("n_rows", current.n_rows)
+                context.audit.record(
+                    self.actor, f"stage:{stage.name}", n_rows=current.n_rows
                 )
-                graph.record_step(
-                    stage.name, [artifact], [next_artifact], stage.params()
-                )
-                artifact = next_artifact
-        context.audit.record(self.actor, "run_finished", n_rows=current.n_rows)
+                if graph is not None:
+                    next_artifact = self._register(
+                        graph, current, f"after {stage.name}"
+                    )
+                    graph.record_step(
+                        stage.name, [artifact], [next_artifact], stage.params()
+                    )
+                    artifact = next_artifact
+            context.audit.record(self.actor, "run_finished",
+                                 n_rows=current.n_rows)
+        finally:
+            if telemetry is not None:
+                if root is not None and not root.finished:
+                    root.set_attribute("n_rows_out", current.n_rows)
+                    telemetry.tracer.end_span(root)
+                if self.accountant is not None:
+                    telemetry.metrics.gauge("privacy.epsilon_spent").set(
+                        self.accountant.epsilon_spent
+                    )
+                    telemetry.metrics.gauge("privacy.epsilon_remaining").set(
+                        self.accountant.epsilon_remaining
+                    )
+                    telemetry.metrics.gauge("privacy.delta_spent").set(
+                        self.accountant.delta_spent
+                    )
+                telemetry.flush(audit=context.audit)
         return PipelineResult(
             table=current, context=context, final_artifact=artifact
         )
