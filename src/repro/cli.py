@@ -7,6 +7,7 @@
     python -m repro anonymize data.csv -k 10 --quasi age --quasi zipcode -o safe.csv
     python -m repro synthesize data.csv --epsilon 2.0 -o synthetic.csv
     python -m repro telemetry run.jsonl
+    python -m repro serve queries.jsonl --data data.csv -o responses.jsonl
 
 CSV files written by :func:`repro.data.write_csv` carry their FACT roles
 in metadata comments; for plain CSVs, declare roles with the flags.
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -37,6 +39,7 @@ from repro.obs import (
     render_span_tree,
 )
 from repro.learn.table_model import TableClassifier
+from repro.serve import AdmissionController, QueryServer
 from repro.transparency.datasheet import build_datasheet
 
 
@@ -128,6 +131,76 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    table = _load(args.data, args)
+    table_name = args.table_name or os.path.splitext(
+        os.path.basename(args.data)
+    )[0]
+
+    admission = None
+    if args.rate_limit is not None or args.max_inflight is not None:
+        admission = AdmissionController(
+            rate_limit=args.rate_limit, window_s=args.window,
+            max_inflight=args.max_inflight,
+        )
+    server = QueryServer(
+        workers=args.workers, seed=args.seed,
+        cache=not args.no_cache, admission=admission,
+        default_epsilon_budget=args.epsilon_budget,
+        default_delta_budget=args.delta_budget,
+    )
+    server.register_table(table_name, table)
+
+    requests: list[dict] = []
+    with open(args.queries) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                requests.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                print(f"error: {args.queries}:{line_number}: {error}",
+                      file=sys.stderr)
+                return 2
+
+    with server:
+        results = server.submit_batch(requests)
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for result in results:
+            out.write(json.dumps(result.to_dict()) + "\n")
+    finally:
+        if args.output:
+            out.close()
+
+    stats = server.stats()
+    summary = ", ".join(
+        f"{status}={count}" for status, count in sorted(stats["statuses"].items())
+    )
+    print(f"served {len(results)} queries: {summary}", file=sys.stderr)
+    if stats["cache"] is not None:
+        cache = stats["cache"]
+        print(
+            f"cache: {cache['hits']:.0f} hits / {cache['misses']:.0f} misses "
+            f"(hit rate {cache['hit_rate']:.0%}), "
+            f"epsilon saved by replay: "
+            f"{sum(r.epsilon_charged == 0.0 and r.ok for r in results)} queries free",
+            file=sys.stderr,
+        )
+    for tenant, budget in sorted(stats["tenants"].items()):
+        print(
+            f"tenant {tenant}: ε spent {budget['epsilon_spent']:.4g}, "
+            f"remaining {budget['epsilon_remaining']:.4g} "
+            f"({budget['ledger_entries']} ledger entries)",
+            file=sys.stderr,
+        )
+    if args.output:
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -188,6 +261,39 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--audit-tail", type=int, default=10,
                            help="audit events to show (default 10)")
     telemetry.set_defaults(handler=_cmd_telemetry)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer a JSONL batch of DP queries against a CSV table",
+    )
+    serve.add_argument("queries",
+                       help="JSONL file: one QueryRequest object per line")
+    serve.add_argument("--data", required=True, help="CSV table to serve")
+    serve.add_argument("--table-name",
+                       help="name requests refer to (default: file stem)")
+    serve.add_argument("--sensitive", action="append",
+                       help="SENSITIVE column (repeatable)")
+    serve.add_argument("--quasi", action="append",
+                       help="QUASI_IDENTIFIER column (repeatable)")
+    serve.add_argument("--identifier", action="append",
+                       help="IDENTIFIER column (repeatable)")
+    serve.add_argument("--epsilon-budget", type=float, default=1.0,
+                       help="per-tenant epsilon budget (default 1.0)")
+    serve.add_argument("--delta-budget", type=float, default=0.0)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads (default 4)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the DP answer cache (every query pays)")
+    serve.add_argument("--rate-limit", type=int,
+                       help="max admissions per tenant per window")
+    serve.add_argument("--window", type=float, default=1.0,
+                       help="rate-limit window in seconds (default 1.0)")
+    serve.add_argument("--max-inflight", type=int,
+                       help="global cap on concurrently executing queries")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("-o", "--output",
+                       help="write JSONL responses here (default: stdout)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -16,6 +16,7 @@ Two composition accountants are provided:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,7 +35,13 @@ class LedgerEntry:
 
 
 class PrivacyAccountant:
-    """Tracks (ε, δ) expenditure under basic composition."""
+    """Tracks (ε, δ) expenditure under basic composition.
+
+    Thread-safe: :meth:`spend` holds an internal lock across the
+    afford-check and the ledger append, so concurrent spenders (e.g. the
+    :mod:`repro.serve` worker pool) cannot race the ledger past the
+    budget.
+    """
 
     def __init__(self, epsilon_budget: float, delta_budget: float = 0.0):
         if epsilon_budget <= 0:
@@ -44,13 +51,15 @@ class PrivacyAccountant:
         self.epsilon_budget = float(epsilon_budget)
         self.delta_budget = float(delta_budget)
         self._ledger: list[LedgerEntry] = []
+        self._lock = threading.RLock()
 
     # -- bookkeeping ------------------------------------------------------------
 
     @property
     def ledger(self) -> list[LedgerEntry]:
         """All recorded expenditures, in order."""
-        return list(self._ledger)
+        with self._lock:
+            return list(self._ledger)
 
     @property
     def epsilon_spent(self) -> float:
@@ -74,18 +83,38 @@ class PrivacyAccountant:
             and self.delta_spent + delta <= self.delta_budget + 1e-15
         )
 
+    def remaining(self) -> float:
+        """Unspent ε (alias of :attr:`epsilon_remaining`, lock-consistent)."""
+        with self._lock:
+            return self.epsilon_remaining
+
+    def can_spend(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Non-raising affordability probe.
+
+        Unlike :meth:`can_afford` (which :class:`AdvancedAccountant`
+        overrides to *raise* on a mismatched per-query ε), this always
+        answers with a boolean — what an admission controller wants.
+        """
+        with self._lock:
+            try:
+                return self.can_afford(epsilon, delta)
+            except DataError:
+                return False
+
     def spend(self, epsilon: float, delta: float = 0.0,
               label: str = "query") -> LedgerEntry:
         """Charge the budget or raise :class:`PrivacyBudgetError`."""
         if epsilon <= 0:
             raise DataError("spent epsilon must be positive")
-        if not self.can_afford(epsilon, delta):
-            raise PrivacyBudgetError(
-                f"budget exhausted: requested ε={epsilon:.4g} δ={delta:.2g} "
-                f"with ε_remaining={self.epsilon_remaining:.4g}"
-            )
-        entry = LedgerEntry(label=label, epsilon=float(epsilon), delta=float(delta))
-        self._ledger.append(entry)
+        with self._lock:
+            if not self.can_afford(epsilon, delta):
+                raise PrivacyBudgetError(
+                    f"budget exhausted: requested ε={epsilon:.4g} δ={delta:.2g} "
+                    f"with ε_remaining={self.epsilon_remaining:.4g}"
+                )
+            entry = LedgerEntry(label=label, epsilon=float(epsilon),
+                                delta=float(delta))
+            self._ledger.append(entry)
         telemetry = obs.get()
         if telemetry is not None:
             telemetry.metrics.counter("privacy.queries").inc()

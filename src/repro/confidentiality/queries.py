@@ -25,9 +25,21 @@ def _clip(values, lower: float, upper: float) -> np.ndarray:
     return np.clip(np.asarray(values, dtype=np.float64), lower, upper)
 
 
+def _check_epsilon(epsilon: float) -> float:
+    """Uniform ε validation shared by every ``dp_*`` entry point.
+
+    Each query rejects a non-positive ε up front with one consistent
+    message, instead of whatever the first mechanism hit would say.
+    """
+    if not epsilon > 0:
+        raise DataError(f"epsilon must be positive, got {epsilon}")
+    return float(epsilon)
+
+
 def dp_count(n: int, epsilon: float, accountant: PrivacyAccountant,
              rng: np.random.Generator, label: str = "count") -> float:
     """ε-DP row count (sensitivity 1), non-negative by post-processing."""
+    epsilon = _check_epsilon(epsilon)
     accountant.spend(epsilon, label=label)
     noisy = laplace_mechanism(float(n), 1.0, epsilon, rng)
     return max(0.0, noisy)
@@ -37,6 +49,7 @@ def dp_sum(values, lower: float, upper: float, epsilon: float,
            accountant: PrivacyAccountant, rng: np.random.Generator,
            label: str = "sum") -> float:
     """ε-DP sum of values clipped to [lower, upper]."""
+    epsilon = _check_epsilon(epsilon)
     accountant.spend(epsilon, label=label)
     clipped = _clip(values, lower, upper)
     sensitivity = max(abs(lower), abs(upper))
@@ -51,6 +64,7 @@ def dp_mean(values, lower: float, upper: float, epsilon: float,
     The quotient is clamped back into the declared bounds (free
     post-processing).
     """
+    epsilon = _check_epsilon(epsilon)
     values = np.asarray(values, dtype=np.float64)
     if len(values) == 0:
         raise DataError("cannot take the mean of no values")
@@ -72,6 +86,7 @@ def dp_histogram(values, bins: list, epsilon: float,
     One record lands in exactly one bin, so the whole histogram costs a
     single ε (parallel composition) — charged once, noise added per bin.
     """
+    epsilon = _check_epsilon(epsilon)
     if not bins:
         raise DataError("bins must be non-empty")
     accountant.spend(epsilon, label=label)
@@ -95,6 +110,7 @@ def dp_quantile(values, q: float, lower: float, upper: float,
     c is minus the distance between rank(c) and the target rank, whose
     sensitivity is 1.
     """
+    epsilon = _check_epsilon(epsilon)
     if not 0.0 <= q <= 1.0:
         raise DataError(f"q must be in [0, 1], got {q}")
     accountant.spend(epsilon, label=label)

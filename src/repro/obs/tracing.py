@@ -140,6 +140,35 @@ class Tracer:
             if not span.finished:
                 self.end_span(span)
 
+    def record_span(self, name: str, start: float, end: float,
+                    parent_id: int | None = None,
+                    **attributes: object) -> Span:
+        """Append an already-finished span without touching the stack.
+
+        The open-span stack assumes single-threaded nesting; concurrent
+        callers (e.g. the :mod:`repro.serve` worker pool) instead time
+        the work themselves and record the finished span afterwards, so
+        interleaved queries can never close each other's spans.
+        """
+        if end < start:
+            raise DataError(
+                f"span {name!r} ends before it starts ({end} < {start})"
+            )
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            start=float(start),
+            end=float(end),
+            attributes={
+                key: safe_attribute(value)
+                for key, value in attributes.items()
+            },
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
     def trace(self, name: str | None = None, **attributes: object):
         """Decorator: run the function inside a span."""
         def decorator(fn):

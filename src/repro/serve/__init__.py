@@ -1,0 +1,67 @@
+"""``repro.serve`` — multi-tenant DP query serving (Q3, operationalised).
+
+The paper's Q3 asks for answers "without revealing secrets" under a
+strict privacy budget; the ROADMAP asks for a system that serves heavy
+traffic.  This package is where the two meet: registered tables, tenants
+with budgets, admission control, a bounded worker pool, and a DP answer
+cache that replays released answers at zero additional ε-cost.
+
+Minimal use::
+
+    from repro.serve import QueryRequest, QueryServer
+
+    server = QueryServer(workers=4)
+    server.register_table("census", table)
+    server.register_tenant("analyst", epsilon_budget=1.0)
+    result = server.query(QueryRequest(
+        tenant="analyst", kind="mean", column="age",
+        lower=18, upper=80, epsilon=0.1,
+    ))
+
+Batch mode (what ``python -m repro serve`` wraps)::
+
+    results = server.submit_batch(requests)   # concurrent, order-preserving
+"""
+
+from repro.serve.admission import (
+    REASON_OVERLOAD,
+    REASON_RATE,
+    AdmissionController,
+)
+from repro.serve.budget import BudgetManager, Reservation
+from repro.serve.cache import AnswerCache, CachedAnswer
+from repro.serve.planner import QueryPlan, QueryPlanner
+from repro.serve.protocol import (
+    KINDS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED_BUDGET,
+    STATUS_REJECTED_INVALID,
+    STATUS_REJECTED_RATE,
+    STATUSES,
+    QueryRequest,
+    QueryResult,
+)
+from repro.serve.server import QueryServer
+
+__all__ = [
+    "AdmissionController",
+    "AnswerCache",
+    "BudgetManager",
+    "CachedAnswer",
+    "KINDS",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryRequest",
+    "QueryResult",
+    "QueryServer",
+    "REASON_OVERLOAD",
+    "REASON_RATE",
+    "Reservation",
+    "STATUSES",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED_BUDGET",
+    "STATUS_REJECTED_INVALID",
+    "STATUS_REJECTED_RATE",
+]

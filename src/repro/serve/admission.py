@@ -1,0 +1,83 @@
+"""Admission control: refuse work early, cheaply, and per tenant.
+
+Two independent guards, both optional:
+
+* a per-tenant **sliding-window rate limit** (at most ``rate_limit``
+  admissions per ``window_s`` seconds), so one chatty tenant cannot
+  starve the others; and
+* a global **in-flight cap** (at most ``max_inflight`` queries being
+  executed at once), so a burst saturates the worker pool's queue
+  instead of growing it without bound.
+
+Admission happens *before* planning and budgeting: a refused query costs
+no ε, no table scan, and no noise draw.  The clock is injectable
+(``now_fn``) so tests drive the window deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.exceptions import DataError
+
+#: Rejection reasons returned by :meth:`AdmissionController.try_admit`.
+REASON_RATE = "rate_limit"
+REASON_OVERLOAD = "overload"
+
+
+class AdmissionController:
+    """Thread-safe per-tenant rate limiting plus a global in-flight cap."""
+
+    def __init__(self, rate_limit: int | None = None, window_s: float = 1.0,
+                 max_inflight: int | None = None, now_fn=time.monotonic):
+        if rate_limit is not None and rate_limit < 1:
+            raise DataError("rate_limit must be at least 1 (or None)")
+        if window_s <= 0:
+            raise DataError("window_s must be positive")
+        if max_inflight is not None and max_inflight < 1:
+            raise DataError("max_inflight must be at least 1 (or None)")
+        self.rate_limit = rate_limit
+        self.window_s = float(window_s)
+        self.max_inflight = max_inflight
+        self._now = now_fn
+        self._lock = threading.Lock()
+        self._admissions: dict[str, deque[float]] = {}
+        self._inflight = 0
+        self.rejections: dict[str, int] = {REASON_RATE: 0, REASON_OVERLOAD: 0}
+
+    def try_admit(self, tenant: str) -> str | None:
+        """Admit ``tenant`` (``None``) or explain the refusal (a reason).
+
+        An admission counts against the tenant's window immediately and
+        holds one in-flight slot until :meth:`release`.
+        """
+        now = self._now()
+        with self._lock:
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                self.rejections[REASON_OVERLOAD] += 1
+                return REASON_OVERLOAD
+            if self.rate_limit is not None:
+                window = self._admissions.setdefault(tenant, deque())
+                while window and now - window[0] >= self.window_s:
+                    window.popleft()
+                if len(window) >= self.rate_limit:
+                    self.rejections[REASON_RATE] += 1
+                    return REASON_RATE
+                window.append(now)
+            self._inflight += 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        """Give back the in-flight slot taken at admission."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise DataError("release without a matching admission")
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Queries currently admitted and not yet released."""
+        with self._lock:
+            return self._inflight

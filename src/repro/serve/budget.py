@@ -1,0 +1,159 @@
+"""Per-tenant budget management with speculative charges.
+
+The serving loop must never burn budget on a query that fails after
+admission (execution error, cancelled request) and must never let two
+concurrent queries both pass an affordability check that only one of
+them can afford.  The :class:`BudgetManager` solves both with a
+two-phase protocol:
+
+1. :meth:`reserve` — under the manager's lock, check the tenant's
+   accountant against (spent + **pending**) and record a pending
+   reservation.  Concurrent reservations therefore see each other.
+2. :meth:`commit` — the query succeeded: charge the accountant's ledger
+   and drop the pending mark.  :meth:`rollback` — it failed: drop the
+   pending mark and the ledger never hears about it.
+
+Rejected or failed queries leave the ledger byte-identical to a world
+where they were never submitted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.confidentiality.accountant import (
+    LedgerEntry,
+    PrivacyAccountant,
+)
+from repro.exceptions import DataError, PrivacyBudgetError
+
+
+@dataclass(eq=False)  # identity semantics: equal fields ≠ same reservation
+class Reservation:
+    """One speculative (ε, δ) charge awaiting commit or rollback."""
+
+    tenant: str
+    epsilon: float
+    delta: float
+    state: str = field(default="pending")  # pending | committed | rolled_back
+
+    @property
+    def settled(self) -> bool:
+        return self.state != "pending"
+
+
+class BudgetManager:
+    """Thread-safe registry of tenant accountants with two-phase spending."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._accountants: dict[str, PrivacyAccountant] = {}
+        self._pending: dict[str, list[Reservation]] = {}
+
+    # -- tenant registry ----------------------------------------------------
+
+    def register(self, tenant: str,
+                 accountant: PrivacyAccountant) -> PrivacyAccountant:
+        """Attach ``accountant`` as ``tenant``'s budget (idempotent per name)."""
+        if not tenant:
+            raise DataError("tenant name must be non-empty")
+        with self._lock:
+            if tenant in self._accountants:
+                raise DataError(f"tenant {tenant!r} is already registered")
+            self._accountants[tenant] = accountant
+            self._pending[tenant] = []
+        return accountant
+
+    def accountant(self, tenant: str) -> PrivacyAccountant:
+        """The accountant backing ``tenant``."""
+        with self._lock:
+            if tenant not in self._accountants:
+                raise DataError(
+                    f"unknown tenant {tenant!r}; registered: {self.tenants}"
+                )
+            return self._accountants[tenant]
+
+    @property
+    def tenants(self) -> list[str]:
+        """Registered tenant names."""
+        with self._lock:
+            return list(self._accountants)
+
+    def __contains__(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._accountants
+
+    # -- two-phase spending -------------------------------------------------
+
+    def pending_epsilon(self, tenant: str) -> float:
+        """ε currently reserved but not yet committed for ``tenant``."""
+        with self._lock:
+            return sum(r.epsilon for r in self._pending.get(tenant, ()))
+
+    def remaining(self, tenant: str) -> float:
+        """Committed-plus-pending view of the tenant's unspent ε."""
+        with self._lock:
+            return self.accountant(tenant).remaining() - self.pending_epsilon(tenant)
+
+    def can_reserve(self, tenant: str, epsilon: float,
+                    delta: float = 0.0) -> bool:
+        """Would :meth:`reserve` succeed right now?"""
+        with self._lock:
+            accountant = self.accountant(tenant)
+            pending = self._pending[tenant]
+            return accountant.can_spend(
+                sum(r.epsilon for r in pending) + epsilon,
+                sum(r.delta for r in pending) + delta,
+            )
+
+    def reserve(self, tenant: str, epsilon: float,
+                delta: float = 0.0) -> Reservation:
+        """Speculatively charge (ε, δ) or raise :class:`PrivacyBudgetError`."""
+        if epsilon <= 0:
+            raise DataError(f"epsilon must be positive, got {epsilon}")
+        if delta < 0:
+            raise DataError(f"delta must be non-negative, got {delta}")
+        with self._lock:
+            accountant = self.accountant(tenant)
+            if not self.can_reserve(tenant, epsilon, delta):
+                raise PrivacyBudgetError(
+                    f"tenant {tenant!r} cannot afford ε={epsilon:.4g}: "
+                    f"ε_remaining={accountant.remaining():.4g} with "
+                    f"ε_pending={self.pending_epsilon(tenant):.4g}"
+                )
+            reservation = Reservation(tenant, float(epsilon), float(delta))
+            self._pending[tenant].append(reservation)
+            return reservation
+
+    def commit(self, reservation: Reservation,
+               label: str = "serve.query") -> LedgerEntry:
+        """Turn a reservation into a real ledger entry."""
+        with self._lock:
+            self._check_pending(reservation)
+            # Spend *before* settling: if the ledger somehow refuses
+            # (out-of-band spending on the same accountant), the
+            # reservation stays pending and can still be rolled back.
+            entry = self._accountants[reservation.tenant].spend(
+                reservation.epsilon, reservation.delta, label=label
+            )
+            self._settle(reservation, "committed")
+            return entry
+
+    def rollback(self, reservation: Reservation) -> None:
+        """Release a reservation; the ledger never sees it."""
+        with self._lock:
+            self._check_pending(reservation)
+            self._settle(reservation, "rolled_back")
+
+    def _check_pending(self, reservation: Reservation) -> None:
+        if reservation.settled:
+            raise DataError(f"reservation is already {reservation.state}")
+        if reservation not in self._pending.get(reservation.tenant, []):
+            raise DataError(
+                f"reservation for {reservation.tenant!r} is not pending here"
+            )
+
+    def _settle(self, reservation: Reservation, state: str) -> None:
+        self._pending[reservation.tenant].remove(reservation)
+        reservation.state = state

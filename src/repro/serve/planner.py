@@ -1,0 +1,185 @@
+"""Query planning: validate, normalize, canonicalize.
+
+The planner owns the table registry and turns a raw
+:class:`~repro.serve.protocol.QueryRequest` into an executable
+:class:`QueryPlan` — or raises :class:`~repro.exceptions.DataError` with
+a message the server converts into a structured rejection.
+
+Canonicalization matters because the answer cache is keyed on the plan's
+**fingerprint**: two requests that mean the same release (same table
+*version*, kind, column, parameters, ε) must hash identically, so bins
+are sorted and deduplicated, floats are normalized through ``repr``, and
+the registered table's version is folded in (re-registering a table
+invalidates every cached answer computed from the old rows — replaying
+those would be answering about data that no longer exists).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.serve.protocol import KINDS, QueryRequest
+
+#: Kinds that aggregate a numeric column under declared bounds.
+_BOUNDED_KINDS = ("sum", "mean", "quantile")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A validated, normalized, executable query."""
+
+    kind: str
+    table: str
+    table_version: int
+    epsilon: float
+    delta: float
+    column: str | None
+    lower: float | None
+    upper: float | None
+    q: float | None
+    bins: tuple
+    fingerprint: str
+
+
+class QueryPlanner:
+    """Registry of servable tables plus request validation/normalization."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._versions: dict[str, int] = {}
+
+    # -- table registry -----------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Make ``table`` servable as ``name`` (re-registering bumps its version)."""
+        if not name:
+            raise DataError("table name must be non-empty")
+        if not isinstance(table, Table):
+            raise DataError(f"expected a Table, got {type(table).__name__}")
+        self._tables[name] = table
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names, in registration order."""
+        return list(self._tables)
+
+    def table(self, name: str) -> Table:
+        """The registered table called ``name``."""
+        if name not in self._tables:
+            raise DataError(
+                f"unknown table {name!r}; registered: {self.table_names}"
+            )
+        return self._tables[name]
+
+    def table_version(self, name: str) -> int:
+        """How many times ``name`` has been (re-)registered."""
+        self.table(name)
+        return self._versions[name]
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        """Validate and canonicalize one request into a :class:`QueryPlan`."""
+        kind = str(request.kind).strip().lower()
+        if kind not in KINDS:
+            raise DataError(f"unknown query kind {request.kind!r}; one of {KINDS}")
+        if not str(request.tenant).strip():
+            raise DataError("tenant must be non-empty")
+        epsilon = float(request.epsilon)
+        if not epsilon > 0:
+            raise DataError(f"epsilon must be positive, got {request.epsilon}")
+        delta = float(request.delta or 0.0)
+        if delta < 0:
+            raise DataError(f"delta must be non-negative, got {request.delta}")
+
+        table_name = self._resolve_table_name(request.table)
+        table = self.table(table_name)
+
+        column = request.column.strip() if request.column else None
+        spec = None
+        if kind != "count":
+            if column is None:
+                raise DataError(f"{kind} queries need a column")
+            if column not in table.schema.names:
+                raise DataError(
+                    f"table {table_name!r} has no column {column!r}"
+                )
+            spec = table.schema[column]
+
+        lower = upper = q = None
+        bins: tuple = ()
+        if kind in _BOUNDED_KINDS:
+            if spec.ctype is not ColumnType.NUMERIC:
+                raise DataError(f"{kind} needs a numeric column, {column!r} is not")
+            if request.lower is None or request.upper is None:
+                raise DataError(
+                    f"{kind} queries need declared lower/upper value bounds"
+                )
+            lower, upper = float(request.lower), float(request.upper)
+            if not lower < upper:
+                raise DataError(f"need lower < upper, got [{lower}, {upper}]")
+        if kind == "quantile":
+            if request.q is None:
+                raise DataError("quantile queries need q in [0, 1]")
+            q = float(request.q)
+            if not 0.0 <= q <= 1.0:
+                raise DataError(f"q must be in [0, 1], got {request.q}")
+        if kind == "histogram":
+            if not request.bins:
+                raise DataError("histogram queries need explicit bins")
+            coerce = float if spec.ctype is ColumnType.NUMERIC else str
+            try:
+                bins = tuple(sorted({coerce(value) for value in request.bins}))
+            except (TypeError, ValueError) as error:
+                raise DataError(f"bad histogram bins: {error}") from None
+
+        version = self._versions[table_name]
+        fingerprint = _fingerprint(
+            table=table_name, version=version, kind=kind, column=column,
+            epsilon=epsilon, delta=delta, lower=lower, upper=upper, q=q,
+            bins=bins,
+        )
+        return QueryPlan(
+            kind=kind, table=table_name, table_version=version,
+            epsilon=epsilon, delta=delta, column=column,
+            lower=lower, upper=upper, q=q, bins=bins,
+            fingerprint=fingerprint,
+        )
+
+    def _resolve_table_name(self, name: str | None) -> str:
+        if name:
+            return str(name)
+        if len(self._tables) == 1:
+            return next(iter(self._tables))
+        if not self._tables:
+            raise DataError("no tables registered with the planner")
+        raise DataError(
+            f"request names no table and several are registered: {self.table_names}"
+        )
+
+
+def _fingerprint(**parts: object) -> str:
+    """Stable hash of the canonical query parts.
+
+    ``repr`` normalizes floats (``0.10`` and ``1e-1`` collide, as they
+    should); sorted keys make the digest order-independent.
+    """
+    canonical = {
+        key: repr(value) if isinstance(value, float) else value
+        for key, value in parts.items()
+    }
+    if isinstance(canonical.get("bins"), tuple):
+        canonical["bins"] = [
+            repr(value) if isinstance(value, float) else value
+            for value in canonical["bins"]
+        ]
+    digest = hashlib.sha256(
+        json.dumps(canonical, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:24]

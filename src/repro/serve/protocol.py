@@ -1,0 +1,128 @@
+"""The serving wire protocol: requests in, structured results out.
+
+A :class:`QueryRequest` is what a tenant submits — a declarative
+description of one DP aggregate over a registered table.  A
+:class:`QueryResult` is what always comes back: the server never lets an
+exception escape its loop, so rejections (budget, rate, validation) are
+*statuses* on the result, not stack traces in the caller's lap.
+
+Both sides round-trip through plain dicts / JSON lines, which is what
+``python -m repro serve`` speaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.exceptions import DataError
+
+#: Query kinds the planner understands.
+KINDS = ("count", "sum", "mean", "quantile", "histogram")
+
+#: Result statuses — one success, one per rejection reason, one catch-all.
+STATUS_OK = "ok"
+STATUS_REJECTED_INVALID = "rejected_invalid"
+STATUS_REJECTED_BUDGET = "rejected_budget"
+STATUS_REJECTED_RATE = "rejected_rate"
+STATUS_ERROR = "error"
+
+STATUSES = (
+    STATUS_OK,
+    STATUS_REJECTED_INVALID,
+    STATUS_REJECTED_BUDGET,
+    STATUS_REJECTED_RATE,
+    STATUS_ERROR,
+)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One tenant's declarative DP query.
+
+    ``table`` may be omitted when the server has exactly one registered
+    table.  Numeric aggregates (``sum``/``mean``/``quantile``) require
+    declared ``lower``/``upper`` bounds — sensitivity comes from the
+    declaration, never from peeking at the data.
+    """
+
+    tenant: str
+    kind: str
+    epsilon: float
+    table: str | None = None
+    column: str | None = None
+    lower: float | None = None
+    upper: float | None = None
+    q: float | None = None
+    bins: tuple = ()
+    delta: float = 0.0
+    request_id: str | None = None
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "QueryRequest":
+        """Build a request from one decoded JSONL record."""
+        if not isinstance(record, dict):
+            raise DataError(f"request must be an object, got {type(record).__name__}")
+        unknown = set(record) - {f.name for f in fields(cls)}
+        if unknown:
+            raise DataError(f"unknown request fields: {sorted(unknown)}")
+        for required in ("tenant", "kind", "epsilon"):
+            if required not in record:
+                raise DataError(f"request is missing {required!r}")
+        record = dict(record)
+        record["bins"] = tuple(record.get("bins") or ())
+        return cls(**record)
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (omits unset optionals)."""
+        record = asdict(self)
+        record["bins"] = list(record["bins"])
+        return {
+            key: value for key, value in record.items()
+            if value not in (None, []) or key in ("tenant", "kind", "epsilon")
+        }
+
+
+@dataclass
+class QueryResult:
+    """The server's answer to one request — success or structured rejection.
+
+    ``epsilon_charged`` is what the tenant's ledger actually paid: the
+    plan's ε on a fresh execution, ``0.0`` on a cache replay or any
+    rejection.  ``value`` is a float for scalar queries, a ``{bin:
+    count}`` dict for histograms, and ``None`` on rejection.
+    """
+
+    tenant: str
+    status: str
+    value: float | dict | None = None
+    epsilon_charged: float = 0.0
+    cached: bool = False
+    fingerprint: str | None = None
+    detail: str | None = None
+    request_id: str | None = None
+    duration: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Did the query produce an answer?"""
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (the ``serve`` CLI's response line)."""
+        record = {
+            "tenant": self.tenant,
+            "status": self.status,
+            "value": self.value,
+            "epsilon_charged": self.epsilon_charged,
+            "cached": self.cached,
+        }
+        if self.fingerprint is not None:
+            record["fingerprint"] = self.fingerprint
+        if self.detail is not None:
+            record["detail"] = self.detail
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        if self.duration is not None:
+            record["duration"] = self.duration
+        return record

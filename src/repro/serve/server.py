@@ -1,0 +1,390 @@
+"""The multi-tenant DP query server.
+
+``QueryServer`` turns the one-shot ``dp_*`` query library into an
+operational surface: tables and tenants are registered once, then
+requests flow through a fixed pipeline —
+
+    admission → plan → cache lookup → budget reserve → execute
+              → budget commit → cache insert
+
+with three invariants the tests pin down:
+
+* **no exception escapes the serving loop** — every failure mode is a
+  structured :class:`~repro.serve.protocol.QueryResult` status;
+* **a rejected query never burns budget** — charges are speculative
+  (:class:`~repro.serve.budget.BudgetManager`) until the answer exists;
+* **a repeated query costs nothing** — cache replays are free
+  post-processing and charge ε exactly zero.
+
+Execution reuses the audited ``dp_*`` implementations verbatim (their
+clipping, sensitivity, and post-processing are the privacy-critical
+code): each query runs against a throwaway scratch accountant, and the
+*real* tenant charge is the committed reservation.
+
+Concurrency: a bounded ``ThreadPoolExecutor`` drains batches; every
+shared structure (accountants, budget manager, cache, admission,
+telemetry) is individually thread-safe, and per-query RNGs are spawned
+from one ``SeedSequence`` so concurrent noise draws never share a
+bit-generator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from repro import obs
+from repro.confidentiality.accountant import PrivacyAccountant
+from repro.confidentiality.queries import (
+    dp_count,
+    dp_histogram,
+    dp_mean,
+    dp_quantile,
+    dp_sum,
+)
+from repro.data.table import Table
+from repro.exceptions import DataError, PrivacyBudgetError, ReproError
+from repro.serve.admission import AdmissionController
+from repro.serve.budget import BudgetManager
+from repro.serve.cache import AnswerCache
+from repro.serve.planner import QueryPlan, QueryPlanner
+from repro.serve.protocol import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED_BUDGET,
+    STATUS_REJECTED_INVALID,
+    STATUS_REJECTED_RATE,
+    QueryRequest,
+    QueryResult,
+)
+
+
+class QueryServer:
+    """Concurrent, budget-aware, cache-accelerated DP query serving."""
+
+    def __init__(self, workers: int = 4, seed: int = 0,
+                 cache: AnswerCache | None | bool = True,
+                 admission: AdmissionController | None = None,
+                 default_epsilon_budget: float | None = None,
+                 default_delta_budget: float = 0.0,
+                 backend_latency_s: float = 0.0):
+        """Build a server.
+
+        ``cache=True`` installs a default :class:`AnswerCache`;
+        ``cache=None``/``False`` disables replay entirely (every query
+        pays).  ``default_epsilon_budget`` enables auto-registration of
+        unknown tenants (the CLI's mode); without it, queries from
+        unregistered tenants are rejected as invalid.
+        ``backend_latency_s`` injects a per-execution delay emulating a
+        downstream data-plane fetch — benchmarks use it to exercise how
+        the worker pool overlaps query latencies; leave it 0 in real use.
+        """
+        if workers < 1:
+            raise DataError("workers must be at least 1")
+        if backend_latency_s < 0:
+            raise DataError("backend_latency_s must be non-negative")
+        self.planner = QueryPlanner()
+        self.budget = BudgetManager()
+        self.cache = AnswerCache() if cache is True else (cache or None)
+        self.admission = admission
+        self.workers = int(workers)
+        self.default_epsilon_budget = default_epsilon_budget
+        self.default_delta_budget = float(default_delta_budget)
+        self.backend_latency_s = float(backend_latency_s)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._rng_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._status_counts: dict[str, int] = {}
+        # Single-flight coalescing: concurrent identical queries would
+        # each miss the cache and each pay ε; instead followers wait for
+        # the leader's release and replay it for free.
+        self._flight_lock = threading.Lock()
+        self._in_flight: dict[object, threading.Event] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> "QueryServer":
+        """Make ``table`` servable as ``name`` (chainable)."""
+        self.planner.register_table(name, table)
+        return self
+
+    def register_tenant(self, tenant: str,
+                        epsilon_budget: float | None = None,
+                        delta_budget: float = 0.0,
+                        accountant: PrivacyAccountant | None = None,
+                        ) -> PrivacyAccountant:
+        """Give ``tenant`` a budget — an existing accountant or a fresh one."""
+        if accountant is None:
+            if epsilon_budget is None:
+                raise DataError(
+                    "register_tenant needs epsilon_budget or an accountant"
+                )
+            accountant = PrivacyAccountant(epsilon_budget, delta_budget)
+        return self.budget.register(tenant, accountant)
+
+    # -- submission ---------------------------------------------------------
+
+    def query(self, request: QueryRequest | dict) -> QueryResult:
+        """Serve one request synchronously (never raises)."""
+        return self._handle(request)
+
+    def submit(self, request: QueryRequest | dict) -> Future:
+        """Enqueue one request on the worker pool."""
+        if self._closed:
+            raise DataError("server is closed")
+        return self._pool.submit(self._handle, request)
+
+    def submit_batch(self, requests) -> list[QueryResult]:
+        """Serve a batch concurrently, preserving request order."""
+        if self._closed:
+            raise DataError("server is closed")
+        return list(self._pool.map(self._handle, list(requests)))
+
+    def close(self) -> None:
+        """Drain the pool and refuse further submissions."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the serving loop ---------------------------------------------------
+
+    def _handle(self, request: QueryRequest | dict) -> QueryResult:
+        telemetry = obs.get()
+        started = self._tick(telemetry)
+        wall_start = time.perf_counter()
+        admitted_tenant = None
+        try:
+            if isinstance(request, dict):
+                request = QueryRequest.from_dict(request)
+            tenant = str(request.tenant)
+
+            if self.admission is not None:
+                reason = self.admission.try_admit(tenant)
+                if reason is not None:
+                    result = self._rejection(
+                        request, STATUS_REJECTED_RATE,
+                        f"admission refused: {reason}",
+                    )
+                    return result
+                admitted_tenant = tenant
+
+            result = self._serve_admitted(request)
+            return result
+        except ReproError as error:
+            result = self._rejection(request, STATUS_REJECTED_INVALID, str(error))
+            return result
+        except Exception as error:  # the loop must never leak an exception
+            result = self._rejection(
+                request, STATUS_ERROR, f"{type(error).__name__}: {error}"
+            )
+            return result
+        finally:
+            if admitted_tenant is not None:
+                self.admission.release(admitted_tenant)
+            result.duration = time.perf_counter() - wall_start
+            self._record(telemetry, request, result, started)
+
+    def _serve_admitted(self, request: QueryRequest) -> QueryResult:
+        tenant = str(request.tenant)
+        plan = self.planner.plan(request)
+        self._ensure_tenant(tenant)
+
+        if self.cache is None:
+            return self._execute_and_charge(request, plan, tenant)
+
+        flight_key = (
+            (tenant, plan.fingerprint) if self.cache.scope == "tenant"
+            else plan.fingerprint
+        )
+        while True:
+            answer = self.cache.get(plan.fingerprint, tenant=tenant)
+            if answer is not None:
+                return QueryResult(
+                    tenant=tenant, status=STATUS_OK, value=answer.replay(),
+                    epsilon_charged=0.0, cached=True,
+                    fingerprint=plan.fingerprint,
+                    request_id=request.request_id,
+                )
+            with self._flight_lock:
+                event = self._in_flight.get(flight_key)
+                if event is None:
+                    self._in_flight[flight_key] = threading.Event()
+            if event is None:  # we lead: compute, release, wake followers
+                try:
+                    return self._execute_and_charge(request, plan, tenant)
+                finally:
+                    with self._flight_lock:
+                        self._in_flight.pop(flight_key).set()
+            # A leader is already computing this exact release; wait and
+            # re-check the cache (if the leader failed, loop and lead).
+            event.wait()
+
+    def _execute_and_charge(self, request: QueryRequest, plan: QueryPlan,
+                            tenant: str) -> QueryResult:
+        try:
+            reservation = self.budget.reserve(tenant, plan.epsilon, plan.delta)
+        except PrivacyBudgetError as error:
+            return QueryResult(
+                tenant=tenant, status=STATUS_REJECTED_BUDGET,
+                detail=str(error), fingerprint=plan.fingerprint,
+                request_id=request.request_id,
+            )
+        try:
+            value = self._execute(plan)
+        except Exception:
+            self.budget.rollback(reservation)
+            raise
+        try:
+            self.budget.commit(reservation, label=f"serve.{plan.kind}")
+        except PrivacyBudgetError as error:
+            # Out-of-band spending beat us to the ledger between reserve
+            # and commit; the answer is discarded unreleased.
+            self.budget.rollback(reservation)
+            return QueryResult(
+                tenant=tenant, status=STATUS_REJECTED_BUDGET,
+                detail=str(error), fingerprint=plan.fingerprint,
+                request_id=request.request_id,
+            )
+        if self.cache is not None:
+            self.cache.put(plan.fingerprint, value, plan.epsilon, tenant=tenant)
+        return QueryResult(
+            tenant=tenant, status=STATUS_OK, value=value,
+            epsilon_charged=plan.epsilon, cached=False,
+            fingerprint=plan.fingerprint, request_id=request.request_id,
+        )
+
+    def _ensure_tenant(self, tenant: str) -> None:
+        if tenant in self.budget:
+            return
+        if self.default_epsilon_budget is None:
+            raise DataError(
+                f"unknown tenant {tenant!r} (no default budget configured)"
+            )
+        try:
+            self.register_tenant(
+                tenant, self.default_epsilon_budget, self.default_delta_budget
+            )
+        except DataError:
+            # Two workers raced the auto-registration; either one wins.
+            if tenant not in self.budget:
+                raise
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, plan: QueryPlan) -> float | dict:
+        """Compute the noisy answer for ``plan`` (tenant charge happens at commit)."""
+        if self.backend_latency_s:
+            time.sleep(self.backend_latency_s)
+        table = self.planner.table(plan.table)
+        rng = self._spawn_rng()
+        # The dp_* functions insist on charging an accountant — that is
+        # their contract and their tests' contract.  Here the tenant's
+        # ledger is charged by the committed reservation instead, so the
+        # execution charges a throwaway scratch accountant.
+        scratch = PrivacyAccountant(plan.epsilon + 1.0)
+        if plan.kind == "count":
+            return dp_count(table.n_rows, plan.epsilon, scratch, rng)
+        values = table.column(plan.column)
+        if plan.kind == "sum":
+            return dp_sum(values, plan.lower, plan.upper, plan.epsilon,
+                          scratch, rng)
+        if plan.kind == "mean":
+            return dp_mean(values, plan.lower, plan.upper, plan.epsilon,
+                           scratch, rng)
+        if plan.kind == "quantile":
+            return dp_quantile(values, plan.q, plan.lower, plan.upper,
+                               plan.epsilon, scratch, rng)
+        if plan.kind == "histogram":
+            return dp_histogram(values, list(plan.bins), plan.epsilon,
+                                scratch, rng)
+        raise DataError(f"unplannable kind {plan.kind!r}")  # unreachable
+
+    def _spawn_rng(self) -> np.random.Generator:
+        with self._rng_lock:
+            child = self._seed_seq.spawn(1)[0]
+        return np.random.default_rng(child)
+
+    # -- rejection / telemetry ----------------------------------------------
+
+    def _rejection(self, request, status: str, detail: str) -> QueryResult:
+        tenant = getattr(request, "tenant", None)
+        if tenant is None and isinstance(request, dict):
+            tenant = request.get("tenant")
+        request_id = getattr(request, "request_id", None)
+        if request_id is None and isinstance(request, dict):
+            request_id = request.get("request_id")
+        return QueryResult(
+            tenant=str(tenant or "<unknown>"), status=status, detail=detail,
+            request_id=request_id,
+        )
+
+    def _tick(self, telemetry) -> float | None:
+        if telemetry is None:
+            return None
+        with self._obs_lock:
+            return telemetry.clock.now()
+
+    def _record(self, telemetry, request, result: QueryResult,
+                started: float | None) -> None:
+        with self._stats_lock:
+            self._status_counts[result.status] = (
+                self._status_counts.get(result.status, 0) + 1
+            )
+        if telemetry is None:
+            return
+        kind = getattr(request, "kind", None)
+        if kind is None and isinstance(request, dict):
+            kind = request.get("kind")
+        with self._obs_lock:
+            end = telemetry.clock.now()
+            telemetry.tracer.record_span(
+                "serve.query", started, end,
+                tenant=result.tenant, kind=str(kind), status=result.status,
+                cached=result.cached, epsilon_charged=result.epsilon_charged,
+            )
+            telemetry.metrics.counter("serve.requests",
+                                      status=result.status).inc()
+            if self.cache is not None and result.ok:
+                name = "serve.cache.hits" if result.cached else "serve.cache.misses"
+                telemetry.metrics.counter(name).inc()
+            if result.duration is not None:
+                telemetry.metrics.histogram("serve.query.duration").observe(
+                    result.duration
+                )
+            if result.tenant in self.budget:
+                telemetry.metrics.gauge(
+                    "serve.budget.epsilon_remaining", tenant=result.tenant
+                ).set(self.budget.remaining(result.tenant))
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Serving counters: statuses, cache, per-tenant budgets."""
+        with self._stats_lock:
+            statuses = dict(self._status_counts)
+        tenants = {
+            tenant: {
+                "epsilon_spent": self.budget.accountant(tenant).epsilon_spent,
+                "epsilon_remaining": self.budget.remaining(tenant),
+                "ledger_entries": len(self.budget.accountant(tenant).ledger),
+            }
+            for tenant in self.budget.tenants
+        }
+        return {
+            "statuses": statuses,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "tenants": tenants,
+        }

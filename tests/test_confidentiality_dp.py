@@ -1,5 +1,7 @@
 """Unit tests for DP mechanisms, the accountant, and budgeted queries."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -152,6 +154,63 @@ def test_advanced_accountant_sqrt_growth():
         accountant.can_afford(0.5)
 
 
+def test_accountant_thread_safe_spend():
+    # 16 threads each hammering 50 spends of 0.01 against a budget of 1.0:
+    # exactly 100 may land, no matter the interleaving.
+    accountant = PrivacyAccountant(1.0)
+    successes = []
+    barrier = threading.Barrier(16)
+
+    def hammer():
+        barrier.wait()  # maximise contention
+        for _ in range(50):
+            try:
+                accountant.spend(0.01, label="hammer")
+                successes.append(1)
+            except PrivacyBudgetError:
+                pass
+
+    threads = [threading.Thread(target=hammer) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(successes) == 100
+    assert len(accountant.ledger) == 100
+    assert accountant.epsilon_spent == pytest.approx(1.0)
+    assert accountant.epsilon_spent <= accountant.epsilon_budget + 1e-9
+
+
+def test_accountant_remaining_and_can_spend_basic():
+    accountant = PrivacyAccountant(1.0)
+    assert accountant.remaining() == pytest.approx(1.0)
+    assert accountant.can_spend(1.0)
+    assert not accountant.can_spend(1.1)
+    accountant.spend(0.7)
+    assert accountant.remaining() == pytest.approx(0.3)
+    assert accountant.can_spend(0.3)
+    assert not accountant.can_spend(0.31)
+    # δ is checked too.
+    assert not accountant.can_spend(0.1, delta=1e-6)
+
+
+def test_accountant_remaining_and_can_spend_advanced():
+    accountant = AdvancedAccountant(1.0, per_query_epsilon=0.01,
+                                    delta_slack=1e-6)
+    assert accountant.remaining() == pytest.approx(1.0)
+    assert accountant.can_spend(0.01)
+    # A mismatched per-query ε answers False instead of raising...
+    assert not accountant.can_spend(0.5)
+    # ...while can_afford keeps its raising contract.
+    with pytest.raises(DataError):
+        accountant.can_afford(0.5)
+    while accountant.can_spend(0.01):
+        accountant.spend(0.01)
+    # remaining() reflects the advanced-composition effective total.
+    assert 0.0 <= accountant.remaining() < 1.0
+    assert not accountant.can_spend(0.01)
+
+
 # -- queries ----------------------------------------------------------------------
 
 def test_dp_count_accuracy_improves_with_epsilon(rng):
@@ -219,6 +278,27 @@ def test_dp_quantile_close_to_truth(rng):
     assert np.median(estimates) == pytest.approx(np.median(values), abs=5.0)
     with pytest.raises(DataError):
         dp_quantile(values, 1.5, 0.0, 100.0, 1.0, accountant, rng)
+
+
+@pytest.mark.parametrize("epsilon", [0.0, -0.5])
+def test_queries_reject_nonpositive_epsilon_uniformly(rng, epsilon):
+    # Every dp_* entry point refuses ε <= 0 with the same message, before
+    # any budget is charged or any data is touched.
+    accountant = PrivacyAccountant(1.0)
+    values = np.array([1.0, 2.0, 3.0])
+    calls = [
+        lambda: dp_count(3, epsilon, accountant, rng),
+        lambda: dp_sum(values, 0.0, 5.0, epsilon, accountant, rng),
+        lambda: dp_mean(values, 0.0, 5.0, epsilon, accountant, rng),
+        lambda: dp_quantile(values, 0.5, 0.0, 5.0, epsilon, accountant, rng),
+        lambda: dp_histogram(np.array(["a", "b"], dtype=object), ["a", "b"],
+                             epsilon, accountant, rng),
+    ]
+    for call in calls:
+        with pytest.raises(DataError, match="epsilon must be positive"):
+            call()
+    assert accountant.epsilon_spent == 0.0
+    assert len(accountant.ledger) == 0
 
 
 def test_queries_refuse_over_budget(rng):
