@@ -56,6 +56,7 @@ from repro.learn import (
     RandomForestClassifier,
     TableClassifier,
 )
+from repro.parallel import ParallelExecutor, pmap
 from repro.pipeline import Pipeline
 
 __version__ = "1.0.0"
@@ -76,6 +77,7 @@ __all__ = [
     "KNeighborsClassifier",
     "LogisticRegression",
     "MLPClassifier",
+    "ParallelExecutor",
     "Pipeline",
     "RandomForestClassifier",
     "RecidivismGenerator",
@@ -83,6 +85,7 @@ __all__ = [
     "TableClassifier",
     "TreatmentParadoxGenerator",
     "build_scorecard",
+    "pmap",
     "train_test_split",
     "__version__",
 ]

@@ -3,6 +3,15 @@
 Every headline number a pipeline reports should travel with an interval;
 these helpers make that cheap for arbitrary statistics and for model
 metrics evaluated on a test set.
+
+Both entry points draw **all** resample indices in one batched
+``rng.integers`` call — bit-identical to the historical one-draw-per-
+resample loop, since NumPy fills bounded integers from the same stream
+either way — and then evaluate the statistic over the rows.  That
+evaluation is embarrassingly parallel: pass ``n_jobs`` to fan it out
+via :mod:`repro.parallel` with results guaranteed identical for any
+``n_jobs`` and backend (randomness is fixed before the first worker
+starts, and estimates are assembled by resample index).
 """
 
 from __future__ import annotations
@@ -13,6 +22,13 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import DataError
+from repro.parallel import pmap, resolve_n_jobs
+
+#: Degenerate-resample failures a paired bootstrap may legitimately skip:
+#: a resample with a single class breaks AUC (ValueError), an empty group
+#: divides by zero, and library metrics signal bad slices with DataError.
+#: Anything else is a real bug in the metric and propagates.
+_DEGENERATE_ERRORS = (ValueError, ZeroDivisionError, DataError)
 
 
 @dataclass(frozen=True)
@@ -24,6 +40,7 @@ class IntervalEstimate:
     upper: float
     confidence: float
     n_resamples: int
+    n_skipped: int = 0
 
     @property
     def width(self) -> float:
@@ -39,11 +56,48 @@ class IntervalEstimate:
                 f"[{self.lower:.4f}, {self.upper:.4f}] @ {self.confidence:.0%}")
 
 
+class _ResampleStatistic:
+    """Picklable per-resample worker: ``statistic(values[idx])``."""
+
+    __slots__ = ("values", "statistic")
+
+    def __init__(self, values: np.ndarray, statistic: Callable):
+        self.values = values
+        self.statistic = statistic
+
+    def __call__(self, idx: np.ndarray) -> float:
+        return self.statistic(self.values[idx])
+
+
+class _ResampleMetric:
+    """Picklable paired worker; degenerate resamples become NaN."""
+
+    __slots__ = ("y_true", "y_pred", "metric")
+
+    def __init__(self, y_true: np.ndarray, y_pred: np.ndarray,
+                 metric: Callable):
+        self.y_true = y_true
+        self.y_pred = y_pred
+        self.metric = metric
+
+    def __call__(self, idx: np.ndarray) -> float:
+        try:
+            return self.metric(self.y_true[idx], self.y_pred[idx])
+        except _DEGENERATE_ERRORS:
+            return float("nan")
+
+
 def bootstrap_ci(values, statistic: Callable[[np.ndarray], float],
                  rng: np.random.Generator,
                  confidence: float = 0.95,
-                 n_resamples: int = 1000) -> IntervalEstimate:
-    """Percentile bootstrap interval for ``statistic`` of one sample."""
+                 n_resamples: int = 1000,
+                 n_jobs: int | None = None,
+                 backend: str = "thread") -> IntervalEstimate:
+    """Percentile bootstrap interval for ``statistic`` of one sample.
+
+    ``n_jobs`` parallelises the statistic evaluations (``None`` defers
+    to ``$REPRO_N_JOBS``); estimates are identical for every setting.
+    """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1 or len(values) < 2:
         raise DataError("values must be a 1-D array with at least 2 entries")
@@ -51,11 +105,16 @@ def bootstrap_ci(values, statistic: Callable[[np.ndarray], float],
         raise DataError("confidence must be in (0, 1)")
     if n_resamples < 10:
         raise DataError("need at least 10 resamples")
-    estimates = np.empty(n_resamples)
     n = len(values)
-    for index in range(n_resamples):
-        resample = values[rng.integers(0, n, size=n)]
-        estimates[index] = statistic(resample)
+    indices = rng.integers(0, n, size=(n_resamples, n))
+    worker = _ResampleStatistic(values, statistic)
+    if resolve_n_jobs(n_jobs) == 1:
+        estimates = np.array([worker(row) for row in indices])
+    else:
+        estimates = np.array(pmap(
+            worker, list(indices), n_jobs=n_jobs, backend=backend,
+            name="bootstrap",
+        ))
     alpha = 1.0 - confidence
     lower, upper = np.quantile(estimates, [alpha / 2.0, 1.0 - alpha / 2.0])
     return IntervalEstimate(
@@ -68,11 +127,19 @@ def bootstrap_paired_ci(y_true, y_pred,
                         metric: Callable[[np.ndarray, np.ndarray], float],
                         rng: np.random.Generator,
                         confidence: float = 0.95,
-                        n_resamples: int = 1000) -> IntervalEstimate:
+                        n_resamples: int = 1000,
+                        n_jobs: int | None = None,
+                        backend: str = "thread") -> IntervalEstimate:
     """Percentile bootstrap for a metric of aligned (y_true, y_pred) pairs.
 
     Rows are resampled jointly, preserving the pairing — this is how the
     FACT report attaches intervals to accuracy, AUC, or any group metric.
+
+    Resamples that are degenerate for the metric (single-class AUC and
+    friends — :data:`_DEGENERATE_ERRORS`) are skipped and *counted* in
+    the result's ``n_skipped``; any other exception from the metric is a
+    bug and propagates.  ``n_jobs`` parallelises the metric evaluations
+    with identical results for every setting.
     """
     y_true = np.asarray(y_true, dtype=np.float64)
     y_pred = np.asarray(y_pred, dtype=np.float64)
@@ -80,20 +147,24 @@ def bootstrap_paired_ci(y_true, y_pred,
         raise DataError("y_true and y_pred must be aligned 1-D arrays")
     if len(y_true) < 2:
         raise DataError("need at least 2 pairs")
-    estimates = []
     n = len(y_true)
-    for _ in range(n_resamples):
-        idx = rng.integers(0, n, size=n)
-        try:
-            estimates.append(metric(y_true[idx], y_pred[idx]))
-        except Exception:
-            continue  # e.g. a resample with one class; skip, keep validity via count
-    if len(estimates) < max(10, n_resamples // 2):
+    indices = rng.integers(0, n, size=(n_resamples, n))
+    worker = _ResampleMetric(y_true, y_pred, metric)
+    if resolve_n_jobs(n_jobs) == 1:
+        estimates = np.array([worker(row) for row in indices])
+    else:
+        estimates = np.array(pmap(
+            worker, list(indices), n_jobs=n_jobs, backend=backend,
+            name="bootstrap",
+        ))
+    valid = estimates[~np.isnan(estimates)]
+    n_skipped = n_resamples - len(valid)
+    if len(valid) < max(10, n_resamples // 2):
         raise DataError("too many degenerate resamples for a stable interval")
-    estimates_arr = np.asarray(estimates)
     alpha = 1.0 - confidence
-    lower, upper = np.quantile(estimates_arr, [alpha / 2.0, 1.0 - alpha / 2.0])
+    lower, upper = np.quantile(valid, [alpha / 2.0, 1.0 - alpha / 2.0])
     return IntervalEstimate(
         estimate=float(metric(y_true, y_pred)), lower=float(lower),
-        upper=float(upper), confidence=confidence, n_resamples=len(estimates),
+        upper=float(upper), confidence=confidence, n_resamples=len(valid),
+        n_skipped=n_skipped,
     )

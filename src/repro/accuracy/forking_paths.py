@@ -20,6 +20,7 @@ import numpy as np
 from repro.accuracy.hypothesis import correlation_test
 from repro.accuracy.multiple_testing import PROCEDURES, correct
 from repro.exceptions import DataError
+from repro.parallel import pmap, resolve_n_jobs
 
 # A nod to the paper's list; names cycle when p exceeds the list.
 PREDICTOR_THEMES = (
@@ -64,13 +65,33 @@ def generate_noise_study(n_rows: int, n_predictors: int,
     return response, predictors, names
 
 
+class _PredictorTestTask:
+    """Picklable worker: raw p-value of one predictor column."""
+
+    __slots__ = ("predictors", "response")
+
+    def __init__(self, predictors: np.ndarray, response: np.ndarray):
+        self.predictors = predictors
+        self.response = response
+
+    def __call__(self, index: int) -> float:
+        return correlation_test(
+            self.predictors[:, index], self.response
+        ).p_value
+
+
 def hunt_spurious_predictors(response, predictors,
                              names: list[str] | None = None,
-                             alpha: float = 0.05) -> SpuriousScanResult:
+                             alpha: float = 0.05,
+                             n_jobs: int | None = None,
+                             backend: str = "thread") -> SpuriousScanResult:
     """Test every predictor against the response; correct the family.
 
     Returns per-procedure discovery counts plus the most "significant"
     predictors by raw p-value (the ones a careless analyst would report).
+    The per-predictor tests are independent, so ``n_jobs`` (``None``
+    defers to ``$REPRO_N_JOBS``) fans them out with p-values assembled
+    by column index — identical for every setting.
     """
     response = np.asarray(response, dtype=np.float64)
     predictors = np.asarray(predictors, dtype=np.float64)
@@ -82,10 +103,14 @@ def hunt_spurious_predictors(response, predictors,
     if len(names) != n_predictors:
         raise DataError("names must match the number of predictors")
 
-    p_values = np.array([
-        correlation_test(predictors[:, index], response).p_value
-        for index in range(n_predictors)
-    ])
+    worker = _PredictorTestTask(predictors, response)
+    if resolve_n_jobs(n_jobs) == 1:
+        p_values = np.array([worker(index) for index in range(n_predictors)])
+    else:
+        p_values = np.array(pmap(
+            worker, range(n_predictors), n_jobs=n_jobs, backend=backend,
+            name="spurious_scan",
+        ))
     discoveries = {
         procedure: correct(p_values, procedure, alpha).n_rejected
         for procedure in PROCEDURES

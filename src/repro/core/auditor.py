@@ -54,16 +54,27 @@ class FACTAuditor:
         Resamples behind each accuracy interval.
     top_features:
         How many importance-ranked drivers the report lists.
+    n_jobs:
+        Fan-out for the audit's resampling-heavy internals (the
+        bootstrap intervals and permutation importances) via
+        :mod:`repro.parallel`; ``None`` defers to ``$REPRO_N_JOBS``.
+        The report is bit-identical for every setting.
+    backend:
+        ``"thread"`` (default) or ``"process"`` for the fan-out.
     """
 
     def __init__(self, conformal_alpha: float = 0.1,
                  surrogate_depth: int = 4,
                  n_bootstrap: int = 500,
-                 top_features: int = 5):
+                 top_features: int = 5,
+                 n_jobs: int | None = None,
+                 backend: str = "thread"):
         self.conformal_alpha = conformal_alpha
         self.surrogate_depth = surrogate_depth
         self.n_bootstrap = n_bootstrap
         self.top_features = top_features
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def audit(self, model: TableClassifier, test: Table,
               rng: np.random.Generator,
@@ -177,9 +188,12 @@ class FACTAuditor:
         acc_ci = bootstrap_paired_ci(
             labels, decisions, accuracy_metric, rng,
             n_resamples=self.n_bootstrap,
+            n_jobs=self.n_jobs, backend=self.backend,
         )
         auc_ci = bootstrap_paired_ci(
-            labels, probabilities, roc_auc, rng, n_resamples=self.n_bootstrap
+            labels, probabilities, roc_auc, rng,
+            n_resamples=self.n_bootstrap,
+            n_jobs=self.n_jobs, backend=self.backend,
         )
         coverage = set_size = None
         by_group: dict[object, float] = {}
@@ -253,6 +267,7 @@ class FACTAuditor:
         importance = permutation_importance(
             model.estimator, X, labels, rng, n_repeats=3,
             feature_names=model.feature_names,
+            n_jobs=self.n_jobs, backend=self.backend,
         )
         section = TransparencySection(
             model_type=type(model.estimator).__name__,

@@ -18,6 +18,7 @@ from repro.data.split import k_fold_indices
 from repro.exceptions import DataError
 from repro.learn import metrics as metrics_module
 from repro.learn.base import Classifier
+from repro.parallel import pmap, resolve_n_jobs
 
 _METRICS = {
     "accuracy": lambda y, p: metrics_module.accuracy(y, (p >= 0.5).astype(float)),
@@ -46,21 +47,55 @@ class CVResult:
         return float(np.std(self.scores))
 
 
+class _FoldScoreTask:
+    """Picklable worker: fit a clone on one fold and score the held-out."""
+
+    __slots__ = ("model", "X", "y", "metric")
+
+    def __init__(self, model: Classifier, X: np.ndarray, y: np.ndarray,
+                 metric: str):
+        self.model = model
+        self.X = X
+        self.y = y
+        self.metric = metric
+
+    def __call__(self, fold: tuple[np.ndarray, np.ndarray]) -> float:
+        train_idx, test_idx = fold
+        fold_model = self.model.clone()
+        fold_model.fit(self.X[train_idx], self.y[train_idx])
+        probabilities = fold_model.predict_proba(self.X[test_idx])
+        return _METRICS[self.metric](self.y[test_idx], probabilities)
+
+
 def cross_val_score(model: Classifier, X, y, n_folds: int,
-                    rng: np.random.Generator,
-                    metric: str = "accuracy") -> CVResult:
-    """K-fold cross-validation of a classifier on a design matrix."""
+                    rng: np.random.Generator | None = None,
+                    metric: str = "accuracy",
+                    n_jobs: int | None = None,
+                    backend: str = "thread",
+                    folds: list[tuple[np.ndarray, np.ndarray]] | None = None,
+                    ) -> CVResult:
+    """K-fold cross-validation of a classifier on a design matrix.
+
+    ``folds`` accepts precomputed ``(train_idx, test_idx)`` pairs so
+    several candidates can share one split (see :func:`grid_search`);
+    otherwise the split is drawn from ``rng``.  ``n_jobs`` fits the
+    folds in parallel (``None`` defers to ``$REPRO_N_JOBS``) with
+    scores assembled in fold order — identical for every setting.
+    """
     if metric not in _METRICS:
         raise DataError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
-    scorer = _METRICS[metric]
-    scores = []
-    for train_idx, test_idx in k_fold_indices(len(y), n_folds, rng):
-        fold_model = model.clone()
-        fold_model.fit(X[train_idx], y[train_idx])
-        probabilities = fold_model.predict_proba(X[test_idx])
-        scores.append(scorer(y[test_idx], probabilities))
+    if folds is None:
+        if rng is None:
+            raise DataError("cross_val_score needs an rng (or explicit folds)")
+        folds = k_fold_indices(len(y), n_folds, rng)
+    worker = _FoldScoreTask(model, X, y, metric)
+    if resolve_n_jobs(n_jobs) == 1:
+        scores = [worker(fold) for fold in folds]
+    else:
+        scores = pmap(worker, folds, n_jobs=n_jobs, backend=backend,
+                      chunk_size=1, name="cross_val")
     return CVResult(np.asarray(scores), metric)
 
 
@@ -83,28 +118,59 @@ class GridSearchResult:
         return len(self.trials)
 
 
+class _CandidateTask:
+    """Picklable worker: cross-validate one grid candidate on shared folds."""
+
+    __slots__ = ("model_factory", "X", "y", "n_folds", "metric", "folds")
+
+    def __init__(self, model_factory, X, y, n_folds: int, metric: str,
+                 folds: list[tuple[np.ndarray, np.ndarray]]):
+        self.model_factory = model_factory
+        self.X = X
+        self.y = y
+        self.n_folds = n_folds
+        self.metric = metric
+        self.folds = folds
+
+    def __call__(self, params: dict[str, object]) -> CVResult:
+        return cross_val_score(
+            self.model_factory(**params), self.X, self.y, self.n_folds,
+            metric=self.metric, folds=self.folds,
+        )
+
+
 def grid_search(model_factory, grid: dict[str, list], X, y, n_folds: int,
                 rng: np.random.Generator,
-                metric: str = "accuracy") -> GridSearchResult:
+                metric: str = "accuracy",
+                n_jobs: int | None = None,
+                backend: str = "thread") -> GridSearchResult:
     """Exhaustive search over a parameter grid with k-fold scoring.
 
     ``model_factory`` is called with each parameter combination as keyword
     arguments and must return an unfitted classifier.
+
+    The fold split is drawn from ``rng`` **once** and shared by every
+    candidate — an apples-to-apples comparison (per-candidate splits
+    add split noise to the selection) and the reason the search is
+    deterministic however wide it fans out: with the split fixed up
+    front, candidate evaluation is pure computation, and ``n_jobs``
+    (``None`` defers to ``$REPRO_N_JOBS``) changes wall-clock only.
     """
     if not grid:
         raise DataError("grid must contain at least one parameter")
     names = list(grid)
-    trials: list[tuple[dict[str, object], CVResult]] = []
-    seed_sequence = rng.bit_generator.seed_seq.spawn(
-        int(np.prod([len(grid[name]) for name in names]))
-    )
-    for combo_index, combo in enumerate(itertools.product(*(grid[name] for name in names))):
-        params = dict(zip(names, combo))
-        fold_rng = np.random.default_rng(seed_sequence[combo_index])
-        result = cross_val_score(
-            model_factory(**params), X, y, n_folds, fold_rng, metric
-        )
-        trials.append((params, result))
+    folds = k_fold_indices(len(y), n_folds, rng)
+    candidates = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
+    worker = _CandidateTask(model_factory, X, y, n_folds, metric, folds)
+    if resolve_n_jobs(n_jobs) == 1:
+        results = [worker(params) for params in candidates]
+    else:
+        results = pmap(worker, candidates, n_jobs=n_jobs, backend=backend,
+                       chunk_size=1, name="grid_search")
+    trials = list(zip(candidates, results))
     higher = _HIGHER_IS_BETTER[metric]
     best_params, best_result = (
         max(trials, key=lambda item: item[1].mean) if higher

@@ -1,0 +1,40 @@
+"""Per-task RNG spawning (the reproducibility half of going parallel).
+
+A parallel resampling loop must not let the *scheduler* decide which
+random numbers a task sees: if workers shared one generator, results
+would depend on thread interleaving and ``n_jobs``.  The fix is the
+NumPy-sanctioned one — ``SeedSequence.spawn`` — which derives one
+independent, collision-resistant child stream **per task** from the
+caller's generator.  Spawning is itself deterministic and happens on
+the coordinator, so the mapping task → stream depends only on the
+task's index, never on which worker runs it or how many exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seed sequences of ``rng``'s seed sequence.
+
+    The spawn advances the parent's spawn counter, so successive calls
+    yield fresh, non-overlapping children — call once per fan-out and
+    hand child ``i`` to task ``i``.
+    """
+    if n < 0:
+        raise DataError("cannot spawn a negative number of seeds")
+    seed_seq = rng.bit_generator.seed_seq
+    if seed_seq is None:
+        raise DataError(
+            "rng has no seed sequence to spawn from; construct it with "
+            "np.random.default_rng(seed)"
+        )
+    return list(seed_seq.spawn(n))
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` independent child generators of ``rng``, one per task."""
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, n)]

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.learn.base import Classifier
+from repro.parallel import pmap, resolve_n_jobs
 
 
 @dataclass(frozen=True)
@@ -89,8 +90,18 @@ class ShapleyExplainer:
         return float(self.model.predict_proba(synthetic).mean())
 
     def explain(self, x, rng: np.random.Generator | None = None,
-                n_permutations: int = 100) -> ShapleyExplanation:
-        """Shapley values of one point (exact or sampled by width)."""
+                n_permutations: int = 100,
+                n_jobs: int | None = None,
+                backend: str = "thread") -> ShapleyExplanation:
+        """Shapley values of one point (exact or sampled by width).
+
+        ``n_jobs`` fans the sampled permutations out via
+        :mod:`repro.parallel` (``None`` defers to ``$REPRO_N_JOBS``);
+        permutation orders are pre-drawn from ``rng`` and contributions
+        accumulated in permutation order, so the values are bit-identical
+        for every ``n_jobs`` and backend.  The exact path stays serial —
+        its memoised coalition cache is worth more than parallelism.
+        """
         x = np.asarray(x, dtype=np.float64).ravel()
         d = self._background.shape[1]
         if len(x) != d:
@@ -101,7 +112,7 @@ class ShapleyExplainer:
         else:
             if rng is None:
                 raise DataError("sampled Shapley needs an rng")
-            values = self._sampled(x, rng, n_permutations)
+            values = self._sampled(x, rng, n_permutations, n_jobs, backend)
             method = f"sampled({n_permutations})"
         base = self._coalition_value(x, ())
         prediction = self._coalition_value(x, tuple(range(d)))
@@ -136,17 +147,53 @@ class ShapleyExplainer:
                     )
         return shapley
 
-    def _sampled(self, x: np.ndarray, rng: np.random.Generator,
-                 n_permutations: int) -> np.ndarray:
+    def _permutation_contribution(self, x: np.ndarray,
+                                  order: np.ndarray) -> np.ndarray:
+        """One permutation's marginal-contribution vector (deterministic)."""
         d = self._background.shape[1]
+        contribution = np.zeros(d)
+        coalition: list[int] = []
+        previous = self._coalition_value(x, ())
+        for feature in order:
+            coalition.append(int(feature))
+            current = self._coalition_value(x, tuple(sorted(coalition)))
+            contribution[feature] = current - previous
+            previous = current
+        return contribution
+
+    def _sampled(self, x: np.ndarray, rng: np.random.Generator,
+                 n_permutations: int, n_jobs: int | None,
+                 backend: str) -> np.ndarray:
+        d = self._background.shape[1]
+        # All randomness is drawn here, before any fan-out, in the same
+        # order the serial loop always drew it.
+        orders = [rng.permutation(d) for _ in range(n_permutations)]
+        if resolve_n_jobs(n_jobs) == 1:
+            contributions = [
+                self._permutation_contribution(x, order) for order in orders
+            ]
+        else:
+            contributions = pmap(
+                _ShapleyPermutationTask(self, x), orders,
+                n_jobs=n_jobs, backend=backend, name="shapley",
+            )
+        # In-order accumulation: each feature receives one addend per
+        # permutation, in permutation order — the same float operations
+        # the serial loop performs, hence bit-identical results.
         shapley = np.zeros(d)
-        for _ in range(n_permutations):
-            order = rng.permutation(d)
-            coalition: list[int] = []
-            previous = self._coalition_value(x, ())
-            for feature in order:
-                coalition.append(int(feature))
-                current = self._coalition_value(x, tuple(sorted(coalition)))
-                shapley[feature] += current - previous
-                previous = current
+        for contribution in contributions:
+            shapley += contribution
         return shapley / n_permutations
+
+
+class _ShapleyPermutationTask:
+    """Picklable worker evaluating one permutation's contributions."""
+
+    __slots__ = ("explainer", "x")
+
+    def __init__(self, explainer: ShapleyExplainer, x: np.ndarray):
+        self.explainer = explainer
+        self.x = x
+
+    def __call__(self, order: np.ndarray) -> np.ndarray:
+        return self.explainer._permutation_contribution(self.x, order)

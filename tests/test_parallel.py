@@ -1,0 +1,301 @@
+"""The parallel engine: determinism across n_jobs/backends, error context.
+
+The contract under test is the one :mod:`repro.parallel` advertises:
+``n_jobs`` is a wall-clock knob only — every parallelised API must
+return bit-identical results for any worker count and backend — and a
+worker crash must surface on the coordinator carrying the index and
+repr of the task that died.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.accuracy.bootstrap import bootstrap_ci, bootstrap_paired_ci
+from repro.accuracy.forking_paths import hunt_spurious_predictors
+from repro.exceptions import DataError
+from repro.learn.linear import LogisticRegression
+from repro.learn.metrics import roc_auc
+from repro.learn.model_selection import cross_val_score, grid_search
+from repro.parallel import (
+    BACKENDS,
+    ParallelExecutor,
+    ParallelTaskError,
+    pmap,
+    resolve_n_jobs,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.transparency.importance import permutation_importance
+from repro.transparency.shapley import ShapleyExplainer
+
+
+def _square(task):
+    return task * task
+
+
+def _explode_on_13(task):
+    if task == 13:
+        raise ValueError("unlucky task")
+    return task
+
+
+def _make_logreg(l2):
+    return LogisticRegression(l2=l2)
+
+
+@pytest.fixture
+def fitted_model(rng):
+    X = rng.standard_normal((150, 12))
+    w = rng.standard_normal(12)
+    y = (X @ w + 0.5 * rng.standard_normal(150) > 0).astype(np.float64)
+    return LogisticRegression().fit(X, y), X, y
+
+
+# -- executor mechanics -----------------------------------------------------
+
+def test_pmap_preserves_task_order_on_every_backend():
+    tasks = list(range(97))
+    expected = [t * t for t in tasks]
+    for backend in BACKENDS:
+        for n_jobs in (1, 2, 4):
+            assert pmap(_square, tasks, n_jobs=n_jobs, backend=backend,
+                        chunk_size=5) == expected
+
+
+def test_pmap_empty_and_single_task():
+    assert pmap(_square, [], n_jobs=4) == []
+    assert pmap(_square, [7], n_jobs=4) == [49]
+
+
+def test_executor_rejects_bad_configuration():
+    with pytest.raises(DataError):
+        ParallelExecutor(backend="gpu")
+    with pytest.raises(DataError):
+        ParallelExecutor(chunk_size=0)
+    with pytest.raises(DataError):
+        ParallelExecutor(retries=-1)
+    with pytest.raises(DataError):
+        ParallelExecutor(n_jobs=0)
+
+
+def test_resolve_n_jobs_env_and_all_cores(monkeypatch):
+    monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+    assert resolve_n_jobs(None) == 1
+    monkeypatch.setenv("REPRO_N_JOBS", "3")
+    assert resolve_n_jobs(None) == 3
+    assert resolve_n_jobs(2) == 2  # explicit argument wins over the env
+    monkeypatch.setenv("REPRO_N_JOBS", "many")
+    with pytest.raises(DataError):
+        resolve_n_jobs(None)
+    assert resolve_n_jobs(-1) >= 1
+
+
+def test_bounded_inflight_still_covers_all_chunks():
+    tasks = list(range(200))
+    executor = ParallelExecutor(n_jobs=2, chunk_size=3, max_inflight=2)
+    assert executor.map(_square, tasks) == [t * t for t in tasks]
+
+
+def test_telemetry_records_chunks_tasks_and_spans():
+    telemetry = obs.configure()
+    try:
+        pmap(_square, list(range(40)), n_jobs=2, chunk_size=10,
+             name="testmap")
+        assert telemetry.metrics.counter("testmap.tasks").value == 40.0
+        assert telemetry.metrics.counter("testmap.chunks").value == 4.0
+        chunk_spans = [s for s in telemetry.tracer.spans
+                       if s.name == "testmap.chunk"]
+        assert len(chunk_spans) == 4
+        assert all(s.finished for s in chunk_spans)
+        assert sorted(s.attributes["chunk"] for s in chunk_spans) == [0, 1, 2, 3]
+    finally:
+        obs.reset()
+
+
+# -- worker crashes ---------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_worker_crash_surfaces_task_context(backend):
+    with pytest.raises(ParallelTaskError) as excinfo:
+        pmap(_explode_on_13, list(range(30)), n_jobs=2, backend=backend,
+             chunk_size=4)
+    error = excinfo.value
+    assert error.task_index == 13
+    assert error.task_repr == "13"
+    assert error.backend == backend
+    assert "ValueError" in str(error)
+    assert "unlucky task" in error.worker_traceback
+
+
+def test_worker_crash_chains_original_exception():
+    with pytest.raises(ParallelTaskError) as excinfo:
+        pmap(_explode_on_13, list(range(30)), n_jobs=2, backend="thread")
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_retries_recover_nothing_for_deterministic_failures():
+    telemetry = obs.configure()
+    try:
+        executor = ParallelExecutor(n_jobs=2, retries=2, chunk_size=4,
+                                    name="retrying")
+        with pytest.raises(ParallelTaskError):
+            executor.map(_explode_on_13, list(range(30)))
+        assert telemetry.metrics.counter("retrying.retries").value == 2.0
+        assert telemetry.metrics.counter("retrying.errors").value == 1.0
+    finally:
+        obs.reset()
+
+
+# -- RNG spawning -----------------------------------------------------------
+
+def test_spawn_rngs_deterministic_and_independent():
+    first = [r.integers(0, 1 << 30) for r in
+             spawn_rngs(np.random.default_rng(5), 4)]
+    second = [r.integers(0, 1 << 30) for r in
+              spawn_rngs(np.random.default_rng(5), 4)]
+    assert first == second
+    assert len(set(first)) == 4  # astronomically unlikely to collide
+
+
+def test_spawn_seeds_validation(rng):
+    with pytest.raises(DataError):
+        spawn_seeds(rng, -1)
+    assert spawn_seeds(rng, 0) == []
+
+
+# -- determinism suite: identical outputs for n_jobs in {1, 2, 4} -----------
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_bootstrap_ci_identical_across_n_jobs(backend):
+    values = np.random.default_rng(1).normal(5.0, 2.0, 250)
+    baseline = bootstrap_ci(values, np.mean, np.random.default_rng(7),
+                            n_resamples=120, n_jobs=1)
+    for n_jobs in (2, 4):
+        result = bootstrap_ci(values, np.mean, np.random.default_rng(7),
+                              n_resamples=120, n_jobs=n_jobs,
+                              backend=backend)
+        assert result == baseline  # frozen dataclass: field-exact equality
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_shapley_identical_across_n_jobs(backend, fitted_model):
+    model, X, _ = fitted_model
+    explainer = ShapleyExplainer(model, X[:25], exact_limit=4)
+    baseline = explainer.explain(X[0], np.random.default_rng(11),
+                                 n_permutations=20, n_jobs=1)
+    for n_jobs in (2, 4):
+        result = explainer.explain(X[0], np.random.default_rng(11),
+                                   n_permutations=20, n_jobs=n_jobs,
+                                   backend=backend)
+        assert np.array_equal(result.values, baseline.values)
+        assert result.base_value == baseline.base_value
+        assert result.prediction == baseline.prediction
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_grid_search_identical_across_n_jobs(backend, fitted_model):
+    _, X, y = fitted_model
+    grid = {"l2": [0.01, 1.0, 100.0]}
+    baseline = grid_search(_make_logreg, grid, X, y, 3,
+                           np.random.default_rng(13), n_jobs=1)
+    for n_jobs in (2, 4):
+        result = grid_search(_make_logreg, grid, X, y, 3,
+                             np.random.default_rng(13), n_jobs=n_jobs,
+                             backend=backend)
+        assert result.best_params == baseline.best_params
+        assert result.best_score == baseline.best_score
+        for (params_a, cv_a), (params_b, cv_b) in zip(baseline.trials,
+                                                      result.trials):
+            assert params_a == params_b
+            assert np.array_equal(cv_a.scores, cv_b.scores)
+
+
+def test_permutation_importance_identical_across_n_jobs(fitted_model):
+    model, X, y = fitted_model
+    baseline = permutation_importance(model, X, y,
+                                      np.random.default_rng(17),
+                                      n_repeats=3, n_jobs=1)
+    result = permutation_importance(model, X, y, np.random.default_rng(17),
+                                    n_repeats=3, n_jobs=4)
+    assert np.array_equal(result.importances, baseline.importances)
+    assert np.array_equal(result.stds, baseline.stds)
+
+
+def test_spurious_hunt_identical_across_n_jobs():
+    g = np.random.default_rng(19)
+    response = (g.random(120) < 0.1).astype(np.float64)
+    predictors = g.standard_normal((120, 30))
+    baseline = hunt_spurious_predictors(response, predictors, n_jobs=1)
+    result = hunt_spurious_predictors(response, predictors, n_jobs=4)
+    assert np.array_equal(result.p_values, baseline.p_values)
+    assert result.discoveries == baseline.discoveries
+
+
+def test_cross_val_score_identical_with_explicit_folds(fitted_model):
+    _, X, y = fitted_model
+    baseline = cross_val_score(LogisticRegression(), X, y, 4,
+                               np.random.default_rng(23), n_jobs=1)
+    result = cross_val_score(LogisticRegression(), X, y, 4,
+                             np.random.default_rng(23), n_jobs=4)
+    assert np.array_equal(result.scores, baseline.scores)
+    with pytest.raises(DataError):
+        cross_val_score(LogisticRegression(), X, y, 4)  # no rng, no folds
+
+
+def test_grid_search_candidates_share_one_fold_split(fitted_model):
+    # Duplicate grid values must produce duplicate CV results — only
+    # possible when every candidate is scored on the same split.
+    _, X, y = fitted_model
+    result = grid_search(_make_logreg, {"l2": [1.0, 1.0]}, X, y, 3,
+                         np.random.default_rng(29))
+    (_, first), (_, second) = result.trials
+    assert np.array_equal(first.scores, second.scores)
+
+
+# -- bootstrap_paired_ci exception policy -----------------------------------
+
+def _auc_metric(y_true, y_pred):
+    return roc_auc(y_true, y_pred)
+
+
+def test_paired_ci_counts_degenerate_skips():
+    # A tiny, heavily imbalanced sample yields some single-class
+    # resamples; AUC raises on those and they must be counted, not
+    # silently vanish.
+    g = np.random.default_rng(31)
+    y_true = np.array([1.0] + [0.0] * 11)
+    y_pred = g.random(12)
+    interval = bootstrap_paired_ci(y_true, y_pred, _auc_metric,
+                                   np.random.default_rng(37),
+                                   n_resamples=200)
+    assert interval.n_skipped > 0
+    assert interval.n_resamples + interval.n_skipped == 200
+
+
+def _buggy_metric(y_true, y_pred):
+    raise RuntimeError("metric bug, not a degenerate resample")
+
+
+def test_paired_ci_reraises_unexpected_metric_errors(rng):
+    # Serially the metric's own exception propagates raw; in parallel it
+    # arrives wrapped with task context, chaining the original.
+    with pytest.raises(RuntimeError):
+        bootstrap_paired_ci(np.arange(20.0), np.arange(20.0), _buggy_metric,
+                            rng, n_resamples=50, n_jobs=1)
+    with pytest.raises(ParallelTaskError) as excinfo:
+        bootstrap_paired_ci(np.arange(20.0), np.arange(20.0), _buggy_metric,
+                            rng, n_resamples=50, n_jobs=2)
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+def test_paired_ci_parallel_matches_serial_including_skips():
+    g = np.random.default_rng(41)
+    y_true = (g.random(40) < 0.3).astype(np.float64)
+    y_pred = g.random(40)
+    serial = bootstrap_paired_ci(y_true, y_pred, _auc_metric,
+                                 np.random.default_rng(43), n_resamples=150)
+    parallel = bootstrap_paired_ci(y_true, y_pred, _auc_metric,
+                                   np.random.default_rng(43),
+                                   n_resamples=150, n_jobs=4)
+    assert parallel == serial
