@@ -58,12 +58,15 @@ from repro.learn import (
 )
 from repro.parallel import ParallelExecutor, pmap
 from repro.pipeline import Pipeline
+from repro.store import Artifact, ArtifactStore, fingerprint
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdCampaignGenerator",
     "AdmissionsGenerator",
+    "Artifact",
+    "ArtifactStore",
     "CensusIncomeGenerator",
     "CreditScoringGenerator",
     "DecisionTreeClassifier",
@@ -85,6 +88,7 @@ __all__ = [
     "TableClassifier",
     "TreatmentParadoxGenerator",
     "build_scorecard",
+    "fingerprint",
     "pmap",
     "train_test_split",
     "__version__",

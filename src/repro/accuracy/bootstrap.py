@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.parallel import pmap, resolve_n_jobs
+from repro.store import array_fingerprint, code_fingerprint, resolve_store
 
 #: Degenerate-resample failures a paired bootstrap may legitimately skip:
 #: a resample with a single class breaks AUC (ValueError), an empty group
@@ -92,11 +93,17 @@ def bootstrap_ci(values, statistic: Callable[[np.ndarray], float],
                  confidence: float = 0.95,
                  n_resamples: int = 1000,
                  n_jobs: int | None = None,
-                 backend: str = "thread") -> IntervalEstimate:
+                 backend: str = "thread",
+                 store=None) -> IntervalEstimate:
     """Percentile bootstrap interval for ``statistic`` of one sample.
 
     ``n_jobs`` parallelises the statistic evaluations (``None`` defers
     to ``$REPRO_N_JOBS``); estimates are identical for every setting.
+    ``store`` memoises the interval in an
+    :class:`~repro.store.ArtifactStore` keyed on the data content, the
+    statistic's code, the parameters, and the rng state (``None``
+    defers to ``$REPRO_STORE``); ``n_jobs``/``backend`` stay *out* of
+    the key because results are identical across them.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1 or len(values) < 2:
@@ -105,21 +112,40 @@ def bootstrap_ci(values, statistic: Callable[[np.ndarray], float],
         raise DataError("confidence must be in (0, 1)")
     if n_resamples < 10:
         raise DataError("need at least 10 resamples")
-    n = len(values)
-    indices = rng.integers(0, n, size=(n_resamples, n))
-    worker = _ResampleStatistic(values, statistic)
-    if resolve_n_jobs(n_jobs) == 1:
-        estimates = np.array([worker(row) for row in indices])
-    else:
-        estimates = np.array(pmap(
-            worker, list(indices), n_jobs=n_jobs, backend=backend,
-            name="bootstrap",
-        ))
-    alpha = 1.0 - confidence
-    lower, upper = np.quantile(estimates, [alpha / 2.0, 1.0 - alpha / 2.0])
-    return IntervalEstimate(
-        estimate=float(statistic(values)), lower=float(lower),
-        upper=float(upper), confidence=confidence, n_resamples=n_resamples,
+
+    def compute() -> IntervalEstimate:
+        n = len(values)
+        indices = rng.integers(0, n, size=(n_resamples, n))
+        worker = _ResampleStatistic(values, statistic)
+        if resolve_n_jobs(n_jobs) == 1:
+            estimates = np.array([worker(row) for row in indices])
+        else:
+            estimates = np.array(pmap(
+                worker, list(indices), n_jobs=n_jobs, backend=backend,
+                name="bootstrap",
+            ))
+        alpha = 1.0 - confidence
+        lower, upper = np.quantile(
+            estimates, [alpha / 2.0, 1.0 - alpha / 2.0]
+        )
+        return IntervalEstimate(
+            estimate=float(statistic(values)), lower=float(lower),
+            upper=float(upper), confidence=confidence,
+            n_resamples=n_resamples,
+        )
+
+    store = resolve_store(store)
+    if store is None:
+        return compute()
+    return store.memoize(
+        {
+            "stage": "bootstrap_ci",
+            "values": array_fingerprint(values),
+            "statistic": code_fingerprint(statistic),
+            "confidence": confidence,
+            "n_resamples": n_resamples,
+        },
+        compute, rng=rng,
     )
 
 
@@ -129,7 +155,8 @@ def bootstrap_paired_ci(y_true, y_pred,
                         confidence: float = 0.95,
                         n_resamples: int = 1000,
                         n_jobs: int | None = None,
-                        backend: str = "thread") -> IntervalEstimate:
+                        backend: str = "thread",
+                        store=None) -> IntervalEstimate:
     """Percentile bootstrap for a metric of aligned (y_true, y_pred) pairs.
 
     Rows are resampled jointly, preserving the pairing — this is how the
@@ -139,7 +166,10 @@ def bootstrap_paired_ci(y_true, y_pred,
     friends — :data:`_DEGENERATE_ERRORS`) are skipped and *counted* in
     the result's ``n_skipped``; any other exception from the metric is a
     bug and propagates.  ``n_jobs`` parallelises the metric evaluations
-    with identical results for every setting.
+    with identical results for every setting.  ``store`` memoises the
+    interval keyed on data content + metric code + parameters + rng
+    state (``None`` defers to ``$REPRO_STORE``); ``n_jobs``/``backend``
+    stay out of the key because results are identical across them.
     """
     y_true = np.asarray(y_true, dtype=np.float64)
     y_pred = np.asarray(y_pred, dtype=np.float64)
@@ -147,24 +177,43 @@ def bootstrap_paired_ci(y_true, y_pred,
         raise DataError("y_true and y_pred must be aligned 1-D arrays")
     if len(y_true) < 2:
         raise DataError("need at least 2 pairs")
-    n = len(y_true)
-    indices = rng.integers(0, n, size=(n_resamples, n))
-    worker = _ResampleMetric(y_true, y_pred, metric)
-    if resolve_n_jobs(n_jobs) == 1:
-        estimates = np.array([worker(row) for row in indices])
-    else:
-        estimates = np.array(pmap(
-            worker, list(indices), n_jobs=n_jobs, backend=backend,
-            name="bootstrap",
-        ))
-    valid = estimates[~np.isnan(estimates)]
-    n_skipped = n_resamples - len(valid)
-    if len(valid) < max(10, n_resamples // 2):
-        raise DataError("too many degenerate resamples for a stable interval")
-    alpha = 1.0 - confidence
-    lower, upper = np.quantile(valid, [alpha / 2.0, 1.0 - alpha / 2.0])
-    return IntervalEstimate(
-        estimate=float(metric(y_true, y_pred)), lower=float(lower),
-        upper=float(upper), confidence=confidence, n_resamples=len(valid),
-        n_skipped=n_skipped,
+
+    def compute() -> IntervalEstimate:
+        n = len(y_true)
+        indices = rng.integers(0, n, size=(n_resamples, n))
+        worker = _ResampleMetric(y_true, y_pred, metric)
+        if resolve_n_jobs(n_jobs) == 1:
+            estimates = np.array([worker(row) for row in indices])
+        else:
+            estimates = np.array(pmap(
+                worker, list(indices), n_jobs=n_jobs, backend=backend,
+                name="bootstrap",
+            ))
+        valid = estimates[~np.isnan(estimates)]
+        n_skipped = n_resamples - len(valid)
+        if len(valid) < max(10, n_resamples // 2):
+            raise DataError(
+                "too many degenerate resamples for a stable interval"
+            )
+        alpha = 1.0 - confidence
+        lower, upper = np.quantile(valid, [alpha / 2.0, 1.0 - alpha / 2.0])
+        return IntervalEstimate(
+            estimate=float(metric(y_true, y_pred)), lower=float(lower),
+            upper=float(upper), confidence=confidence,
+            n_resamples=len(valid), n_skipped=n_skipped,
+        )
+
+    store = resolve_store(store)
+    if store is None:
+        return compute()
+    return store.memoize(
+        {
+            "stage": "bootstrap_paired_ci",
+            "y_true": array_fingerprint(y_true),
+            "y_pred": array_fingerprint(y_pred),
+            "metric": code_fingerprint(metric),
+            "confidence": confidence,
+            "n_resamples": n_resamples,
+        },
+        compute, rng=rng,
     )

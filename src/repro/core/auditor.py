@@ -36,6 +36,12 @@ from repro.learn.metrics import accuracy as accuracy_metric
 from repro.learn.metrics import roc_auc
 from repro.learn.table_model import TableClassifier
 from repro.pipeline.pipeline import PipelineResult
+from repro.store import (
+    code_fingerprint,
+    object_fingerprint,
+    resolve_store,
+    table_fingerprint,
+)
 from repro.transparency.importance import permutation_importance
 from repro.transparency.surrogate import fit_surrogate
 
@@ -61,6 +67,16 @@ class FACTAuditor:
         The report is bit-identical for every setting.
     backend:
         ``"thread"`` (default) or ``"process"`` for the fan-out.
+    store:
+        An :class:`~repro.store.ArtifactStore` memoising the audit
+        **per pillar section**; ``None`` defers to ``$REPRO_STORE``
+        (unset: no caching).  Each section is keyed on exactly the
+        inputs, parameters, and code it depends on, so a re-audit
+        after one change recomputes only the invalidated sections and
+        replays the rest bit-identically — including the shared rng,
+        whose post-section state is restored on every replay so the
+        sections that *do* recompute draw the same stream they would
+        have in a cold run.
     """
 
     def __init__(self, conformal_alpha: float = 0.1,
@@ -68,13 +84,15 @@ class FACTAuditor:
                  n_bootstrap: int = 500,
                  top_features: int = 5,
                  n_jobs: int | None = None,
-                 backend: str = "thread"):
+                 backend: str = "thread",
+                 store=None):
         self.conformal_alpha = conformal_alpha
         self.surrogate_depth = surrogate_depth
         self.n_bootstrap = n_bootstrap
         self.top_features = top_features
         self.n_jobs = n_jobs
         self.backend = backend
+        self.store = store
 
     def audit(self, model: TableClassifier, test: Table,
               rng: np.random.Generator,
@@ -82,20 +100,90 @@ class FACTAuditor:
               accountant: PrivacyAccountant | None = None,
               pipeline_result: PipelineResult | None = None,
               subject: str = "model") -> FACTReport:
-        """Produce the full FACT report."""
+        """Produce the full FACT report.
+
+        With a store (explicit or via ``$REPRO_STORE``), each pillar
+        section is memoised independently: unchanged sections replay
+        byte-identically, changed ones recompute — the incremental
+        re-audit.
+        """
         if test.n_rows < 10:
             raise DataError("need at least 10 evaluation rows for an audit")
+        store = resolve_store(self.store)
         labels = model.labels(test)
         probabilities = model.predict_proba(test)
         decisions = (probabilities >= model.threshold).astype(np.float64)
 
-        fairness = audit_model(model, test)
-        accuracy_section = self._accuracy(
-            model, test, labels, probabilities, decisions, calibration, rng
-        )
-        confidentiality = self._confidentiality(test, accountant)
-        transparency = self._transparency(model, test, labels, rng,
-                                          pipeline_result)
+        if store is None:
+            fairness = audit_model(model, test)
+            accuracy_section = self._accuracy(
+                model, test, labels, probabilities, decisions, calibration,
+                rng
+            )
+            confidentiality = self._confidentiality(test, accountant)
+            transparency = self._transparency(model, test, labels, rng,
+                                              pipeline_result)
+        else:
+            model_fp = object_fingerprint(model)
+            test_fp = table_fingerprint(test)
+            calibration_fp = (table_fingerprint(calibration)
+                              if calibration is not None else None)
+            tags = (f"table:{test_fp}",)
+            fairness = store.memoize(
+                {
+                    "stage": "audit.fairness",
+                    "model": model_fp, "test": test_fp,
+                    "code": code_fingerprint(audit_model),
+                },
+                lambda: audit_model(model, test), tags=tags,
+            )
+            accuracy_section = store.memoize(
+                {
+                    "stage": "audit.accuracy",
+                    "model": model_fp, "test": test_fp,
+                    "calibration": calibration_fp,
+                    "conformal_alpha": self.conformal_alpha,
+                    "n_bootstrap": self.n_bootstrap,
+                    "code": code_fingerprint(FACTAuditor._accuracy),
+                },
+                lambda: self._accuracy(
+                    model, test, labels, probabilities, decisions,
+                    calibration, rng, store=store,
+                ),
+                rng=rng, tags=tags,
+            )
+            confidentiality = store.memoize(
+                {
+                    "stage": "audit.confidentiality",
+                    "test": test_fp,
+                    "accountant": None if accountant is None else {
+                        "epsilon_spent": accountant.epsilon_spent,
+                        "epsilon_budget": accountant.epsilon_budget,
+                        "ledger_entries": len(accountant.ledger),
+                    },
+                    "code": code_fingerprint(FACTAuditor._confidentiality),
+                },
+                lambda: self._confidentiality(test, accountant), tags=tags,
+            )
+            transparency = store.memoize(
+                {
+                    "stage": "audit.transparency",
+                    "model": model_fp, "test": test_fp,
+                    "surrogate_depth": self.surrogate_depth,
+                    "top_features": self.top_features,
+                    "pipeline": None if pipeline_result is None else {
+                        "provenance_steps": (
+                            pipeline_result.context.provenance.n_steps
+                            if pipeline_result.context.provenance else 0
+                        ),
+                        "audit_events": len(pipeline_result.context.audit),
+                    },
+                    "code": code_fingerprint(FACTAuditor._transparency),
+                },
+                lambda: self._transparency(model, test, labels, rng,
+                                           pipeline_result, store=store),
+                rng=rng, tags=tags,
+            )
         notes = []
         if calibration is None:
             notes.append(
@@ -184,16 +272,16 @@ class FACTAuditor:
         return None
 
     def _accuracy(self, model, test, labels, probabilities, decisions,
-                  calibration, rng) -> AccuracySection:
+                  calibration, rng, store=None) -> AccuracySection:
         acc_ci = bootstrap_paired_ci(
             labels, decisions, accuracy_metric, rng,
             n_resamples=self.n_bootstrap,
-            n_jobs=self.n_jobs, backend=self.backend,
+            n_jobs=self.n_jobs, backend=self.backend, store=store,
         )
         auc_ci = bootstrap_paired_ci(
             labels, probabilities, roc_auc, rng,
             n_resamples=self.n_bootstrap,
-            n_jobs=self.n_jobs, backend=self.backend,
+            n_jobs=self.n_jobs, backend=self.backend, store=store,
         )
         coverage = set_size = None
         by_group: dict[object, float] = {}
@@ -202,7 +290,8 @@ class FACTAuditor:
                 model.estimator, alpha=self.conformal_alpha
             )
             X_cal = model.encoder.transform(calibration)
-            conformal.calibrate(X_cal, model.labels(calibration))
+            conformal.calibrate(X_cal, model.labels(calibration),
+                                store=store)
             X_test = model.encoder.transform(test)
             coverage = conformal.coverage(X_test, labels)
             set_size = conformal.mean_set_size(X_test)
@@ -254,7 +343,7 @@ class FACTAuditor:
         return section
 
     def _transparency(self, model, test, labels, rng,
-                      pipeline_result) -> TransparencySection:
+                      pipeline_result, store=None) -> TransparencySection:
         X = model.encoder.transform(test)
         fidelity = leaves = None
         try:
@@ -267,7 +356,7 @@ class FACTAuditor:
         importance = permutation_importance(
             model.estimator, X, labels, rng, n_repeats=3,
             feature_names=model.feature_names,
-            n_jobs=self.n_jobs, backend=self.backend,
+            n_jobs=self.n_jobs, backend=self.backend, store=store,
         )
         section = TransparencySection(
             model_type=type(model.estimator).__name__,

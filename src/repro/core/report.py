@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.accuracy.bootstrap import IntervalEstimate
 from repro.confidentiality.risk import RiskProfile
 from repro.fairness.report import FairnessReport
+from repro.store import Artifact
 
 
 @dataclass
@@ -130,8 +131,14 @@ class TransparencySection:
 
 
 @dataclass
-class FACTReport:
-    """The four pillars, audited, in one document."""
+class FACTReport(Artifact):
+    """The four pillars, audited, in one document.
+
+    An :class:`~repro.store.Artifact` that keeps its curated
+    :meth:`to_dict` (scalars only, stable keys); ``to_json`` and
+    ``fingerprint()`` come from the mixin, so two auditors can compare
+    one short hash to prove they hold the same report.
+    """
 
     subject: str
     fairness: FairnessReport

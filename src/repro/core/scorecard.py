@@ -14,11 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.report import FACTReport
+from repro.store import Artifact
 
 
 @dataclass(frozen=True)
-class GreenScorecard:
-    """Per-pillar scores (0 = maximally polluting, 100 = clean)."""
+class GreenScorecard(Artifact):
+    """Per-pillar scores (0 = maximally polluting, 100 = clean).
+
+    An :class:`~repro.store.Artifact`: ``to_dict``/``to_json`` serialise
+    the four scores and ``fingerprint()`` mints the content hash two
+    auditors compare to prove they hold the same scorecard.
+    """
 
     fairness: float
     accuracy: float

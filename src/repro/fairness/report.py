@@ -15,11 +15,16 @@ from repro.data.table import Table
 from repro.exceptions import FairnessError
 from repro.fairness import metrics as fm
 from repro.learn.table_model import TableClassifier
+from repro.store import Artifact
 
 
 @dataclass
-class FairnessReport:
-    """Complete group-fairness audit for one set of decisions."""
+class FairnessReport(Artifact):
+    """Complete group-fairness audit for one set of decisions.
+
+    An :class:`~repro.store.Artifact`: ``to_dict``/``to_json`` serialise
+    every metric and ``fingerprint()`` mints the content hash.
+    """
 
     sensitive: str
     groups: tuple

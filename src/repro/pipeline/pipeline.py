@@ -22,6 +22,8 @@ from repro.learn.table_model import TableClassifier
 from repro.pipeline.audit_log import AuditLog
 from repro.pipeline.provenance import Artifact, ProvenanceGraph
 from repro.pipeline.stage import Stage
+from repro.store import code_fingerprint, resolve_store, table_fingerprint
+from repro.store.fingerprint import canonical
 
 PROVENANCE_MODES = ("off", "stage", "fingerprint")
 
@@ -74,12 +76,23 @@ class Pipeline:
         Optional privacy accountant made available to stages.
     actor:
         Name written into the audit log for this pipeline's actions.
+    store:
+        An :class:`~repro.store.ArtifactStore` replaying the output
+        tables of **cacheable** stages (pure table transforms like
+        ``clean``/``redact``/``di_repair``/``predict``/``decide``);
+        ``None`` defers to ``$REPRO_STORE`` (unset: no caching).  Each
+        cacheable stage is keyed on its input table's full content, its
+        parameters, its compiled code, and any context it reads, so a
+        warm run recomputes only the stages whose inputs changed.
+        Provenance and the audit log record hits exactly as they record
+        recomputes — the trail is byte-identical either way.
     """
 
     def __init__(self, stages: list[Stage],
                  provenance: str = "fingerprint",
                  accountant: PrivacyAccountant | None = None,
-                 actor: str = "pipeline"):
+                 actor: str = "pipeline",
+                 store=None):
         if not stages:
             raise DataError("pipeline needs at least one stage")
         if provenance not in PROVENANCE_MODES:
@@ -90,6 +103,27 @@ class Pipeline:
         self.provenance_mode = provenance
         self.accountant = accountant
         self.actor = actor
+        self.store = store
+
+    def _apply_stage(self, stage: Stage, table: Table,
+                     context: PipelineContext, store) -> Table:
+        """Run one stage, replaying cacheable ones from the store."""
+        if store is None or not stage.cacheable:
+            return stage.apply(table, context)
+        input_fp = table_fingerprint(table)
+        return store.memoize(
+            {
+                "stage": "pipeline.stage",
+                "name": stage.name,
+                "params": canonical(stage.params()),
+                "input": input_fp,
+                "code": code_fingerprint(type(stage).apply),
+                **stage.cache_key_extras(context),
+            },
+            lambda: stage.apply(table, context),
+            rng=context.rng,
+            tags=(f"table:{input_fp}",),
+        )
 
     def _register(self, graph: ProvenanceGraph, table: Table,
                   description: str) -> Artifact:
@@ -110,6 +144,7 @@ class Pipeline:
         ``is None`` check per stage and produce byte-identical output.
         """
         telemetry = obs.get()
+        store = resolve_store(self.store)
         graph = None if self.provenance_mode == "off" else ProvenanceGraph()
         context = PipelineContext(
             rng=rng, provenance=graph, accountant=self.accountant
@@ -130,13 +165,15 @@ class Pipeline:
                                  n_stages=len(self.stages))
             for stage in self.stages:
                 if telemetry is None:
-                    current = stage.apply(current, context)
+                    current = self._apply_stage(stage, current, context, store)
                 else:
                     with telemetry.tracer.span(
                         f"stage:{stage.name}", **stage.params()
                     ) as span:
                         span.set_attribute("n_rows_in", current.n_rows)
-                        current = stage.apply(current, context)
+                        current = self._apply_stage(
+                            stage, current, context, store
+                        )
                         span.set_attribute("n_rows", current.n_rows)
                 context.audit.record(
                     self.actor, f"stage:{stage.name}", n_rows=current.n_rows

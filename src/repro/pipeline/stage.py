@@ -26,6 +26,11 @@ class Stage(abc.ABC):
 
     name: str = "stage"
 
+    #: Pure table -> table stages (no context mutation, no hidden state)
+    #: may be replayed from an artifact store; stages that train models,
+    #: stash weights, or fit internal state must recompute every run.
+    cacheable: bool = False
+
     @abc.abstractmethod
     def apply(self, table: Table, context) -> Table:
         """Transform the table (and/or the context)."""
@@ -36,6 +41,16 @@ class Stage(abc.ABC):
             key: value for key, value in vars(self).items()
             if not key.startswith("_")
         }
+
+    def cache_key_extras(self, context) -> dict[str, object]:
+        """Extra cache-key parts for context the stage reads.
+
+        A cacheable stage whose output depends on anything beyond the
+        input table and its :meth:`params` (e.g. the trained model on
+        the context) must surface that dependency here, or stale
+        results would replay after the dependency changed.
+        """
+        return {}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.params()})"
@@ -76,6 +91,7 @@ class CleanStage(Stage):
     """Drop rows with NaN in numeric columns; clip declared outliers."""
 
     name = "clean"
+    cacheable = True
 
     def __init__(self, clips: dict[str, tuple[float, float]] | None = None):
         self.clips = dict(clips or {})
@@ -123,6 +139,7 @@ class RedactStage(Stage):
     """Pseudonymise identifiers and strip oracle metadata before use."""
 
     name = "redact"
+    cacheable = True
 
     def apply(self, table: Table, context) -> Table:
         from repro.confidentiality.pseudonym import redact_for_release
@@ -144,6 +161,7 @@ class RepairStage(Stage):
     """Disparate-impact repair of numeric features."""
 
     name = "di_repair"
+    cacheable = True
 
     def __init__(self, repair_level: float = 1.0):
         self.repair_level = repair_level
@@ -170,9 +188,17 @@ class PredictStage(Stage):
     """Attach model scores as a new column."""
 
     name = "predict"
+    cacheable = True
 
     def __init__(self, column: str = "score"):
         self.column = column
+
+    def cache_key_extras(self, context) -> dict[str, object]:
+        from repro.store import object_fingerprint
+
+        if context.model is None:
+            return {}
+        return {"model": object_fingerprint(context.model)}
 
     def apply(self, table: Table, context) -> Table:
         from repro.data.schema import ColumnRole, numeric
@@ -191,6 +217,7 @@ class DecideStage(Stage):
     """Threshold scores into decisions."""
 
     name = "decide"
+    cacheable = True
 
     def __init__(self, score_column: str = "score",
                  decision_column: str = "decision",
@@ -216,17 +243,25 @@ class FunctionStage(Stage):
     """Wrap an arbitrary table transformation with a declared name.
 
     The escape hatch — but a *named* one, so even ad-hoc steps appear in
-    the provenance graph with their parameters.
+    the provenance graph with their parameters.  Pass ``cacheable=True``
+    only when ``fn`` is a pure function of the table — the store keys on
+    the function's code, so edits invalidate, but hidden state would not.
     """
 
-    def __init__(self, name: str, fn: Callable[[Table], Table],
-                 **params: object):
+    def __init__(self, name: str, fn: Callable[[Table], Table], *,
+                 cacheable: bool = False, **params: object):
         self.name = name
+        self.cacheable = cacheable
         self._fn = fn
         self._params = dict(params)
 
     def params(self) -> dict[str, object]:
         return dict(self._params)
+
+    def cache_key_extras(self, context) -> dict[str, object]:
+        from repro.store import code_fingerprint
+
+        return {"fn": code_fingerprint(self._fn)}
 
     def apply(self, table: Table, context) -> Table:
         return self._fn(table)

@@ -12,18 +12,23 @@ are sorted and deduplicated, floats are normalized through ``repr``, and
 the registered table's version is folded in (re-registering a table
 invalidates every cached answer computed from the old rows — replaying
 those would be answering about data that no longer exists).
+
+The hashing itself lives in :func:`repro.store.fingerprint.fingerprint`
+— the planner's historical private ``_fingerprint``, promoted to the
+system-wide canonicalisation shared with the artifact store.  The
+digests are unchanged, so answers cached before the refactor replay
+after it (regression-tested in ``tests/test_store.py``).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 
 from repro.data.schema import ColumnType
 from repro.data.table import Table
 from repro.exceptions import DataError
 from repro.serve.protocol import KINDS, QueryRequest
+from repro.store.fingerprint import fingerprint
 
 #: Kinds that aggregate a numeric column under declared bounds.
 _BOUNDED_KINDS = ("sum", "mean", "quantile")
@@ -140,16 +145,15 @@ class QueryPlanner:
                 raise DataError(f"bad histogram bins: {error}") from None
 
         version = self._versions[table_name]
-        fingerprint = _fingerprint(
-            table=table_name, version=version, kind=kind, column=column,
-            epsilon=epsilon, delta=delta, lower=lower, upper=upper, q=q,
-            bins=bins,
-        )
         return QueryPlan(
             kind=kind, table=table_name, table_version=version,
             epsilon=epsilon, delta=delta, column=column,
             lower=lower, upper=upper, q=q, bins=bins,
-            fingerprint=fingerprint,
+            fingerprint=fingerprint(
+                table=table_name, version=version, kind=kind, column=column,
+                epsilon=epsilon, delta=delta, lower=lower, upper=upper, q=q,
+                bins=bins,
+            ),
         )
 
     def _resolve_table_name(self, name: str | None) -> str:
@@ -164,22 +168,6 @@ class QueryPlanner:
         )
 
 
-def _fingerprint(**parts: object) -> str:
-    """Stable hash of the canonical query parts.
-
-    ``repr`` normalizes floats (``0.10`` and ``1e-1`` collide, as they
-    should); sorted keys make the digest order-independent.
-    """
-    canonical = {
-        key: repr(value) if isinstance(value, float) else value
-        for key, value in parts.items()
-    }
-    if isinstance(canonical.get("bins"), tuple):
-        canonical["bins"] = [
-            repr(value) if isinstance(value, float) else value
-            for value in canonical["bins"]
-        ]
-    digest = hashlib.sha256(
-        json.dumps(canonical, sort_keys=True).encode("utf-8")
-    )
-    return digest.hexdigest()[:24]
+#: Backwards-compatible alias: the canonicalisation moved to
+#: :mod:`repro.store.fingerprint` (same digests for every planner input).
+_fingerprint = fingerprint

@@ -1,0 +1,86 @@
+"""The unified Artifact API: to_dict / to_json / fingerprint.
+
+Every document the toolkit hands an auditor — model cards, datasheets,
+fairness reports, the FACT report, the green scorecard — is an
+*artifact*: it must serialise losslessly enough to diff, and it must be
+**attributable**, meaning two auditors holding "the same report" can
+prove it by comparing one short hash.  This mixin gives all of them the
+same three verbs:
+
+* :meth:`to_dict` — JSON-ready scalars (classes with a curated
+  ``to_dict`` of their own, like ``FACTReport``, keep it; the default
+  walks the dataclass fields);
+* :meth:`to_json` — canonical text: sorted keys, stable float reprs;
+* :meth:`fingerprint` — the canonical hash of that text, minted by
+  :mod:`repro.store.fingerprint` like every other fingerprint in the
+  system.
+
+Purely additive: adopting the mixin changes no constructor signatures
+and no existing behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+
+import numpy as np
+
+from repro.store.fingerprint import fingerprint
+
+
+class Artifact:
+    """Mixin for report-like dataclasses: serialise + fingerprint."""
+
+    def to_dict(self) -> dict:
+        """The artifact as JSON-ready plain data (default: field walk)."""
+        if not dataclasses.is_dataclass(self):
+            raise TypeError(
+                f"{type(self).__name__} must be a dataclass (or override "
+                "to_dict) to be an Artifact"
+            )
+        return {
+            field.name: _plain(getattr(self, field.name))
+            for field in dataclasses.fields(self)
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical JSON text of :meth:`to_dict` (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of this artifact.
+
+        Two artifacts fingerprint identically iff their canonical JSON
+        matches — the "same bytes" test the paper's reproducibility
+        questions ask for, in one short string.
+        """
+        return fingerprint(
+            artifact=f"{type(self).__module__}.{type(self).__qualname__}",
+            payload=self.to_json(),
+        )
+
+
+def _plain(value: object) -> object:
+    """Recursively reduce ``value`` to JSON-native data (readably)."""
+    if isinstance(value, np.ndarray):
+        return [_plain(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, Artifact):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _plain(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    return repr(value)

@@ -1,0 +1,227 @@
+"""Exact JSON round-tripping for the artifact store.
+
+The store's contract is *bit-identical replay*: a cached value read back
+from disk must equal what recomputing would have produced, down to the
+last float.  Plain JSON cannot carry NumPy arrays, tuples, dataclasses,
+or non-string dict keys, so :func:`encode` wraps those in tagged
+envelopes and :func:`decode` restores them precisely:
+
+* floats ride as native JSON numbers — Python's shortest-round-trip
+  repr guarantees ``json.loads(json.dumps(x)) == x`` bit-for-bit;
+* NumPy arrays and scalars carry dtype + shape + raw bytes (hex), so
+  ``float64`` comes back ``float64``, not "a number";
+* dataclasses carry their import path and field values, and are
+  reconstructed through the class itself — restricted to classes
+  defined inside :mod:`repro`, so a tampered cache file cannot name
+  arbitrary constructors;
+* tables carry their full schema (types, FACT roles, descriptions) and
+  every column.
+
+Anything the codec cannot represent raises
+:class:`~repro.exceptions.DataError` at *encode* time — a cache that
+silently stored an approximation would poison every replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+import json
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+#: Envelope tags understood by :func:`decode`.
+_TAGS = (
+    "__tuple__", "__ndarray__", "__strarray__", "__npscalar__",
+    "__mapping__", "__dataclass__", "__enum__", "__table__", "__escaped__",
+)
+
+
+def encode(value: object) -> object:
+    """``value`` as a JSON-serialisable structure (tagged where needed)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            # Tables store categoricals as object arrays of str; anything
+            # else in an object array has no exact byte representation.
+            items = value.tolist()
+            if not all(isinstance(item, str) for item in items):
+                raise DataError(
+                    "cannot store non-string object-dtype arrays exactly"
+                )
+            return {"__strarray__": items}
+        return {
+            "__ndarray__": {
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": np.ascontiguousarray(value).tobytes().hex(),
+            }
+        }
+    if isinstance(value, np.generic):
+        return {
+            "__npscalar__": {
+                "dtype": str(value.dtype),
+                "data": value.tobytes().hex(),
+            }
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            if any(key in _TAGS for key in value):
+                return {"__escaped__": {
+                    key: encode(item) for key, item in value.items()
+                }}
+            return {key: encode(item) for key, item in value.items()}
+        return {"__mapping__": [
+            [encode(key), encode(item)] for key, item in value.items()
+        ]}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": {
+            "class": _class_path(type(value)),
+            "value": encode(value.value),
+        }}
+    if _is_table(value):
+        return {"__table__": {
+            "schema": [
+                [spec.name, spec.ctype.value, spec.role.value,
+                 spec.description]
+                for spec in value.schema
+            ],
+            "columns": {
+                name: encode(value.column(name))
+                for name in value.column_names
+            },
+        }}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": {
+            "class": _class_path(type(value)),
+            "fields": {
+                field.name: encode(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }}
+    raise DataError(
+        f"cannot store a {type(value).__name__} exactly; "
+        "store arrays, tables, primitives, or repro dataclasses"
+    )
+
+
+def decode(payload: object) -> object:
+    """Invert :func:`encode` exactly."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, list):
+        return [decode(item) for item in payload]
+    if isinstance(payload, dict):
+        if "__tuple__" in payload:
+            return tuple(decode(item) for item in payload["__tuple__"])
+        if "__strarray__" in payload:
+            return np.asarray(payload["__strarray__"], dtype=object)
+        if "__ndarray__" in payload:
+            spec = payload["__ndarray__"]
+            flat = np.frombuffer(
+                bytes.fromhex(spec["data"]), dtype=np.dtype(spec["dtype"])
+            )
+            return flat.reshape(spec["shape"]).copy()
+        if "__npscalar__" in payload:
+            spec = payload["__npscalar__"]
+            return np.frombuffer(
+                bytes.fromhex(spec["data"]), dtype=np.dtype(spec["dtype"])
+            )[0]
+        if "__mapping__" in payload:
+            return {
+                decode(key): decode(item)
+                for key, item in payload["__mapping__"]
+            }
+        if "__enum__" in payload:
+            spec = payload["__enum__"]
+            return _resolve_class(spec["class"])(decode(spec["value"]))
+        if "__table__" in payload:
+            return _decode_table(payload["__table__"])
+        if "__dataclass__" in payload:
+            return _decode_dataclass(payload["__dataclass__"])
+        if "__escaped__" in payload:
+            return {
+                key: decode(item)
+                for key, item in payload["__escaped__"].items()
+            }
+        return {key: decode(item) for key, item in payload.items()}
+    raise DataError(f"cannot decode a {type(payload).__name__}")
+
+
+def dumps(value: object) -> str:
+    """Encode ``value`` to its canonical JSON text."""
+    return json.dumps(encode(value), sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str) -> object:
+    """Decode canonical JSON text back to the original value."""
+    return decode(json.loads(text))
+
+
+def _class_path(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    if module_name != "repro" and not module_name.startswith("repro."):
+        raise DataError(
+            f"refusing to reconstruct non-repro class {path!r} from a cache"
+        )
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not isinstance(target, type):
+        raise DataError(f"{path!r} is not a class")
+    return target
+
+
+def _decode_dataclass(spec: dict) -> object:
+    cls = _resolve_class(spec["class"])
+    if not dataclasses.is_dataclass(cls):
+        raise DataError(f"{spec['class']!r} is not a dataclass")
+    values = {name: decode(item) for name, item in spec["fields"].items()}
+    init_names = {
+        field.name for field in dataclasses.fields(cls) if field.init
+    }
+    instance = cls(**{
+        name: value for name, value in values.items() if name in init_names
+    })
+    for name, value in values.items():
+        if name not in init_names:
+            object.__setattr__(instance, name, value)
+    return instance
+
+
+def _is_table(value: object) -> bool:
+    from repro.data.table import Table
+
+    return isinstance(value, Table)
+
+
+def _decode_table(spec: dict):
+    from repro.data.schema import (
+        ColumnRole,
+        ColumnSpec,
+        ColumnType,
+        Schema,
+    )
+    from repro.data.table import Table
+
+    schema = Schema([
+        ColumnSpec(name, ColumnType(ctype), ColumnRole(role), description)
+        for name, ctype, role, description in spec["schema"]
+    ])
+    return Table(schema, {
+        name: decode(column) for name, column in spec["columns"].items()
+    })

@@ -1,0 +1,245 @@
+"""The content-addressed artifact store (tentpole of the caching layer).
+
+An :class:`ArtifactStore` maps canonical fingerprints — of (data
+content, parameters, code version), see
+:mod:`repro.store.fingerprint` — to exactly-serialised artifacts.  Its
+promise is the paper's reproducibility demand made mechanical: an
+unchanged computation replays **the same bytes** it produced last time,
+and a changed one recomputes, because its fingerprint changed.
+
+Three behaviours make it safe to put in front of real results:
+
+* **Exact replay** — values travel through :mod:`repro.store.codec`,
+  which refuses to store anything it cannot restore bit-identically.
+* **Corruption = miss** — an unreadable or undecodable entry (truncated
+  file, tampered payload) is deleted, counted, and recomputed.  The
+  store never crashes a pipeline and never replays garbage.
+* **RNG continuity** — :meth:`memoize` keys on the generator state
+  *before* the computation and, on a hit, restores the state recorded
+  *after* it.  Downstream code that shares the generator then draws the
+  same stream whether the stage was replayed or recomputed — this is
+  what makes *incremental* re-audits bit-identical end to end.
+
+Hit/miss/byte traffic is mirrored into :mod:`repro.obs` counters
+(``store.hits``, ``store.misses``, ``store.puts``, ``store.corruptions``,
+``store.bytes_written``, ``store.bytes_read``) whenever telemetry is
+configured.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import DataError
+from repro.store import codec
+from repro.store.backend import JsonDirBackend, MemoryBackend
+from repro.store.fingerprint import fingerprint
+
+_MISS = object()
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """A copyable snapshot of ``rng``'s bit-generator state."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`rng_state`."""
+    rng.bit_generator.state = state
+
+
+class ArtifactStore:
+    """Fingerprint-keyed cache of exactly-replayable artifacts.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.store.backend.MemoryBackend` (default) or
+        :class:`~repro.store.backend.JsonDirBackend`; anything speaking
+        the same text get/put protocol works.
+    name:
+        Label attached to this store's telemetry counters, so several
+        stores in one process stay distinguishable.
+    """
+
+    def __init__(self, backend=None, name: str = "store"):
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.name = str(name)
+        self._lock = threading.Lock()
+        self._tags: dict[str, set[str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corruptions = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @classmethod
+    def in_memory(cls, max_entries: int = 4096, **kwargs) -> "ArtifactStore":
+        """A process-local store (the fastest warm path)."""
+        return cls(MemoryBackend(max_entries=max_entries), **kwargs)
+
+    @classmethod
+    def on_disk(cls, path: str, **kwargs) -> "ArtifactStore":
+        """A store that survives the process (one JSON file per entry)."""
+        return cls(JsonDirBackend(path), **kwargs)
+
+    # -- raw get/put ---------------------------------------------------------
+
+    def get(self, key: str, default=None):
+        """The artifact stored under ``key``, or ``default``.
+
+        Undecodable entries are deleted and reported as misses — a cache
+        recomputes on corruption, it never crashes or replays garbage.
+        """
+        text = self.backend.get(key)
+        if text is None:
+            self._count("misses")
+            return default
+        try:
+            envelope = codec.loads(text)
+            value = envelope["value"]
+        except (DataError, KeyError, TypeError, ValueError):
+            self.backend.delete(key)
+            self._count("corruptions")
+            self._count("misses")
+            return default
+        self._count("hits")
+        self._count_bytes("bytes_read", len(text))
+        return value
+
+    def put(self, key: str, value, tags: tuple[str, ...] = (),
+            extra: dict | None = None) -> str:
+        """Store ``value`` under ``key`` (encoded exactly); returns ``key``.
+
+        ``tags`` name the inputs the artifact depends on (e.g. a table);
+        :meth:`invalidate_tag` later drops every dependent entry at once.
+        """
+        envelope = {"key": key, "tags": list(tags), "value": value}
+        if extra:
+            envelope.update(extra)
+        text = codec.dumps(envelope)
+        self.backend.put(key, text)
+        with self._lock:
+            for tag in tags:
+                self._tags.setdefault(str(tag), set()).add(key)
+        self._count("puts")
+        self._count_bytes("bytes_written", len(text))
+        return key
+
+    def __contains__(self, key: str) -> bool:
+        return self.backend.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    # -- memoization ---------------------------------------------------------
+
+    def memoize(self, parts: dict, compute: Callable[[], object],
+                rng: np.random.Generator | None = None,
+                tags: tuple[str, ...] = ()):
+        """Replay ``compute()``'s result for ``parts``, or run and store it.
+
+        ``parts`` is the canonical identity of the computation — data
+        fingerprints, parameters, a code fingerprint.  When ``rng`` is
+        given its *pre-call* state joins the key, and its *post-call*
+        state is stored and restored on hits, so code after a replayed
+        stage draws exactly the stream it would have after a recompute.
+        """
+        key_parts = dict(parts)
+        if rng is not None:
+            key_parts["rng"] = rng_state(rng)
+        key = fingerprint(**key_parts)
+        text = self.backend.get(key)
+        if text is not None:
+            try:
+                envelope = codec.loads(text)
+                value = envelope["value"]
+                state_after = envelope.get("rng_after")
+            except (DataError, KeyError, TypeError, ValueError):
+                self.backend.delete(key)
+                self._count("corruptions")
+            else:
+                if rng is not None and state_after is not None:
+                    set_rng_state(rng, state_after)
+                self._count("hits")
+                self._count_bytes("bytes_read", len(text))
+                return value
+        self._count("misses")
+        value = compute()
+        extra = {}
+        if rng is not None:
+            extra["rng_after"] = rng_state(rng)
+        self.put(key, value, tags=tags, extra=extra)
+        return value
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry (a later ask recomputes)."""
+        self.backend.delete(key)
+
+    def invalidate_tag(self, tag: str) -> int:
+        """Drop every artifact put with ``tag``; returns how many.
+
+        This is how re-registering a table kills its dependent results:
+        artifacts stored with ``tags=(f"table:{name}",)`` all vanish in
+        one call, the store-side analogue of the planner folding the
+        table version into every query fingerprint.
+        """
+        with self._lock:
+            keys = self._tags.pop(str(tag), set())
+        for key in keys:
+            self.backend.delete(key)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self.backend.clear()
+        with self._lock:
+            self._tags.clear()
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counters for telemetry and bench tables."""
+        return {
+            "entries": len(self.backend),
+            "bytes": self.backend.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": getattr(self.backend, "evictions", 0),
+            "corruptions": self.corruptions,
+            "hit_rate": self.hit_rate,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+        }
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+        telemetry = obs.get()
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                f"store.{counter}", store=self.name
+            ).inc()
+
+    def _count_bytes(self, counter: str, amount: int) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + int(amount))
+        telemetry = obs.get()
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                f"store.{counter}", store=self.name
+            ).inc(int(amount))

@@ -13,11 +13,16 @@ from dataclasses import dataclass, field
 
 from repro.confidentiality.risk import RiskProfile, assess_risk
 from repro.data.table import Table
+from repro.store import Artifact
 
 
 @dataclass
-class Datasheet:
-    """A structured, renderable description of one dataset."""
+class Datasheet(Artifact):
+    """A structured, renderable description of one dataset.
+
+    An :class:`~repro.store.Artifact`: ``to_dict``/``to_json`` serialise
+    the datasheet and ``fingerprint()`` mints its content hash.
+    """
 
     name: str
     provenance: str

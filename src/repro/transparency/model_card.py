@@ -19,11 +19,16 @@ from repro.fairness.report import FairnessReport, audit_model
 from repro.learn.metrics import accuracy as accuracy_metric
 from repro.learn.metrics import roc_auc
 from repro.learn.table_model import TableClassifier
+from repro.store import Artifact
 
 
 @dataclass
-class ModelCard:
-    """A structured, renderable description of one trained model."""
+class ModelCard(Artifact):
+    """A structured, renderable description of one trained model.
+
+    An :class:`~repro.store.Artifact`: ``to_dict``/``to_json`` serialise
+    the card and ``fingerprint()`` mints its content hash.
+    """
 
     name: str
     model_type: str
