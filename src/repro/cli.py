@@ -35,6 +35,7 @@ from repro.learn.linear import LogisticRegression
 from repro.obs import (
     read_telemetry,
     render_audit_tail,
+    render_cache_summary,
     render_metrics_table,
     render_span_tree,
 )
@@ -123,6 +124,10 @@ def _cmd_synthesize(args) -> int:
 def _cmd_telemetry(args) -> int:
     records = read_telemetry(args.run)
     print(render_span_tree(records))
+    cache_summary = render_cache_summary(records)
+    if cache_summary:
+        print()
+        print(cache_summary)
     print()
     print(render_metrics_table(records))
     if any(record.get("record") == "audit" for record in records):

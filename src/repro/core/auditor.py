@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.accuracy.bootstrap import bootstrap_paired_ci
 from repro.accuracy.conformal import SplitConformalClassifier
 from repro.confidentiality.accountant import PrivacyAccountant
@@ -29,6 +30,7 @@ from repro.core.report import (
 )
 from repro.data.schema import ColumnRole
 from repro.data.table import Table
+from repro.engine import Executor, Node, Plan
 from repro.exceptions import DataError
 from repro.fairness.report import audit_model
 from repro.learn.calibration import expected_calibration_error
@@ -36,12 +38,7 @@ from repro.learn.metrics import accuracy as accuracy_metric
 from repro.learn.metrics import roc_auc
 from repro.learn.table_model import TableClassifier
 from repro.pipeline.pipeline import PipelineResult
-from repro.store import (
-    code_fingerprint,
-    object_fingerprint,
-    resolve_store,
-    table_fingerprint,
-)
+from repro.store import resolve_store
 from repro.transparency.importance import permutation_importance
 from repro.transparency.surrogate import fit_surrogate
 
@@ -73,10 +70,12 @@ class FACTAuditor:
         (unset: no caching).  Each section is keyed on exactly the
         inputs, parameters, and code it depends on, so a re-audit
         after one change recomputes only the invalidated sections and
-        replays the rest bit-identically — including the shared rng,
-        whose post-section state is restored on every replay so the
-        sections that *do* recompute draw the same stream they would
-        have in a cold run.
+        replays the rest bit-identically.  The stochastic sections own
+        ``SeedSequence``-spawned generators (assigned in plan order,
+        independent of scheduling and caching), so the sections that
+        *do* recompute draw the same stream they would have in a cold
+        run — and a change to one section can never shift another's
+        results.
     """
 
     def __init__(self, conformal_alpha: float = 0.1,
@@ -94,6 +93,96 @@ class FACTAuditor:
         self.backend = backend
         self.store = store
 
+    def build_plan(self, model: TableClassifier, test: Table,
+                   calibration: Table | None = None,
+                   accountant: PrivacyAccountant | None = None,
+                   pipeline_result: PipelineResult | None = None,
+                   store=None,
+                   predictions: tuple | None = None) -> Plan:
+        """The audit as a four-node pillar :class:`repro.engine.Plan`.
+
+        All four sections sit at dependency level 0 — they consume only
+        the plan inputs (``model``, ``test``, ``calibration``) — so the
+        executor runs them *concurrently* when given workers.  Cache
+        keys derive from each node's code + params + input content, so
+        an incremental re-audit recomputes exactly the sections a change
+        invalidated, with no hand-written keys.  The stochastic sections
+        (accuracy, transparency) declare ``rng="spawn"``: each owns its
+        own seed stream, so a change to one can never shift the other's
+        results, and the report is bit-identical with or without a
+        store at every ``n_jobs``/backend combination.
+        """
+        if predictions is None:
+            predictions = self._predictions(model, test)
+        labels, probabilities, decisions = predictions
+        tags = lambda fps: (f"table:{fps['test']}",)  # noqa: E731
+
+        def fairness_fn(inputs, rng):
+            return audit_model(inputs["model"], inputs["test"])
+
+        def accuracy_fn(inputs, rng):
+            return self._accuracy(
+                inputs["model"], inputs["test"], labels, probabilities,
+                decisions, inputs["calibration"], rng, store=store,
+            )
+
+        def confidentiality_fn(inputs, rng):
+            return self._confidentiality(inputs["test"], accountant)
+
+        def transparency_fn(inputs, rng):
+            return self._transparency(inputs["model"], inputs["test"],
+                                      labels, rng, pipeline_result,
+                                      store=store)
+
+        nodes = [
+            Node("fairness", fairness_fn,
+                 inputs=("model", "test"),
+                 code=audit_model,
+                 tags=tags),
+            Node("accuracy", accuracy_fn,
+                 inputs=("model", "test", "calibration"),
+                 params={"conformal_alpha": self.conformal_alpha,
+                         "n_bootstrap": self.n_bootstrap},
+                 code=FACTAuditor._accuracy,
+                 rng="spawn",
+                 tags=tags),
+            Node("confidentiality", confidentiality_fn,
+                 inputs=("test",),
+                 params={"accountant": None if accountant is None else {
+                     "epsilon_spent": accountant.epsilon_spent,
+                     "epsilon_budget": accountant.epsilon_budget,
+                     "ledger_entries": len(accountant.ledger),
+                 }},
+                 code=FACTAuditor._confidentiality,
+                 tags=tags),
+            Node("transparency", transparency_fn,
+                 inputs=("model", "test"),
+                 params={"surrogate_depth": self.surrogate_depth,
+                         "top_features": self.top_features,
+                         "pipeline": None if pipeline_result is None else {
+                             "provenance_steps": (
+                                 pipeline_result.context.provenance.n_steps
+                                 if pipeline_result.context.provenance
+                                 else 0
+                             ),
+                             "audit_events": len(
+                                 pipeline_result.context.audit
+                             ),
+                         }},
+                 code=FACTAuditor._transparency,
+                 rng="spawn",
+                 tags=tags),
+        ]
+        return Plan(nodes, inputs=("model", "test", "calibration"))
+
+    @staticmethod
+    def _predictions(model: TableClassifier, test: Table) -> tuple:
+        """(labels, probabilities, decisions) shared by the sections."""
+        labels = model.labels(test)
+        probabilities = model.predict_proba(test)
+        decisions = (probabilities >= model.threshold).astype(np.float64)
+        return labels, probabilities, decisions
+
     def audit(self, model: TableClassifier, test: Table,
               rng: np.random.Generator,
               calibration: Table | None = None,
@@ -102,88 +191,38 @@ class FACTAuditor:
               subject: str = "model") -> FACTReport:
         """Produce the full FACT report.
 
-        With a store (explicit or via ``$REPRO_STORE``), each pillar
-        section is memoised independently: unchanged sections replay
-        byte-identically, changed ones recompute — the incremental
-        re-audit.
+        The four pillar sections run as one engine plan: concurrent
+        when the auditor has workers, memoised per section when a store
+        is available (explicit or via ``$REPRO_STORE``) — unchanged
+        sections replay byte-identically, changed ones recompute, the
+        incremental re-audit.  There is exactly one code path; a run
+        without a store differs only in that nothing is looked up.
         """
         if test.n_rows < 10:
             raise DataError("need at least 10 evaluation rows for an audit")
         store = resolve_store(self.store)
-        labels = model.labels(test)
-        probabilities = model.predict_proba(test)
-        decisions = (probabilities >= model.threshold).astype(np.float64)
-
-        if store is None:
-            fairness = audit_model(model, test)
-            accuracy_section = self._accuracy(
-                model, test, labels, probabilities, decisions, calibration,
-                rng
-            )
-            confidentiality = self._confidentiality(test, accountant)
-            transparency = self._transparency(model, test, labels, rng,
-                                              pipeline_result)
+        predictions = self._predictions(model, test)
+        _, _, decisions = predictions
+        plan = self.build_plan(
+            model, test, calibration, accountant, pipeline_result,
+            store=store, predictions=predictions,
+        )
+        executor = Executor(n_jobs=self.n_jobs, backend=self.backend,
+                            name="audit")
+        inputs = {"model": model, "test": test, "calibration": calibration}
+        telemetry = obs.get()
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "audit.run", subject=subject, n_rows=test.n_rows,
+                n_jobs=executor.n_jobs, backend=self.backend,
+            ):
+                result = executor.run(plan, inputs, store=store, rng=rng)
         else:
-            model_fp = object_fingerprint(model)
-            test_fp = table_fingerprint(test)
-            calibration_fp = (table_fingerprint(calibration)
-                              if calibration is not None else None)
-            tags = (f"table:{test_fp}",)
-            fairness = store.memoize(
-                {
-                    "stage": "audit.fairness",
-                    "model": model_fp, "test": test_fp,
-                    "code": code_fingerprint(audit_model),
-                },
-                lambda: audit_model(model, test), tags=tags,
-            )
-            accuracy_section = store.memoize(
-                {
-                    "stage": "audit.accuracy",
-                    "model": model_fp, "test": test_fp,
-                    "calibration": calibration_fp,
-                    "conformal_alpha": self.conformal_alpha,
-                    "n_bootstrap": self.n_bootstrap,
-                    "code": code_fingerprint(FACTAuditor._accuracy),
-                },
-                lambda: self._accuracy(
-                    model, test, labels, probabilities, decisions,
-                    calibration, rng, store=store,
-                ),
-                rng=rng, tags=tags,
-            )
-            confidentiality = store.memoize(
-                {
-                    "stage": "audit.confidentiality",
-                    "test": test_fp,
-                    "accountant": None if accountant is None else {
-                        "epsilon_spent": accountant.epsilon_spent,
-                        "epsilon_budget": accountant.epsilon_budget,
-                        "ledger_entries": len(accountant.ledger),
-                    },
-                    "code": code_fingerprint(FACTAuditor._confidentiality),
-                },
-                lambda: self._confidentiality(test, accountant), tags=tags,
-            )
-            transparency = store.memoize(
-                {
-                    "stage": "audit.transparency",
-                    "model": model_fp, "test": test_fp,
-                    "surrogate_depth": self.surrogate_depth,
-                    "top_features": self.top_features,
-                    "pipeline": None if pipeline_result is None else {
-                        "provenance_steps": (
-                            pipeline_result.context.provenance.n_steps
-                            if pipeline_result.context.provenance else 0
-                        ),
-                        "audit_events": len(pipeline_result.context.audit),
-                    },
-                    "code": code_fingerprint(FACTAuditor._transparency),
-                },
-                lambda: self._transparency(model, test, labels, rng,
-                                           pipeline_result, store=store),
-                rng=rng, tags=tags,
-            )
+            result = executor.run(plan, inputs, store=store, rng=rng)
+        fairness = result["fairness"]
+        accuracy_section = result["accuracy"]
+        confidentiality = result["confidentiality"]
+        transparency = result["transparency"]
         notes = []
         if calibration is None:
             notes.append(

@@ -48,6 +48,10 @@ class ProvenanceError(ReproError):
     """The provenance graph was queried for an unknown artefact or step."""
 
 
+class PlanError(ReproError):
+    """A dataflow plan is malformed (cycle, missing input, duplicate node)."""
+
+
 class PolicyViolation(ReproError):
     """A FACT policy constraint failed at audit time.
 

@@ -49,6 +49,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.render import (
     render_audit_tail,
+    render_cache_summary,
     render_metrics_table,
     render_span_tree,
 )
@@ -165,6 +166,7 @@ __all__ = [
     "instrument",
     "read_telemetry",
     "render_audit_tail",
+    "render_cache_summary",
     "render_metrics_table",
     "render_span_tree",
     "reset",

@@ -9,6 +9,7 @@ get real timestamps without touching any instrumentation.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Protocol, runtime_checkable
 
@@ -32,10 +33,14 @@ class TickClock:
     def __init__(self, start: int = 0, step: int = 1):
         self._tick = int(start)
         self._step = int(step)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
-        tick = self._tick
-        self._tick += self._step
+        # Locked: concurrent readers (store counters, engine workers)
+        # must never observe the same tick or skip one.
+        with self._lock:
+            tick = self._tick
+            self._tick += self._step
         return float(tick)
 
 

@@ -120,6 +120,42 @@ def render_metrics_table(records: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def render_cache_summary(records: list[dict]) -> str:
+    """Cache outcomes of engine-executed spans, per span name.
+
+    Engine node spans (pipeline stages, audit pillar sections) carry a
+    ``cache="hit"|"miss"|"uncacheable"`` attribute; this table answers
+    "what replayed and what recomputed?" at a glance.  Returns an empty
+    string when no span carries the attribute, so callers can skip the
+    section entirely on pre-engine telemetry files.
+    """
+    outcomes: dict[str, dict[str, int]] = {}
+    order: list[str] = []
+    for record in records:
+        if record.get("record") != "span":
+            continue
+        status = (record.get("attributes") or {}).get("cache")
+        if status is None:
+            continue
+        name = record["name"]
+        if name not in outcomes:
+            outcomes[name] = {"hit": 0, "miss": 0, "uncacheable": 0}
+            order.append(name)
+        outcomes[name][str(status)] = outcomes[name].get(str(status), 0) + 1
+    if not outcomes:
+        return ""
+    lines = ["cache outcomes:"]
+    lines += _table(
+        ["span", "hit", "miss", "uncacheable"],
+        [[name,
+          _format_number(outcomes[name].get("hit", 0)),
+          _format_number(outcomes[name].get("miss", 0)),
+          _format_number(outcomes[name].get("uncacheable", 0))]
+         for name in order],
+    )
+    return "\n".join(lines)
+
+
 def render_audit_tail(records: list[dict], last: int = 10) -> str:
     """The final ``last`` audit events from a telemetry file."""
     events = [r for r in records if r.get("record") == "audit"]

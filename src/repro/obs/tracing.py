@@ -16,6 +16,7 @@ remembers every finished span for export.  Usable three ways::
 from __future__ import annotations
 
 import functools
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -92,6 +93,15 @@ class Tracer:
         self._spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self._id_lock = threading.Lock()
+
+    def _allocate_id(self) -> int:
+        # record_span is documented safe for concurrent callers; span
+        # ids must stay unique under that contract.
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -100,7 +110,7 @@ class Tracer:
         parent = self._stack[-1].span_id if self._stack else None
         span = Span(
             name=name,
-            span_id=self._next_id,
+            span_id=self._allocate_id(),
             parent_id=parent,
             start=self.clock.now(),
             attributes={
@@ -108,7 +118,6 @@ class Tracer:
                 for key, value in attributes.items()
             },
         )
-        self._next_id += 1
         self._spans.append(span)
         self._stack.append(span)
         return span
@@ -156,7 +165,7 @@ class Tracer:
             )
         span = Span(
             name=name,
-            span_id=self._next_id,
+            span_id=self._allocate_id(),
             parent_id=parent_id,
             start=float(start),
             end=float(end),
@@ -165,7 +174,6 @@ class Tracer:
                 for key, value in attributes.items()
             },
         )
-        self._next_id += 1
         self._spans.append(span)
         return span
 

@@ -94,6 +94,11 @@ class _ChunkFailure:
     exception: BaseException | None
 
 
+def _invoke(thunk: Callable):
+    """Call one zero-argument task (module-level so pools can name it)."""
+    return thunk()
+
+
 def _run_chunk(fn: Callable, tasks: Sequence) -> list | _ChunkFailure:
     """Run one chunk in the worker; capture the first failure with context.
 
@@ -187,6 +192,18 @@ class ParallelExecutor:
         if self.backend == "serial" or self.n_jobs == 1 or len(chunks) == 1:
             return self._map_serial(fn, chunks, telemetry)
         return self._map_pool(fn, chunks, telemetry)
+
+    def call(self, thunks: Iterable[Callable]) -> list:
+        """Run zero-argument callables concurrently; results in order.
+
+        The heterogeneous sibling of :meth:`map`: each task carries its
+        own closure, which is how :class:`repro.engine.Executor`
+        dispatches the independent ready nodes of one plan level.  The
+        thread/serial backends run closures directly; note closures are
+        rarely picklable, so callers targeting ``"process"`` should
+        coerce to ``"thread"`` first.
+        """
+        return self.map(_invoke, list(thunks))
 
     # -- internals ----------------------------------------------------------
 

@@ -17,13 +17,13 @@ import numpy as np
 from repro import obs
 from repro.confidentiality.accountant import PrivacyAccountant
 from repro.data.table import Table
+from repro.engine import Executor, NodeRun, Plan
 from repro.exceptions import DataError
 from repro.learn.table_model import TableClassifier
 from repro.pipeline.audit_log import AuditLog
 from repro.pipeline.provenance import Artifact, ProvenanceGraph
 from repro.pipeline.stage import Stage
-from repro.store import code_fingerprint, resolve_store, table_fingerprint
-from repro.store.fingerprint import canonical
+from repro.store import resolve_store
 
 PROVENANCE_MODES = ("off", "stage", "fingerprint")
 
@@ -105,25 +105,22 @@ class Pipeline:
         self.actor = actor
         self.store = store
 
-    def _apply_stage(self, stage: Stage, table: Table,
-                     context: PipelineContext, store) -> Table:
-        """Run one stage, replaying cacheable ones from the store."""
-        if store is None or not stage.cacheable:
-            return stage.apply(table, context)
-        input_fp = table_fingerprint(table)
-        return store.memoize(
-            {
-                "stage": "pipeline.stage",
-                "name": stage.name,
-                "params": canonical(stage.params()),
-                "input": input_fp,
-                "code": code_fingerprint(type(stage).apply),
-                **stage.cache_key_extras(context),
-            },
-            lambda: stage.apply(table, context),
-            rng=context.rng,
-            tags=(f"table:{input_fp}",),
-        )
+    def build_plan(self, context: PipelineContext) -> Plan:
+        """The pipeline as a linear :class:`repro.engine.Plan`.
+
+        One node per stage, chained on a single external input named
+        ``"table"``.  Node names are position-qualified so a pipeline
+        may legally repeat a stage; labels stay the bare stage names, so
+        spans (``stage:<name>``), audit events, and provenance steps
+        read exactly as before the engine refactor.
+        """
+        nodes = []
+        previous = "table"
+        for index, stage in enumerate(self.stages):
+            node_name = f"stage{index}:{stage.name}"
+            nodes.append(stage.as_node(node_name, previous, context))
+            previous = node_name
+        return Plan(nodes, inputs=("table",))
 
     def _register(self, graph: ProvenanceGraph, table: Table,
                   description: str) -> Artifact:
@@ -136,12 +133,16 @@ class Pipeline:
     def run(self, table: Table, rng: np.random.Generator) -> PipelineResult:
         """Execute all stages; return the final table plus the FACT trail.
 
-        When :func:`repro.obs.configure` is active, the run opens a root
-        span (``pipeline.run``) with one child span per stage carrying
-        row counts and the stage's parameters, samples the privacy
+        The stages run as a linear plan on :class:`repro.engine.Executor`
+        — memoisation, stage spans (now carrying a
+        ``cache="hit"|"miss"|"uncacheable"`` attribute), and the shared
+        generator's replay continuity all come from the engine.  When
+        :func:`repro.obs.configure` is active, the run opens a root span
+        (``pipeline.run``) with one child span per stage carrying row
+        counts and the stage's parameters, samples the privacy
         accountant's budget gauges, and flushes merged JSONL telemetry
-        to the configured export path.  Unconfigured runs pay a single
-        ``is None`` check per stage and produce byte-identical output.
+        to the configured export path.  Unconfigured runs produce
+        byte-identical output.
         """
         telemetry = obs.get()
         store = resolve_store(self.store)
@@ -163,29 +164,33 @@ class Pipeline:
             context.audit.record(self.actor, "run_started",
                                  n_rows=table.n_rows,
                                  n_stages=len(self.stages))
-            for stage in self.stages:
-                if telemetry is None:
-                    current = self._apply_stage(stage, current, context, store)
-                else:
-                    with telemetry.tracer.span(
-                        f"stage:{stage.name}", **stage.params()
-                    ) as span:
-                        span.set_attribute("n_rows_in", current.n_rows)
-                        current = self._apply_stage(
-                            stage, current, context, store
-                        )
-                        span.set_attribute("n_rows", current.n_rows)
+            trail = {"table": current, "artifact": artifact}
+
+            def observer(run: NodeRun) -> None:
+                # Fires on the coordinator after each stage commits, in
+                # stage order — the audit log and provenance graph read
+                # exactly as they did under the hand-rolled loop.
+                trail["table"] = run.value
                 context.audit.record(
-                    self.actor, f"stage:{stage.name}", n_rows=current.n_rows
+                    self.actor, f"stage:{run.label}", n_rows=run.value.n_rows
                 )
                 if graph is not None:
                     next_artifact = self._register(
-                        graph, current, f"after {stage.name}"
+                        graph, run.value, f"after {run.label}"
                     )
                     graph.record_step(
-                        stage.name, [artifact], [next_artifact], stage.params()
+                        run.label, [trail["artifact"]], [next_artifact],
+                        run.node.record_params,
                     )
-                    artifact = next_artifact
+                    trail["artifact"] = next_artifact
+
+            executor = Executor(n_jobs=1, backend="serial", name="stage")
+            plan_result = executor.run(
+                self.build_plan(context), {"table": table},
+                store=store, rng=context.rng, observer=observer,
+            )
+            current = plan_result.output
+            artifact = trail["artifact"]
             context.audit.record(self.actor, "run_finished",
                                  n_rows=current.n_rows)
         finally:

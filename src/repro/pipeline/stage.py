@@ -52,6 +52,48 @@ class Stage(abc.ABC):
         """
         return {}
 
+    def as_node(self, name: str, input_name: str, context):
+        """This stage as a :class:`repro.engine.Node` consuming ``input_name``.
+
+        The node's cache key covers exactly what the pipeline's
+        hand-written memoisation covered: the stage's compiled ``apply``
+        code, its :meth:`params`, its :meth:`cache_key_extras`, and the
+        input table's full content — plus, for cacheable stages, the
+        shared generator's continuity through ``rng="shared"``.  The key
+        parts are a *callable*, so store-less pipelines never pay for
+        fingerprinting.
+        """
+        from repro.engine import Node
+        from repro.store import canonical
+
+        def run(inputs, rng):
+            return self.apply(inputs[input_name], context)
+
+        def key_params():
+            return {
+                "name": self.name,
+                "params": canonical(self.params()),
+                **self.cache_key_extras(context),
+            }
+
+        def annotate(value, inputs):
+            return {"n_rows_in": inputs[input_name].n_rows,
+                    "n_rows": value.n_rows}
+
+        return Node(
+            name, run,
+            inputs=(input_name,),
+            params=key_params,
+            code=type(self).apply,
+            cacheable=self.cacheable,
+            rng="shared" if self.cacheable else None,
+            label=self.name,
+            span_attrs=self.params(),
+            record_params=self.params(),
+            tags=lambda fps: (f"table:{fps[input_name]}",),
+            annotate=annotate,
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.params()})"
 

@@ -13,19 +13,25 @@ the registered table's version is folded in (re-registering a table
 invalidates every cached answer computed from the old rows — replaying
 those would be answering about data that no longer exists).
 
-The hashing itself lives in :func:`repro.store.fingerprint.fingerprint`
-— the planner's historical private ``_fingerprint``, promoted to the
-system-wide canonicalisation shared with the artifact store.  The
-digests are unchanged, so answers cached before the refactor replay
-after it (regression-tested in ``tests/test_store.py``).
+A served query *is* a one-node dataflow plan: the planner represents it
+as a :class:`repro.engine.Node` whose ``key_parts`` are the canonical
+query identity, and the plan's fingerprint is exactly that node's cache
+key.  The hashing bottoms out in
+:func:`repro.store.fingerprint.fingerprint` — the planner's historical
+private ``_fingerprint``, promoted to the system-wide canonicalisation
+shared with the artifact store.  The digests are unchanged through both
+refactors, so answers cached before them replay after them
+(regression-tested in ``tests/test_store.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.data.schema import ColumnType
 from repro.data.table import Table
+from repro.engine import Node, Plan
 from repro.exceptions import DataError
 from repro.serve.protocol import KINDS, QueryRequest
 from repro.store.fingerprint import fingerprint
@@ -49,6 +55,41 @@ class QueryPlan:
     q: float | None
     bins: tuple
     fingerprint: str
+
+    def key_parts(self) -> dict:
+        """The canonical identity of this release, as engine key parts."""
+        return {
+            "table": self.table, "version": self.table_version,
+            "kind": self.kind, "column": self.column,
+            "epsilon": self.epsilon, "delta": self.delta,
+            "lower": self.lower, "upper": self.upper, "q": self.q,
+            "bins": self.bins,
+        }
+
+    def as_node(self, execute: Callable | None = None) -> Node:
+        """This query as an engine node.
+
+        Without ``execute`` the node is representation-only — it can be
+        fingerprinted and wired but not run (what the planner needs).
+        With ``execute`` (a ``plan -> value`` callable, e.g. the
+        server's noisy-execution dispatch) the node computes the
+        release.  Uncacheable by design: each execution must draw fresh
+        noise — *answer* replay is the :class:`AnswerCache`'s job,
+        governed by budget semantics, not the artifact store's.
+        """
+        fn = None
+        if execute is not None:
+            fn = lambda inputs, rng: execute(self)  # noqa: E731
+        return Node(
+            f"query:{self.kind}", fn,
+            key_parts=self.key_parts(),
+            cacheable=False,
+            label=f"query:{self.kind}",
+        )
+
+    def as_engine_plan(self, execute: Callable) -> Plan:
+        """The query as a runnable one-node :class:`repro.engine.Plan`."""
+        return Plan([self.as_node(execute)])
 
 
 class QueryPlanner:
@@ -145,15 +186,18 @@ class QueryPlanner:
                 raise DataError(f"bad histogram bins: {error}") from None
 
         version = self._versions[table_name]
+        # The digest is the query node's engine cache key: the planner
+        # owns validation/normalisation, the engine owns identity.
+        identity = Node(f"query:{kind}", None, key_parts={
+            "table": table_name, "version": version, "kind": kind,
+            "column": column, "epsilon": epsilon, "delta": delta,
+            "lower": lower, "upper": upper, "q": q, "bins": bins,
+        })
         return QueryPlan(
             kind=kind, table=table_name, table_version=version,
             epsilon=epsilon, delta=delta, column=column,
             lower=lower, upper=upper, q=q, bins=bins,
-            fingerprint=fingerprint(
-                table=table_name, version=version, kind=kind, column=column,
-                epsilon=epsilon, delta=delta, lower=lower, upper=upper, q=q,
-                bins=bins,
-            ),
+            fingerprint=identity.key(),
         )
 
     def _resolve_table_name(self, name: str | None) -> str:

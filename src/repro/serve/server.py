@@ -46,6 +46,7 @@ from repro.confidentiality.queries import (
     dp_sum,
 )
 from repro.data.table import Table
+from repro.engine import Executor as PlanExecutor
 from repro.exceptions import DataError, PrivacyBudgetError, ReproError
 from repro.serve.admission import AdmissionController
 from repro.serve.budget import BudgetManager
@@ -97,6 +98,11 @@ class QueryServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
+        # Executions run as one-node engine plans; observe=False because
+        # the server records its own serve.query spans (concurrent,
+        # post-timed), and node-level spans would double-count.
+        self._engine = PlanExecutor(n_jobs=1, backend="serial",
+                                    name="serve", observe=False)
         self._closed = False
         self._seed_seq = np.random.SeedSequence(seed)
         self._rng_lock = threading.Lock()
@@ -285,7 +291,16 @@ class QueryServer:
     # -- execution ----------------------------------------------------------
 
     def _execute(self, plan: QueryPlan) -> float | dict:
-        """Compute the noisy answer for ``plan`` (tenant charge happens at commit)."""
+        """Compute the noisy answer for ``plan`` (tenant charge happens at commit).
+
+        The query runs as the one-node engine plan it is: the node's
+        ``key_parts`` are the release's canonical identity (the same
+        digest the answer cache keys on), and the node is uncacheable
+        because every execution must draw fresh noise.
+        """
+        return self._engine.run(plan.as_engine_plan(self._compute)).output
+
+    def _compute(self, plan: QueryPlan) -> float | dict:
         if self.backend_latency_s:
             time.sleep(self.backend_latency_s)
         table = self.planner.table(plan.table)

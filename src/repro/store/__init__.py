@@ -52,7 +52,13 @@ from repro.store.fingerprint import (
     object_fingerprint,
     table_fingerprint,
 )
-from repro.store.store import ArtifactStore, rng_state, set_rng_state
+from repro.store.store import (
+    NULL_STORE,
+    ArtifactStore,
+    NullStore,
+    rng_state,
+    set_rng_state,
+)
 
 #: Environment variable consulted when ``store=None`` (the sibling of
 #: ``REPRO_N_JOBS``): a directory path, ``memory``/``:memory:``, or unset.
@@ -91,6 +97,8 @@ __all__ = [
     "DEFAULT_MAX_BYTES",
     "JsonDirBackend",
     "MemoryBackend",
+    "NULL_STORE",
+    "NullStore",
     "STORE_ENV",
     "array_fingerprint",
     "canonical",

@@ -139,6 +139,28 @@ class ArtifactStore:
 
     # -- memoization ---------------------------------------------------------
 
+    def _replay(self, key: str):
+        """``(value, rng_after)`` stored under ``key``, or ``_MISS``.
+
+        Unlike :meth:`get`, a plain absence is *not* counted as a miss
+        here — the memoize paths count exactly one hit or one miss per
+        lookup themselves.  Corruption still deletes and counts.
+        """
+        text = self.backend.get(key)
+        if text is None:
+            return _MISS, None
+        try:
+            envelope = codec.loads(text)
+            value = envelope["value"]
+            state_after = envelope.get("rng_after")
+        except (DataError, KeyError, TypeError, ValueError):
+            self.backend.delete(key)
+            self._count("corruptions")
+            return _MISS, None
+        self._count("hits")
+        self._count_bytes("bytes_read", len(text))
+        return value, state_after
+
     def memoize(self, parts: dict, compute: Callable[[], object],
                 rng: np.random.Generator | None = None,
                 tags: tuple[str, ...] = ()):
@@ -153,29 +175,46 @@ class ArtifactStore:
         key_parts = dict(parts)
         if rng is not None:
             key_parts["rng"] = rng_state(rng)
-        key = fingerprint(**key_parts)
-        text = self.backend.get(key)
-        if text is not None:
-            try:
-                envelope = codec.loads(text)
-                value = envelope["value"]
-                state_after = envelope.get("rng_after")
-            except (DataError, KeyError, TypeError, ValueError):
-                self.backend.delete(key)
-                self._count("corruptions")
-            else:
-                if rng is not None and state_after is not None:
-                    set_rng_state(rng, state_after)
-                self._count("hits")
-                self._count_bytes("bytes_read", len(text))
-                return value
+        value, _ = self._memoize(fingerprint(**key_parts), compute,
+                                 rng=rng, tags=tags)
+        return value
+
+    def memoize_with_status(self, compute: Callable[[], object], *,
+                            key: str | Callable[[], str],
+                            rng: np.random.Generator | None = None,
+                            tags=()):
+        """:meth:`memoize` on a precomputed digest; reports hit or miss.
+
+        This is the engine's entry point: ``key`` is a full cache digest
+        (e.g. :meth:`repro.engine.Node.key`) or a zero-argument callable
+        producing one — lazy, so a caller holding a :class:`NullStore`
+        never pays for fingerprinting.  ``tags`` may likewise be a
+        zero-argument callable.  When ``rng`` is given, its pre-call
+        state is folded into the digest and its post-call state restored
+        on hits, exactly as in :meth:`memoize`.
+
+        Returns ``(value, "hit" | "miss")``.
+        """
+        digest = key() if callable(key) else key
+        if rng is not None:
+            digest = fingerprint(key=digest, rng=rng_state(rng))
+        return self._memoize(digest, compute, rng=rng, tags=tags)
+
+    def _memoize(self, key: str, compute: Callable[[], object],
+                 rng: np.random.Generator | None = None, tags=()):
+        value, state_after = self._replay(key)
+        if value is not _MISS:
+            if rng is not None and state_after is not None:
+                set_rng_state(rng, state_after)
+            return value, "hit"
         self._count("misses")
         value = compute()
         extra = {}
         if rng is not None:
             extra["rng_after"] = rng_state(rng)
-        self.put(key, value, tags=tags, extra=extra)
-        return value
+        resolved_tags = tuple(tags() if callable(tags) else tags)
+        self.put(key, value, tags=resolved_tags, extra=extra)
+        return value, "miss"
 
     # -- invalidation --------------------------------------------------------
 
@@ -243,3 +282,62 @@ class ArtifactStore:
             telemetry.metrics.counter(
                 f"store.{counter}", store=self.name
             ).inc(int(amount))
+
+
+class NullStore:
+    """A store-shaped no-op: never caches, never counts, never hashes.
+
+    Passing ``NULL_STORE`` where an :class:`ArtifactStore` is expected
+    collapses the caller's ``if store is None: ... else: ...`` branch
+    pair into one code path: :meth:`memoize_with_status` just runs the
+    computation and reports ``"uncacheable"``, and because the engine
+    passes its key/tags as *callables*, a storeless run never evaluates
+    a single fingerprint.
+    """
+
+    name = "null"
+
+    def memoize_with_status(self, compute: Callable[[], object], *,
+                            key=None, rng=None, tags=()):
+        """Run ``compute()``; nothing is looked up or kept."""
+        return compute(), "uncacheable"
+
+    def memoize(self, parts, compute: Callable[[], object],
+                rng=None, tags=()):
+        """Run ``compute()``; nothing is looked up or kept."""
+        return compute()
+
+    def get(self, key: str, default=None):
+        """Always ``default`` — the null store holds nothing."""
+        return default
+
+    def put(self, key: str, value, tags=(), extra=None) -> str:
+        """Accept and discard ``value``; returns ``key`` unchanged."""
+        return key
+
+    def invalidate(self, key: str) -> None:
+        """No-op (nothing is ever stored)."""
+
+    def invalidate_tag(self, tag: str) -> int:
+        """No-op; always 0 entries dropped."""
+        return 0
+
+    def clear(self) -> None:
+        """No-op (nothing is ever stored)."""
+
+    def stats(self) -> dict[str, float]:
+        """All-zero counters, for uniform reporting."""
+        return {"entries": 0, "bytes": 0, "hits": 0, "misses": 0,
+                "puts": 0, "evictions": 0, "corruptions": 0,
+                "hit_rate": 0.0, "bytes_written": 0, "bytes_read": 0}
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op store; ``store if store is not None else NULL_STORE``
+#: turns an optional-store API into a single unconditional code path.
+NULL_STORE = NullStore()
