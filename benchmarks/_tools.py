@@ -8,10 +8,13 @@ times the system.  Run with ``-s`` to see the tables inline; they are
 also appended to ``benchmarks/results.txt``.
 
 Every bench additionally runs under a wall-clock :mod:`repro.obs`
-telemetry session, so each invocation appends its span tree and metric
-summaries to ``benchmarks/telemetry.jsonl`` — the perf trajectory the
-ROADMAP's "fast as the hardware allows" goal is measured against.
-Inspect it with ``python -m repro telemetry benchmarks/telemetry.jsonl``.
+telemetry session appended to ``telemetry.jsonl`` (location overridable
+via ``REPRO_TELEMETRY_PATH``, mirroring ``REPRO_N_JOBS`` /
+``REPRO_STORE``).  Sessions are delimited by marker records and the
+file is rotated down to the last :data:`MAX_TELEMETRY_SESSIONS` on each
+append, so it never grows without bound.  Named ``run_once`` calls also
+append a record to the bench's ``BENCH_<name>.json`` perf trajectory —
+see :mod:`repro.bench`.
 """
 
 from __future__ import annotations
@@ -20,35 +23,38 @@ import os
 from typing import Sequence
 
 from repro import obs
+from repro.bench import (
+    TELEMETRY_PATH_ENV,
+    BenchRecord,
+    append_record,
+    format_table,
+    rotate_jsonl_sessions,
+    session_marker,
+    trajectory_path,
+)
 
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
-TELEMETRY_PATH = os.path.join(os.path.dirname(__file__), "telemetry.jsonl")
+__all__ = ["RESULTS_PATH", "TELEMETRY_PATH", "SEED", "MAX_TELEMETRY_SESSIONS",
+           "format_table", "emit", "telemetry_path", "append_session",
+           "run_once"]
+
+_HERE = os.path.dirname(__file__)
+RESULTS_PATH = os.path.join(_HERE, "results.txt")
+#: Import-time default; :func:`telemetry_path` re-reads the env so tests
+#: (and CI) can redirect per invocation.
+TELEMETRY_PATH = os.environ.get(
+    TELEMETRY_PATH_ENV, os.path.join(_HERE, "telemetry.jsonl")
+)
 SEED = 20170626  # the editorial's publication date
 
+#: Keep this many appended sessions in telemetry.jsonl.
+MAX_TELEMETRY_SESSIONS = 24
 
-def format_table(title: str, headers: Sequence[str],
-                 rows: Sequence[Sequence[object]]) -> str:
-    """Fixed-width text table (the shape the paper's tables would have)."""
-    rendered_rows = [
-        [f"{value:.4f}" if isinstance(value, float) else str(value)
-         for value in row]
-        for row in rows
-    ]
-    widths = [
-        max(len(str(headers[index])),
-            *(len(row[index]) for row in rendered_rows))
-        for index in range(len(headers))
-    ] if rendered_rows else [len(str(h)) for h in headers]
-    lines = [f"== {title} =="]
-    lines.append("  ".join(
-        str(header).ljust(width) for header, width in zip(headers, widths)
-    ))
-    lines.append("  ".join("-" * width for width in widths))
-    for row in rendered_rows:
-        lines.append("  ".join(
-            cell.ljust(width) for cell, width in zip(row, widths)
-        ))
-    return "\n".join(lines)
+
+def telemetry_path() -> str:
+    """Where bench telemetry goes (``REPRO_TELEMETRY_PATH`` wins)."""
+    return os.environ.get(
+        TELEMETRY_PATH_ENV, os.path.join(_HERE, "telemetry.jsonl")
+    )
 
 
 def emit(text: str) -> None:
@@ -58,20 +64,39 @@ def emit(text: str) -> None:
         handle.write(text + "\n\n")
 
 
-def run_once(benchmark, fn):
+def append_session(telemetry, label: str) -> None:
+    """One marker + the session's merged records, then rotate."""
+    path = telemetry_path()
+    records = [session_marker(label)] + telemetry.to_dicts()
+    obs.write_jsonl(path, records, append=True)
+    rotate_jsonl_sessions(path, MAX_TELEMETRY_SESSIONS)
+
+
+def run_once(benchmark, fn, name: str | None = None):
     """Time ``fn`` exactly once through pytest-benchmark and return it.
 
     The experiments are deterministic and heavy; one round gives the
     timing without multiplying the work.  The call runs inside a
-    wall-clock telemetry session whose merged records are appended to
-    :data:`TELEMETRY_PATH`.
+    wall-clock telemetry session appended to :func:`telemetry_path`.
+    When ``name`` is given, the measured wall time is also appended to
+    ``BENCH_<name>.json`` next to ``telemetry.jsonl`` — a per-experiment
+    perf trajectory alongside the suite's (``python -m repro bench``).
     """
+    label = getattr(fn, "__qualname__", type(fn).__name__)
     telemetry = obs.configure(clock=obs.WallClock())
     try:
-        with telemetry.tracer.span(
-            f"bench:{getattr(fn, '__qualname__', type(fn).__name__)}"
-        ):
-            return benchmark.pedantic(fn, rounds=1, iterations=1)
+        with telemetry.tracer.span(f"bench:{label}") as span:
+            result = benchmark.pedantic(fn, rounds=1, iterations=1)
     finally:
-        obs.write_jsonl(TELEMETRY_PATH, telemetry.to_dicts(), append=True)
+        append_session(telemetry, name or label)
         obs.reset()
+    if name is not None:
+        record = BenchRecord(
+            name=name, mode="experiment", runs=1, warmup=0,
+            metrics={"wall_s_median": round(span.duration, 6),
+                     "wall_s_min": round(span.duration, 6)},
+        ).stamp(cwd=_HERE)
+        append_record(
+            trajectory_path(name, os.path.dirname(telemetry_path())), record
+        )
+    return result

@@ -51,7 +51,7 @@ def run_a1():
 
 
 def test_a1_composition_strategy(benchmark):
-    rows = run_once(benchmark, run_a1)
+    rows = run_once(benchmark, run_a1, name="a1")
     emit(format_table(
         "A1: queries affordable at total epsilon=1.0 (delta'=1e-6)",
         ["per_query_eps", "basic", "advanced", "winner"],
@@ -106,7 +106,7 @@ def run_a2():
 
 
 def test_a2_mitigation_placement(benchmark):
-    rows = run_once(benchmark, run_a2)
+    rows = run_once(benchmark, run_a2, name="a2")
     emit(format_table(
         "A2: where in the pipeline to mitigate",
         ["stage", "accuracy", "DI_ratio", "group_needed_at_decision"],
@@ -153,7 +153,7 @@ def run_a3():
 
 
 def test_a3_provenance_granularity(benchmark):
-    rows = run_once(benchmark, run_a3)
+    rows = run_once(benchmark, run_a3, name="a3")
     emit(format_table(
         "A3: provenance cost by granularity (best-of-3 wall ms)",
         ["events", "off_ms", "stage_ms", "fingerprint_ms",
@@ -205,7 +205,7 @@ def run_a4():
 
 
 def test_a4_impossibility(benchmark):
-    rows = run_once(benchmark, run_a4)
+    rows = run_once(benchmark, run_a4, name="a4")
     emit(format_table(
         "A4: base-rate gap -> disparity no score can avoid "
         "(it surfaces as FPR gap, PPV gap, or both)",

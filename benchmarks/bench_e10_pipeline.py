@@ -79,7 +79,7 @@ def run_modes():
 
 
 def test_e10_provenance_overhead(benchmark):
-    (rows, lineages) = run_once(benchmark, run_modes)
+    (rows, lineages) = run_once(benchmark, run_modes, name="e10_pipeline")
     emit(format_table(
         f"E10: pipeline throughput vs provenance mode "
         f"({MINUTES} Internet Minutes at scale {SCALE:g})",

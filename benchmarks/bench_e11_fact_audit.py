@@ -90,7 +90,9 @@ def run_audits():
 
 
 def test_e11_fact_audit(benchmark):
-    rows, careless_report, responsible_report = run_once(benchmark, run_audits)
+    rows, careless_report, responsible_report = run_once(
+        benchmark, run_audits, name="e11_fact_audit"
+    )
     emit(format_table(
         "E11: green-data-science scorecard, careless vs FACT-by-design",
         ["pipeline", "fairness", "accuracy", "confidentiality",

@@ -99,7 +99,7 @@ def run_k_release():
 
 
 def test_e12_dp_model_release(benchmark):
-    rows = run_once(benchmark, run_dp_release)
+    rows = run_once(benchmark, run_dp_release, name="e12_process_dp")
     emit(format_table(
         "E12a: DP process-model release vs ground truth (mean of 5 draws)",
         ["release", "edge_F1_vs_truth", "fitness", "precision"],
@@ -115,7 +115,7 @@ def test_e12_dp_model_release(benchmark):
 
 
 def test_e12_k_anonymous_log_release(benchmark):
-    rows = run_once(benchmark, run_k_release)
+    rows = run_once(benchmark, run_k_release, name="e12_process_k")
     emit(format_table(
         "E12b: k-anonymous event-log release",
         ["release", "k", "variant_uniqueness", "trace_suppression"],

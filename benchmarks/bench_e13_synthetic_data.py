@@ -74,7 +74,7 @@ def run_sweep():
 
 
 def test_e13_synthetic_data(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e13_synthetic")
     emit(format_table(
         "E13: DP synthetic-data release (train-on-synthetic, test-on-real)",
         ["epsilon", "mean_marginal_TV", "downstream_acc", "downstream_auc",

@@ -148,7 +148,9 @@ def run_serving():
 
 
 def test_e14_serving(benchmark):
-    budget_rows, throughput_rows = run_once(benchmark, run_serving)
+    budget_rows, throughput_rows = run_once(
+        benchmark, run_serving, name="e14_serving"
+    )
     emit(format_table(
         "E14a: Zipf workload, total epsilon with the DP answer cache on vs off",
         ["mode", "requests", "cache_hits", "total_epsilon", "savings_x"],

@@ -32,7 +32,7 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
 
-from benchmarks._tools import SEED, TELEMETRY_PATH, emit, format_table  # noqa: E402
+from benchmarks._tools import SEED, append_session, emit, format_table  # noqa: E402
 from repro import obs  # noqa: E402
 from repro.accuracy.bootstrap import bootstrap_ci  # noqa: E402
 from repro.learn.linear import LogisticRegression  # noqa: E402
@@ -144,7 +144,7 @@ def main(argv=None) -> int:
                     "yes" if identical else "NO",
                 ])
     finally:
-        obs.write_jsonl(TELEMETRY_PATH, telemetry.to_dicts(), append=True)
+        append_session(telemetry, "e15_parallel")
         obs.reset()
 
     title = (

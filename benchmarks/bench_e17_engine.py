@@ -34,7 +34,7 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
 
-from benchmarks._tools import SEED, TELEMETRY_PATH, emit, format_table  # noqa: E402
+from benchmarks._tools import SEED, append_session, emit, format_table  # noqa: E402
 from repro import obs  # noqa: E402
 from repro.core.auditor import FACTAuditor  # noqa: E402
 from repro.data.synth import CreditScoringGenerator  # noqa: E402
@@ -137,7 +137,7 @@ def main(argv=None) -> int:
                 f"cores (floor {MIN_CONCURRENT_SPEEDUP}x)"
             )
     finally:
-        obs.write_jsonl(TELEMETRY_PATH, telemetry.to_dicts(), append=True)
+        append_session(telemetry, "e17_engine")
         obs.reset()
 
     title = (

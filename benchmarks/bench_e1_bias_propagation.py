@@ -46,7 +46,7 @@ def run_sweep():
 
 
 def test_e1_bias_propagation(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e1_bias")
     emit(format_table(
         "E1: group disparity of a group-blind model vs injected bias",
         ["label_bias", "proxy", "DI_ratio", "SPD", "EOD", "4/5 rule"],
@@ -127,7 +127,7 @@ def run_underrepresentation():
 
 
 def test_e1b_underrepresentation(benchmark):
-    rows = run_once(benchmark, run_underrepresentation)
+    rows = run_once(benchmark, run_underrepresentation, name="e1_underrep")
     emit(format_table(
         "E1b: under-representation as mechanism loss "
         "(group B's creditworthiness rides on a different feature)",

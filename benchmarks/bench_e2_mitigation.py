@@ -97,7 +97,7 @@ def run_comparison():
 
 
 def test_e2_mitigation_comparison(benchmark):
-    rows = run_once(benchmark, run_comparison)
+    rows = run_once(benchmark, run_comparison, name="e2_mitigation")
     emit(format_table(
         "E2: mitigation comparison on biased lending data",
         ["method", "acc(recorded)", "acc(oracle)", "DI_ratio", "SPD", "EOD"],

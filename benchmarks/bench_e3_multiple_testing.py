@@ -54,7 +54,7 @@ def run_sweep():
 
 
 def test_e3_multiple_testing(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e3_multiple_testing")
     emit(format_table(
         "E3: false 'discoveries' on pure noise (mean of "
         f"{N_REPEATS} runs, n={N_ROWS}, alpha=0.05)",

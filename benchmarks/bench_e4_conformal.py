@@ -57,7 +57,7 @@ def run_sweep():
 
 
 def test_e4_conformal_coverage(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e4_conformal")
     emit(format_table(
         "E4: conformal coverage guarantee across models and alpha",
         ["model", "alpha", "nominal", "coverage", "mean_set_size"],
@@ -112,7 +112,7 @@ def run_group_conditional():
 
 
 def test_e4b_equalized_coverage(benchmark):
-    rows = run_once(benchmark, run_group_conditional)
+    rows = run_once(benchmark, run_group_conditional, name="e4_conformal_group")
     emit(format_table(
         "E4b: per-group coverage, marginal vs group-conditional "
         "(nominal 90%; group B's scores are noisier)",

@@ -59,7 +59,7 @@ def run_detection():
 
 
 def test_e5_simpsons_paradox(benchmark):
-    rows = run_once(benchmark, run_detection)
+    rows = run_once(benchmark, run_detection, name="e5_simpson")
     emit(format_table(
         "E5: aggregate vs stratified effects (known truth injected)",
         ["dataset", "aggregate_diff", "adjusted_diff", "true_effect",

@@ -66,7 +66,7 @@ def run_sweep():
 
 
 def test_e6_causal_estimators(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e6_causal")
     emit(format_table(
         "E6: estimator bias vs ground-truth ad lift "
         "(negative = underestimate)",

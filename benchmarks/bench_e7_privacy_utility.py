@@ -93,7 +93,7 @@ def run_sweep():
 
 
 def test_e7_privacy_utility(benchmark):
-    rows = run_once(benchmark, run_sweep)
+    rows = run_once(benchmark, run_sweep, name="e7_privacy_utility")
     emit(format_table(
         "E7: privacy-utility curves (errors down, accuracy up with epsilon)",
         ["epsilon", "mean_query_err", "hist_bin_err",

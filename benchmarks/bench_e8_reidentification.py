@@ -87,7 +87,7 @@ def run_membership():
 
 
 def test_e8_linkage_attack(benchmark):
-    rows = run_once(benchmark, run_linkage)
+    rows = run_once(benchmark, run_linkage, name="e8_linkage")
     emit(format_table(
         "E8a: linkage-attack re-identification vs anonymisation level",
         ["release", "achieved_k", "reid_rate", "unique_rows", "info_loss"],
@@ -103,7 +103,7 @@ def test_e8_linkage_attack(benchmark):
 
 
 def test_e8_membership_inference(benchmark):
-    rows = run_once(benchmark, run_membership)
+    rows = run_once(benchmark, run_membership, name="e8_membership")
     emit(format_table(
         "E8b: membership-inference advantage vs epsilon (DP bound shown)",
         ["epsilon", "empirical_advantage", "dp_bound"],

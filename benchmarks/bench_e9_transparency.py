@@ -94,7 +94,9 @@ def run_depth_curve(mlp_model):
 
 
 def test_e9_model_frontier(benchmark):
-    rows, mlp_model = run_once(benchmark, run_frontier)
+    rows, mlp_model = run_once(
+        benchmark, run_frontier, name="e9_transparency"
+    )
     emit(format_table(
         "E9a: accuracy vs opacity vs explainability",
         ["model", "accuracy", "size_proxy", "surrogate_fid(d3)",

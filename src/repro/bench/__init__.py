@@ -1,0 +1,82 @@
+"""``repro.bench`` — benchmark harness + machine-readable perf trajectory.
+
+The observability counterpart to :mod:`repro.obs`: where ``obs`` records
+*one run's* spans and metrics, ``bench`` records how the system's speed
+moves *across commits*.  Four pieces:
+
+* :class:`BenchHarness` (:mod:`repro.bench.harness`) — warmup + N
+  measured runs of a callable; median/p90 wall, CPU, peak RSS, cache
+  counter deltas.
+* :mod:`repro.bench.trajectory` — ``BENCH_<name>.json`` append-per-run
+  history files (commit, timestamp, environment fingerprint, metrics)
+  plus session-capped rotation for the benches' ``telemetry.jsonl``.
+* :func:`compare` (:mod:`repro.bench.compare`) — the regression gate:
+  >20% slower than the latest same-mode baseline (and past an absolute
+  noise floor) fails.
+* :data:`SUITE` / :func:`run_suite` (:mod:`repro.bench.suite`) — the
+  named benchmarks behind ``python -m repro bench [--smoke] [--check]``.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_MIN_DELTA_S,
+    DEFAULT_TOLERANCE,
+    GATED_METRICS,
+    CompareResult,
+    MetricDelta,
+    compare,
+)
+from repro.bench.harness import (
+    BenchHarness,
+    BenchResult,
+    cache_counter_totals,
+    rss_peak_kb,
+)
+from repro.bench.suite import SEED, SUITE, BenchSpec, SuiteOutcome, run_suite
+from repro.bench.tools import format_table
+from repro.bench.trajectory import (
+    BENCH_PREFIX,
+    SESSION_RECORD,
+    TELEMETRY_PATH_ENV,
+    BenchRecord,
+    append_record,
+    environment_fingerprint,
+    git_commit,
+    latest_baseline,
+    load_trajectory,
+    new_trajectory,
+    rotate_jsonl_sessions,
+    session_marker,
+    trajectory_path,
+)
+
+__all__ = [
+    "BENCH_PREFIX",
+    "BenchHarness",
+    "BenchRecord",
+    "BenchResult",
+    "BenchSpec",
+    "CompareResult",
+    "DEFAULT_MIN_DELTA_S",
+    "DEFAULT_TOLERANCE",
+    "GATED_METRICS",
+    "MetricDelta",
+    "SEED",
+    "SESSION_RECORD",
+    "SUITE",
+    "SuiteOutcome",
+    "TELEMETRY_PATH_ENV",
+    "append_record",
+    "cache_counter_totals",
+    "compare",
+    "environment_fingerprint",
+    "format_table",
+    "git_commit",
+    "latest_baseline",
+    "load_trajectory",
+    "new_trajectory",
+    "rotate_jsonl_sessions",
+    "rss_peak_kb",
+    "run_suite",
+    "session_marker",
+    "trajectory_path",
+]

@@ -1,0 +1,105 @@
+"""The regression gate: ``compare(baseline, current, tolerance)``.
+
+Gated metrics are the medians (``wall_s_median``, ``cpu_s_median``) —
+p90/min ride along in the trajectory for humans but do not gate, being
+too noisy at benchmark-sized N.  A regression needs **both**:
+
+* relative: ``current > baseline * (1 + tolerance)`` — strictly
+  greater, so landing exactly on the boundary passes, and
+* absolute: ``current - baseline > min_delta_s`` — a noise floor so a
+  3 ms benchmark cannot fail CI over a 1 ms scheduler hiccup.
+
+Improvements are flagged symmetrically (they never fail the gate; they
+are a hint to re-baseline so the gate tightens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataError
+
+#: Metrics the gate checks, in report order.
+GATED_METRICS = ("wall_s_median", "cpu_s_median")
+
+#: Default relative tolerance: >20% slower fails.
+DEFAULT_TOLERANCE = 0.20
+
+#: Default absolute noise floor in seconds.
+DEFAULT_MIN_DELTA_S = 0.02
+
+
+@dataclass
+class MetricDelta:
+    """One gated metric's baseline-vs-current movement."""
+
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def render(self) -> str:
+        return (f"{self.metric}: {self.baseline:.4f}s -> "
+                f"{self.current:.4f}s ({self.ratio:.2f}x baseline)")
+
+
+@dataclass
+class CompareResult:
+    """Gate verdict for one benchmark."""
+
+    name: str
+    regressions: list[MetricDelta] = field(default_factory=list)
+    improvements: list[MetricDelta] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _metrics_of(record: dict) -> dict:
+    """Accept a trajectory run record or a bare metrics dict."""
+    if not isinstance(record, dict):
+        raise DataError("compare() needs dict records")
+    inner = record.get("metrics")
+    return inner if isinstance(inner, dict) else record
+
+
+def compare(baseline: dict, current: dict,
+            tolerance: float = DEFAULT_TOLERANCE,
+            min_delta_s: float = DEFAULT_MIN_DELTA_S,
+            metrics: tuple[str, ...] = GATED_METRICS,
+            name: str = "") -> CompareResult:
+    """Gate ``current`` against ``baseline`` (see module docstring).
+
+    Either argument may be a full trajectory run record (its
+    ``metrics`` are used) or a metrics dict directly.  Metrics missing
+    on either side, or with a non-positive baseline, are skipped — a
+    new metric must never fail an old baseline.
+    """
+    if tolerance < 0:
+        raise DataError("tolerance must be >= 0")
+    base = _metrics_of(baseline)
+    cur = _metrics_of(current)
+    result = CompareResult(name=name or str(current.get("name", "")))
+    for metric in metrics:
+        base_value = base.get(metric)
+        cur_value = cur.get(metric)
+        if (not isinstance(base_value, (int, float))
+                or not isinstance(cur_value, (int, float))
+                or base_value <= 0):
+            result.skipped.append(metric)
+            continue
+        result.checked.append(metric)
+        delta = MetricDelta(metric, float(base_value), float(cur_value))
+        if (cur_value > base_value * (1.0 + tolerance)
+                and cur_value - base_value > min_delta_s):
+            result.regressions.append(delta)
+        elif (cur_value < base_value * (1.0 - tolerance)
+                and base_value - cur_value > min_delta_s):
+            result.improvements.append(delta)
+    return result

@@ -1,0 +1,163 @@
+"""``BenchHarness`` — run a benchmark N times, measure, summarize.
+
+One harness invocation produces one metrics dict in the shape every
+``BENCH_*.json`` trajectory record carries:
+
+* ``wall_s_median`` / ``wall_s_p90`` / ``wall_s_min`` — per-run wall
+  seconds (``time.perf_counter``),
+* ``cpu_s_median`` — per-run process CPU seconds (``time.process_time``;
+  whole-process on purpose, so parallel backends are charged for the
+  cores they burn),
+* ``rss_peak_kb`` — process high-water RSS (``resource.getrusage``),
+* ``alloc_peak_kb`` — optional ``tracemalloc`` peak from one extra
+  instrumented run,
+* ``cache`` — hit/miss counter deltas read from the active telemetry,
+  when one is configured.
+
+``handicap_s`` injects a sleep *inside* every timed region.  That is the
+regression gate's self-test: ``python -m repro bench --check --handicap
+0.5`` must exit nonzero, proving the gate can actually trip.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import DataError
+
+try:
+    import resource
+except ImportError:          # non-POSIX: RSS just goes unreported
+    resource = None
+
+#: Counter names summed into the ``cache`` metric (across all labels).
+CACHE_COUNTERS = {
+    "hits": ("store.hits", "serve.cache.hits"),
+    "misses": ("store.misses", "serve.cache.misses"),
+    "uncacheable": ("store.uncacheable",),
+}
+
+
+def rss_peak_kb() -> float | None:
+    """Process high-water RSS in KiB, or ``None`` where unsupported."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+    if sys.platform == "darwin":    # ru_maxrss is bytes on macOS
+        peak /= 1024.0
+    return float(peak)
+
+
+def cache_counter_totals(telemetry) -> dict[str, int]:
+    """Sum the known cache counters in ``telemetry`` across labels."""
+    totals = {key: 0 for key in CACHE_COUNTERS}
+    if telemetry is None:
+        return totals
+    for metric in telemetry.metrics:
+        if metric.kind != "counter":
+            continue
+        for key, names in CACHE_COUNTERS.items():
+            if metric.name in names:
+                totals[key] += int(metric.value)
+    return totals
+
+
+@dataclass
+class BenchResult:
+    """Everything one harness run measured."""
+
+    name: str
+    wall_s: list[float]
+    cpu_s: list[float]
+    metrics: dict[str, object] = field(default_factory=dict)
+    payload: object = None      # last return value of the benched fn
+
+
+class BenchHarness:
+    """Warmup + N measured runs of one callable.
+
+    The callable is the whole benchmark: setup belongs *outside* (build
+    the table, the plan, the server first; hand the harness only the
+    part whose speed is the claim).
+    """
+
+    def __init__(self, name: str, runs: int = 5, warmup: int = 1,
+                 handicap_s: float = 0.0, measure_alloc: bool = False):
+        if runs < 1:
+            raise DataError("BenchHarness needs runs >= 1")
+        if warmup < 0 or handicap_s < 0:
+            raise DataError("warmup and handicap_s must be >= 0")
+        self.name = name
+        self.runs = runs
+        self.warmup = warmup
+        self.handicap_s = float(handicap_s)
+        self.measure_alloc = bool(measure_alloc)
+
+    def run(self, fn: Callable[[], object],
+            telemetry=None) -> BenchResult:
+        """Execute ``warmup + runs`` calls and summarize the timings.
+
+        ``telemetry`` (a ``repro.obs.Telemetry``) contributes cache
+        counter deltas: the counters are snapshotted around the timed
+        phase, so warmup fills caches without polluting the metric.
+        """
+        for _ in range(self.warmup):
+            fn()
+        cache_before = cache_counter_totals(telemetry)
+        walls: list[float] = []
+        cpus: list[float] = []
+        payload = None
+        for _ in range(self.runs):
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            if self.handicap_s:
+                time.sleep(self.handicap_s)
+            payload = fn()
+            walls.append(time.perf_counter() - wall0)
+            cpus.append(time.process_time() - cpu0)
+        cache_after = cache_counter_totals(telemetry)
+
+        metrics: dict[str, object] = {
+            "wall_s_median": round(statistics.median(walls), 6),
+            "wall_s_p90": round(_p90(walls), 6),
+            "wall_s_min": round(min(walls), 6),
+            "cpu_s_median": round(statistics.median(cpus), 6),
+        }
+        rss = rss_peak_kb()
+        if rss is not None:
+            metrics["rss_peak_kb"] = round(rss, 1)
+        if self.measure_alloc:
+            metrics["alloc_peak_kb"] = round(_alloc_peak_kb(fn), 3)
+        cache = {key: cache_after[key] - cache_before[key]
+                 for key in cache_after}
+        if any(cache.values()):
+            metrics["cache"] = cache
+        return BenchResult(name=self.name, wall_s=walls, cpu_s=cpus,
+                           metrics=metrics, payload=payload)
+
+
+def _p90(values: list[float]) -> float:
+    """p90 by nearest-rank — exact for the tiny N benchmarks use."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(0.9 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _alloc_peak_kb(fn: Callable[[], object]) -> float:
+    """Peak tracemalloc KiB over one extra (untimed) run of ``fn``."""
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        return peak / 1024.0
+    finally:
+        if started:
+            tracemalloc.stop()

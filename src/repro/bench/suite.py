@@ -1,0 +1,283 @@
+"""The named benchmark suite behind ``python -m repro bench``.
+
+Three benchmarks, one per hot path the ROADMAP cares about:
+
+* ``audit`` — a cold FACT audit (resampling + engine + store writes),
+* ``pipeline`` — the redact/flag/filter pipeline over an
+  Internet-Minute event stream (table-op throughput),
+* ``serve`` — a cached multi-tenant DP query workload (serving layer).
+
+Each run appends to its ``BENCH_<name>.json`` perf trajectory and, with
+``check=True``, is gated against the latest same-mode baseline by
+:func:`repro.bench.compare.compare`.  ``--smoke`` sizes finish in a few
+seconds total so CI can run the gate on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.compare import (
+    DEFAULT_MIN_DELTA_S,
+    DEFAULT_TOLERANCE,
+    CompareResult,
+    compare,
+)
+from repro.bench.harness import BenchHarness, BenchResult
+from repro.bench.tools import format_table
+from repro.bench.trajectory import (
+    BenchRecord,
+    append_record,
+    latest_baseline,
+    load_trajectory,
+    trajectory_path,
+)
+from repro.exceptions import DataError
+
+#: Shared benchmark seed (the paper's publication date).
+SEED = 20170626
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named benchmark: setup builds the measured callable."""
+
+    name: str
+    description: str
+    setup: Callable[[bool], Callable[[], object]]
+
+
+def _setup_audit(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.core.auditor import FACTAuditor
+    from repro.data.synth import CreditScoringGenerator
+    from repro.learn.linear import LogisticRegression
+    from repro.learn.table_model import TableClassifier
+    from repro.store import ArtifactStore
+
+    n_train, n_test, n_bootstrap = (
+        (1000, 700, 250) if smoke else (4000, 2400, 900)
+    )
+    rng = np.random.default_rng(SEED)
+    generator = CreditScoringGenerator(label_bias=0.3, proxy_strength=0.8)
+    train, test = generator.generate_pair(n_train, n_test, rng)
+    mask = np.arange(test.n_rows) < test.n_rows // 3
+    calibration, held_out = test.filter(mask), test.filter(~mask)
+    model = TableClassifier(LogisticRegression()).fit(train)
+
+    def run_audit():
+        # A fresh store every call keeps the run cold (all misses) while
+        # still exercising the store-write path the engine uses.
+        auditor = FACTAuditor(n_bootstrap=n_bootstrap, n_jobs=1,
+                              backend="serial",
+                              store=ArtifactStore.in_memory())
+        return auditor.audit(model, held_out,
+                             np.random.default_rng(SEED + 1),
+                             calibration=calibration)
+
+    return run_audit
+
+
+def _setup_pipeline(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.data.schema import ColumnRole, numeric
+    from repro.data.synth import InternetMinuteGenerator
+    from repro.pipeline import FunctionStage, Pipeline, RedactStage
+
+    scale, minutes = (4e-4, 4) if smoke else (1.2e-3, 8)
+    rng = np.random.default_rng(SEED)
+    stream = InternetMinuteGenerator(
+        scale=scale, minutes=minutes
+    ).generate_stream(rng)
+
+    def add_size_flag(table):
+        flag = (table["payload_bytes"] > 1000.0).astype(float)
+        return table.with_column(
+            numeric("large_payload", role=ColumnRole.METADATA), flag
+        )
+
+    def keep_eu(table):
+        return table.filter(table["region"] == "eu")
+
+    pipeline = Pipeline([
+        RedactStage(),
+        FunctionStage("flag_large", add_size_flag),
+        FunctionStage("filter_eu", keep_eu),
+    ], provenance="stage")
+
+    def run_pipeline():
+        return pipeline.run(stream, np.random.default_rng(SEED))
+
+    return run_pipeline
+
+
+def _setup_serve(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.data.synth import CensusIncomeGenerator
+    from repro.serve import QueryRequest, QueryServer
+
+    n_rows, n_requests = (8000, 200) if smoke else (20_000, 500)
+    tenants = ("ads", "health", "policy")
+    rng = np.random.default_rng(SEED)
+    table = CensusIncomeGenerator().generate(n_rows, rng)
+    templates = [
+        dict(kind="count", epsilon=0.02),
+        dict(kind="mean", column="age", lower=18.0, upper=80.0,
+             epsilon=0.05),
+        dict(kind="mean", column="hours_per_week", lower=0.0, upper=100.0,
+             epsilon=0.05),
+        dict(kind="count", epsilon=0.1),
+    ]
+    ranks = np.arange(1, len(templates) + 1, dtype=np.float64)
+    probabilities = ranks ** -1.2
+    probabilities /= probabilities.sum()
+    choices = rng.choice(len(templates), size=n_requests, p=probabilities)
+    requests = [
+        QueryRequest(tenant=tenants[i % len(tenants)], **templates[choice])
+        for i, choice in enumerate(choices)
+    ]
+
+    def run_serve():
+        server = QueryServer(workers=2, seed=SEED, cache=True)
+        server.register_table("census", table)
+        for tenant in tenants:
+            server.register_tenant(tenant, epsilon_budget=1000.0)
+        with server:
+            results = server.submit_batch(requests)
+        if not all(result.ok for result in results):
+            raise DataError("serve benchmark workload overran its budget")
+        return results
+
+    return run_serve
+
+
+SUITE: dict[str, BenchSpec] = {
+    "audit": BenchSpec(
+        "audit", "cold FACT audit (resampling + engine + store)",
+        _setup_audit,
+    ),
+    "pipeline": BenchSpec(
+        "pipeline", "redact/flag/filter over an Internet-Minute stream",
+        _setup_pipeline,
+    ),
+    "serve": BenchSpec(
+        "serve", "cached multi-tenant DP query workload",
+        _setup_serve,
+    ),
+}
+
+
+@dataclass
+class SuiteOutcome:
+    """One benchmark's result + gate verdict within a suite run."""
+
+    spec: BenchSpec
+    result: BenchResult
+    record: BenchRecord
+    comparison: CompareResult | None   # None: gate off or no baseline
+
+
+def run_suite(names=None, smoke: bool = False, runs: int | None = None,
+              warmup: int = 1, directory: str = ".", check: bool = False,
+              tolerance: float = DEFAULT_TOLERANCE,
+              min_delta_s: float = DEFAULT_MIN_DELTA_S,
+              handicap_s: float = 0.0, append: bool = True,
+              out: Callable[[str], None] = print) -> int:
+    """Run (a subset of) the suite; returns a process exit code.
+
+    0 on success, 1 when ``check=True`` found a regression against the
+    latest same-mode baseline in the ``BENCH_*.json`` trajectories under
+    ``directory``.  Unknown names raise :class:`DataError` up front.
+    """
+    from repro import obs
+
+    selected = list(names) if names else list(SUITE)
+    unknown = [name for name in selected if name not in SUITE]
+    if unknown:
+        raise DataError(
+            f"unknown benchmark(s) {unknown}; "
+            f"known: {', '.join(sorted(SUITE))}"
+        )
+    if runs is None:
+        runs = 3 if smoke else 5
+    mode = "smoke" if smoke else "full"
+
+    outcomes: list[SuiteOutcome] = []
+    for name in selected:
+        spec = SUITE[name]
+        telemetry = obs.configure(clock=obs.WallClock())
+        try:
+            fn = spec.setup(smoke)
+            harness = BenchHarness(name, runs=runs, warmup=warmup,
+                                   handicap_s=handicap_s)
+            result = harness.run(fn, telemetry=telemetry)
+        finally:
+            obs.reset()
+        record = BenchRecord(name=name, metrics=result.metrics, mode=mode,
+                             runs=runs, warmup=warmup).stamp(cwd=directory)
+
+        comparison = None
+        path = trajectory_path(name, directory)
+        if check:
+            try:
+                baseline = latest_baseline(load_trajectory(path), mode)
+            except DataError:
+                baseline = None
+            if baseline is not None:
+                comparison = compare(baseline, record.to_dict(),
+                                     tolerance=tolerance,
+                                     min_delta_s=min_delta_s, name=name)
+        if append:
+            append_record(path, record)
+        outcomes.append(SuiteOutcome(spec, result, record, comparison))
+
+    _report(outcomes, mode, check, tolerance, out)
+    failed = [o for o in outcomes if o.comparison and not o.comparison.ok]
+    return 1 if failed else 0
+
+
+def _verdict(outcome: SuiteOutcome, check: bool) -> str:
+    if not check:
+        return "-"
+    if outcome.comparison is None:
+        return "no baseline"
+    if outcome.comparison.ok:
+        return "ok"
+    return "REGRESSION"
+
+
+def _report(outcomes, mode, check, tolerance, out) -> None:
+    rows = []
+    for outcome in outcomes:
+        metrics = outcome.record.metrics
+        cache = metrics.get("cache") or {}
+        rss = metrics.get("rss_peak_kb")
+        rows.append([
+            outcome.spec.name,
+            metrics.get("wall_s_median"),
+            metrics.get("wall_s_p90"),
+            metrics.get("cpu_s_median"),
+            None if rss is None else int(rss),
+            f"{cache.get('hits', 0)}/{cache.get('misses', 0)}",
+            _verdict(outcome, check),
+        ])
+    title = (f"repro bench ({mode}, {len(outcomes)} benchmark(s)"
+             + (f", gate ±{tolerance:.0%}" if check else "") + ")")
+    out(format_table(
+        title,
+        ["benchmark", "wall_s_med", "wall_s_p90", "cpu_s_med",
+         "rss_kb", "cache h/m", "gate"],
+        rows,
+    ))
+    for outcome in outcomes:
+        comparison = outcome.comparison
+        if comparison is None:
+            continue
+        for delta in comparison.regressions:
+            out(f"REGRESSION {outcome.spec.name}: {delta.render()}")
+        for delta in comparison.improvements:
+            out(f"improvement {outcome.spec.name}: {delta.render()}")

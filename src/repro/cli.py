@@ -7,6 +7,8 @@
     python -m repro anonymize data.csv -k 10 --quasi age --quasi zipcode -o safe.csv
     python -m repro synthesize data.csv --epsilon 2.0 -o synthetic.csv
     python -m repro telemetry run.jsonl
+    python -m repro profile run.jsonl
+    python -m repro bench --smoke --check
     python -m repro serve queries.jsonl --data data.csv -o responses.jsonl
 
 CSV files written by :func:`repro.data.write_csv` carry their FACT roles
@@ -37,6 +39,7 @@ from repro.obs import (
     render_audit_tail,
     render_cache_summary,
     render_metrics_table,
+    render_profile,
     render_span_tree,
 )
 from repro.learn.table_model import TableClassifier
@@ -134,6 +137,27 @@ def _cmd_telemetry(args) -> int:
         print()
         print(render_audit_tail(records, last=args.audit_tail))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    records = read_telemetry(args.run)
+    print(render_profile(records, top=args.top))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import SUITE, run_suite
+
+    if args.list:
+        for name, spec in sorted(SUITE.items()):
+            print(f"{name}: {spec.description}")
+        return 0
+    return run_suite(
+        names=args.benchmarks or None, smoke=args.smoke, runs=args.runs,
+        warmup=args.warmup, directory=args.dir, check=args.check,
+        tolerance=args.tolerance, handicap_s=args.handicap,
+        append=not args.no_append,
+    )
 
 
 def _cmd_serve(args) -> int:
@@ -266,6 +290,46 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--audit-tail", type=int, default=10,
                            help="audit events to show (default 10)")
     telemetry.set_defaults(handler=_cmd_telemetry)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile an exported run: hot nodes, critical path, "
+             "cache/parallel efficiency",
+    )
+    profile.add_argument("run", help="telemetry JSONL file (repro.obs export)")
+    profile.add_argument("--top", type=int, default=20,
+                         help="hot-node rows to show (default 20)")
+    profile.set_defaults(handler=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite and append BENCH_*.json trajectories",
+    )
+    bench.add_argument("benchmarks", nargs="*",
+                       help="benchmark names (default: the whole suite)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the suite's benchmarks and exit")
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized quick variant")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero on regression vs. the latest "
+                            "same-mode baseline")
+    bench.add_argument("--runs", type=int, default=None,
+                       help="measured runs per benchmark "
+                            "(default: 3 smoke / 5 full)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup runs (default 1)")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="relative regression tolerance (default 0.20)")
+    bench.add_argument("--dir", default=".",
+                       help="directory holding BENCH_*.json (default: cwd)")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure and gate without writing trajectories")
+    bench.add_argument("--handicap", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="inject a sleep into every timed run "
+                            "(regression-gate self-test)")
+    bench.set_defaults(handler=_cmd_bench)
 
     serve = sub.add_parser(
         "serve",

@@ -174,6 +174,7 @@ class Executor:
             )
         telemetry = obs.get() if self.observe else None
         tracer = telemetry.tracer if telemetry is not None else None
+        collector = telemetry.collector if telemetry is not None else None
         parent_id = None
         if tracer is not None and tracer.active_span is not None:
             parent_id = tracer.active_span.span_id
@@ -197,7 +198,7 @@ class Executor:
         for level_index, level in enumerate(plan.levels()):
             outcomes = self._run_level(
                 level, results, fp_of, seeds, rng, store, telemetry,
-                parent_id,
+                parent_id, collector,
             )
             # Commit, observe, and record in plan order on the
             # coordinator — completion order never reaches the results,
@@ -211,7 +212,7 @@ class Executor:
                               index=index, level=level_index)
                 runs.append(run)
                 self._record_span(telemetry, parent_id, run, results,
-                                  level_mark)
+                                  level_mark, collector)
                 self._record_provenance(provenance, artifact_ids, run)
                 if observer is not None:
                     observer(run)
@@ -243,7 +244,7 @@ class Executor:
                 in zip(spawn_nodes, children)}
 
     def _thunk(self, node: Node, results: dict, fp_of, seeds: dict,
-               shared_rng, store):
+               shared_rng, store, collector=None):
         input_values = {name: results[name] for name in node.inputs}
 
         def lazy_key() -> str:
@@ -270,6 +271,11 @@ class Executor:
         def compute():
             return node.run(input_values, node_rng)
 
+        if collector is not None:
+            # Only actual computation is sampled: cache hits replay
+            # inside the store and never reach this wrapper's body.
+            compute = collector.wrap(("node", node.name), compute)
+
         def thunk():
             if not node.cacheable:
                 return compute(), "uncacheable"
@@ -280,9 +286,10 @@ class Executor:
         return thunk
 
     def _run_level(self, level, results, fp_of, seeds, shared_rng, store,
-                   telemetry, parent_id) -> list:
+                   telemetry, parent_id, collector=None) -> list:
         thunks = [
-            self._thunk(node, results, fp_of, seeds, shared_rng, store)
+            self._thunk(node, results, fp_of, seeds, shared_rng, store,
+                        collector)
             for node in level
         ]
         # Shared-rng nodes thread one generator, so any level holding
@@ -318,7 +325,7 @@ class Executor:
             raise
 
     def _record_span(self, telemetry, parent_id, run: NodeRun,
-                     results: dict, level_mark) -> None:
+                     results: dict, level_mark, collector=None) -> None:
         if telemetry is None:
             return
         node = run.node
@@ -329,8 +336,14 @@ class Executor:
             inputs = {name: results[name] for name in node.inputs}
             attributes.update(node.annotate(run.value, inputs))
         attributes["cache"] = run.status
+        # The profiler's critical-path analysis reads the dependency
+        # depth and worker count back out of the exported spans.
+        attributes["level"] = run.level
+        attributes["n_jobs"] = self.n_jobs
         if level_mark is not None:
             attributes["wait"] = begun - level_mark
+        if collector is not None:
+            attributes.update(collector.attributes(("node", node.name)))
         telemetry.tracer.record_span(
             f"{self.name}:{node.label}", begun, ended,
             parent_id=parent_id, **attributes,

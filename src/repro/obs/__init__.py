@@ -42,10 +42,20 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_key,
+)
+from repro.obs.profile import (
+    PlanProfile,
+    ProfileCollector,
+    Profiler,
+    ResourceSample,
+    SpanStats,
+    render_profile,
 )
 from repro.obs.render import (
     render_audit_tail,
@@ -57,14 +67,21 @@ from repro.obs.tracing import Span, Tracer, safe_attribute
 
 
 class Telemetry:
-    """One run's tracer + metrics registry sharing one clock."""
+    """One run's tracer + metrics registry sharing one clock.
+
+    ``collector`` is the opt-in :class:`ProfileCollector` — ``None``
+    (the default) means profiling hooks in the engine and the parallel
+    pools are dormant, at the cost of one ``is None`` check each.
+    """
 
     def __init__(self, clock: Clock | None = None,
-                 export_path: str | None = None):
+                 export_path: str | None = None,
+                 collector: ProfileCollector | None = None):
         self.clock = clock if clock is not None else TickClock()
         self.tracer = Tracer(self.clock)
         self.metrics = MetricsRegistry(self.clock)
         self.export_path = export_path
+        self.collector = collector
 
     @contextmanager
     def timed(self, name: str, **attributes: object):
@@ -96,15 +113,26 @@ _ACTIVE: Telemetry | None = None
 
 
 def configure(clock: Clock | None = None,
-              export_path: str | None = None) -> Telemetry:
+              export_path: str | None = None,
+              profile: bool = False,
+              trace_malloc: bool = False) -> Telemetry:
     """Install (and return) a fresh active :class:`Telemetry`.
 
     ``clock`` defaults to a deterministic :class:`TickClock`; pass
     :class:`WallClock` for real timestamps.  When ``export_path`` is
     set, instrumented runners flush merged JSONL telemetry there.
+    ``profile=True`` attaches a :class:`ProfileCollector`, so engine
+    nodes and parallel pools sample per-node wall/CPU time (and, with
+    ``trace_malloc=True``, peak allocations) into their spans — pair it
+    with :class:`WallClock` so span durations are seconds too.
     """
     global _ACTIVE
-    _ACTIVE = Telemetry(clock=clock, export_path=export_path)
+    if _ACTIVE is not None and _ACTIVE.collector is not None:
+        _ACTIVE.collector.close()
+    collector = (ProfileCollector(trace_malloc=trace_malloc)
+                 if profile or trace_malloc else None)
+    _ACTIVE = Telemetry(clock=clock, export_path=export_path,
+                        collector=collector)
     return _ACTIVE
 
 
@@ -121,6 +149,8 @@ def enabled() -> bool:
 def reset() -> None:
     """Return to the unconfigured (no-op) state."""
     global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE.collector is not None:
+        _ACTIVE.collector.close()
     _ACTIVE = None
 
 
@@ -151,10 +181,16 @@ __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PlanProfile",
+    "ProfileCollector",
+    "Profiler",
+    "ResourceSample",
     "Span",
+    "SpanStats",
     "Telemetry",
     "TickClock",
     "Tracer",
@@ -164,10 +200,12 @@ __all__ = [
     "enabled",
     "get",
     "instrument",
+    "quantile_key",
     "read_telemetry",
     "render_audit_tail",
     "render_cache_summary",
     "render_metrics_table",
+    "render_profile",
     "render_span_tree",
     "reset",
     "safe_attribute",

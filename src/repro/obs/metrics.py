@@ -109,25 +109,50 @@ class Gauge:
         ]
 
 
+#: Quantiles a histogram summarises by default (p50/p90/p95/p99).
+DEFAULT_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+
+def quantile_key(q: float) -> str:
+    """``0.95 -> "p95"``, ``0.999 -> "p99.9"`` — the export key for ``q``."""
+    percent = q * 100.0
+    if float(percent).is_integer():
+        return f"p{int(percent)}"
+    return f"p{percent:g}"
+
+
 class Histogram:
     """Fixed-bucket distribution with exact min/max/sum.
 
     ``buckets`` are inclusive upper bounds; values above the last bound
     land in an implicit +inf overflow bucket.  Quantiles are bucket
     upper bounds (the overflow bucket reports the exact max), the same
-    estimate Prometheus's ``histogram_quantile`` makes.
+    estimate Prometheus's ``histogram_quantile`` makes — except when
+    every observation landed in a *single* bucket, where the bound
+    carries no information and the exact min/max do: there quantiles
+    interpolate linearly between min and max instead of collapsing to
+    one degenerate bound.
+
+    ``quantiles`` configures which estimates :meth:`summary` and
+    :meth:`to_dict` export (default p50/p90/p95/p99).
     """
 
     kind = "histogram"
 
     def __init__(self, name: str, buckets: Iterable[float] | None = None,
-                 labels: dict[str, str] | None = None):
+                 labels: dict[str, str] | None = None,
+                 quantiles: Iterable[float] | None = None):
         self.name = name
         self.labels = dict(labels or {})
         bounds = tuple(sorted(buckets if buckets is not None
                               else DEFAULT_BUCKETS))
         if not bounds:
             raise DataError("histogram needs at least one bucket bound")
+        self.quantiles = tuple(quantiles if quantiles is not None
+                               else DEFAULT_QUANTILES)
+        for q in self.quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise DataError(f"quantile {q!r} must be in [0, 1]")
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)  # last = overflow
         self.count = 0
@@ -151,6 +176,12 @@ class Histogram:
             raise DataError("quantile must be in [0, 1]")
         if self.count == 0:
             raise DataError(f"histogram {self.name!r} is empty")
+        if sum(1 for c in self.counts if c) == 1:
+            # Single occupied bucket: its bound says nothing about the
+            # spread, but the exact min/max do — interpolate between
+            # them instead of reporting one degenerate bound for every
+            # quantile.
+            return float(self.min) + q * (float(self.max) - float(self.min))
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
@@ -160,6 +191,24 @@ class Histogram:
                     return float(self.max)
                 return min(float(self.bounds[index]), float(self.max))
         return float(self.max)
+
+    def summary(self) -> dict[str, object]:
+        """Count/sum/mean/min/max plus every configured quantile.
+
+        The dict is export-shaped (``p50``/``p90``/… keys), safe on an
+        empty histogram (quantiles and mean are ``None``), and is the
+        "profile shape" the serving layer and ``repro.bench`` report
+        latency percentiles in.
+        """
+        record: dict[str, object] = {
+            "count": self.count, "sum": self.sum,
+            "mean": self.mean if self.count else None,
+            "min": self.min, "max": self.max,
+        }
+        for q in self.quantiles:
+            record[quantile_key(q)] = (self.quantile(q) if self.count
+                                       else None)
+        return record
 
     @property
     def mean(self) -> float:
@@ -176,8 +225,8 @@ class Histogram:
             "buckets": list(self.bounds), "bucket_counts": list(self.counts),
         }
         if self.count:
-            record["p50"] = self.quantile(0.50)
-            record["p95"] = self.quantile(0.95)
+            for q in sorted(set(self.quantiles) | {0.50, 0.95}):
+                record[quantile_key(q)] = self.quantile(q)
         return record
 
 
@@ -217,16 +266,17 @@ class MetricsRegistry:
         )
 
     def histogram(self, name: str, buckets: Iterable[float] | None = None,
+                  quantiles: Iterable[float] | None = None,
                   **labels: str) -> Histogram:
         """Get-or-create the histogram ``name{labels}``.
 
-        ``buckets`` only applies on first creation; later calls reuse
-        the existing bucket layout.
+        ``buckets`` and ``quantiles`` only apply on first creation;
+        later calls reuse the existing layout.
         """
         labels = {key: str(value) for key, value in labels.items()}
         return self._get(
             "histogram", name, labels,
-            lambda: Histogram(name, buckets, labels),
+            lambda: Histogram(name, buckets, labels, quantiles=quantiles),
         )
 
     def __iter__(self):

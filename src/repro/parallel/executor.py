@@ -189,9 +189,23 @@ class ParallelExecutor:
         if telemetry is not None:
             telemetry.metrics.counter(f"{self.name}.tasks").inc(len(tasks))
             telemetry.metrics.counter(f"{self.name}.chunks").inc(len(chunks))
-        if self.backend == "serial" or self.n_jobs == 1 or len(chunks) == 1:
-            return self._map_serial(fn, chunks, telemetry)
-        return self._map_pool(fn, chunks, telemetry)
+        inline = (self.backend == "serial" or self.n_jobs == 1
+                  or len(chunks) == 1)
+        collector = telemetry.collector if telemetry is not None else None
+        profiled_key = None
+        if collector is not None and (inline or self.backend != "process"):
+            # Sampling wraps fn in a closure, so it stays in-process:
+            # thread/serial backends only (a process worker could not
+            # pickle the wrapper, and its samples would die with it).
+            profiled_key = ("pool", self.name)
+            fn = collector.wrap(profiled_key, fn)
+        try:
+            if inline:
+                return self._map_serial(fn, chunks, telemetry)
+            return self._map_pool(fn, chunks, telemetry)
+        finally:
+            if profiled_key is not None:
+                self._record_profile(telemetry, collector, profiled_key)
 
     def call(self, thunks: Iterable[Callable]) -> list:
         """Run zero-argument callables concurrently; results in order.
@@ -307,6 +321,28 @@ class ParallelExecutor:
                                attempts_used[chunk_index])
             results.extend(chunk_results)
         return results
+
+    def _record_profile(self, telemetry, collector, key) -> None:
+        """Fold the map's merged task samples into pool-level counters.
+
+        Recorded on the coordinator after the map finishes, so worker
+        threads never touch the metrics registry; the counters
+        accumulate across maps, giving the profiler one wall/CPU total
+        per pool name.
+        """
+        sample = collector.pop(key)
+        if sample is None or sample.count == 0:
+            return
+        telemetry.metrics.counter(
+            f"{self.name}.profile.wall_s"
+        ).inc(sample.wall_s)
+        telemetry.metrics.counter(
+            f"{self.name}.profile.cpu_s"
+        ).inc(sample.cpu_s)
+        if sample.alloc_peak_kb is not None:
+            telemetry.metrics.gauge(
+                f"{self.name}.profile.alloc_peak_kb"
+            ).set(sample.alloc_peak_kb)
 
     def _record_chunk(self, telemetry, chunk_index, n_tasks,
                       attempts) -> None:

@@ -37,6 +37,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 import numpy as np
 
 from repro import obs
+from repro.obs.metrics import Histogram
 from repro.confidentiality.accountant import PrivacyAccountant
 from repro.confidentiality.queries import (
     dp_count,
@@ -109,6 +110,11 @@ class QueryServer:
         self._obs_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._status_counts: dict[str, int] = {}
+        # Always-on latency distribution (independent of repro.obs):
+        # stats()["latency"] exports p50/p90/p95/p99 in the same
+        # profile shape the bench harness and profiler report.
+        self._latency = Histogram("serve.query.duration",
+                                  quantiles=(0.50, 0.90, 0.95, 0.99))
         # Single-flight coalescing: concurrent identical queries would
         # each miss the cache and each pay ε; instead followers wait for
         # the leader's release and replay it for free.
@@ -358,6 +364,8 @@ class QueryServer:
             self._status_counts[result.status] = (
                 self._status_counts.get(result.status, 0) + 1
             )
+            if result.duration is not None:
+                self._latency.observe(result.duration)
         if telemetry is None:
             return
         kind = getattr(request, "kind", None)
@@ -387,9 +395,11 @@ class QueryServer:
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Serving counters: statuses, cache, per-tenant budgets."""
+        """Serving counters: statuses, latency percentiles, cache, budgets."""
         with self._stats_lock:
             statuses = dict(self._status_counts)
+            latency = (self._latency.summary()
+                       if self._latency.count else None)
         tenants = {
             tenant: {
                 "epsilon_spent": self.budget.accountant(tenant).epsilon_spent,
@@ -400,6 +410,7 @@ class QueryServer:
         }
         return {
             "statuses": statuses,
+            "latency": latency,
             "cache": self.cache.stats() if self.cache is not None else None,
             "tenants": tenants,
         }

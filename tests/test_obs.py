@@ -147,6 +147,73 @@ def test_histogram_quantile_capped_at_max():
     assert histogram.quantile(0.5) == 3.0  # bound 100 capped to exact max
 
 
+def test_histogram_single_occupied_bucket_interpolates():
+    # All samples in one bucket: the bucket bound would be wildly wrong,
+    # so quantiles interpolate between the exact min and max instead.
+    histogram = obs.Histogram("one", buckets=(10.0,))
+    histogram.observe(2.0)
+    histogram.observe(4.0)
+    assert histogram.quantile(0.0) == 2.0
+    assert histogram.quantile(0.5) == 3.0
+    assert histogram.quantile(1.0) == 4.0
+
+
+def test_histogram_configurable_quantiles():
+    histogram = obs.Histogram("latency", buckets=(1.0, 2.0, 5.0, 10.0),
+                              quantiles=(0.5, 0.99))
+    for value in (0.5, 0.7, 1.5, 1.6, 1.7, 3.0, 3.5, 4.0, 8.0, 40.0):
+        histogram.observe(value)
+    record = histogram.to_dict()
+    assert record["p99"] == 40.0           # overflow bucket → exact max
+    assert record["p50"] == 2.0
+    assert record["p95"] == 40.0           # p50/p95 always present
+    assert histogram.quantiles == (0.5, 0.99)
+    with pytest.raises(DataError):
+        obs.Histogram("bad", quantiles=(1.5,))
+
+
+def test_quantile_key():
+    assert obs.quantile_key(0.5) == "p50"
+    assert obs.quantile_key(0.99) == "p99"
+    assert obs.quantile_key(0.999) == "p99.9"
+
+
+def test_histogram_summary():
+    histogram = obs.Histogram("latency", quantiles=(0.5, 0.9, 0.99))
+    summary = histogram.summary()
+    assert summary["count"] == 0
+    assert summary["mean"] is None and summary["p99"] is None
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == 10.0
+    assert summary["mean"] == 2.5
+    assert summary["min"] == 1.0 and summary["max"] == 4.0
+    assert set(summary) >= {"p50", "p90", "p99"}
+
+
+def test_serve_stats_expose_latency_percentiles():
+    import numpy as np
+
+    from repro.data.synth import CensusIncomeGenerator
+    from repro.serve import QueryServer
+
+    rng = np.random.default_rng(0)
+    server = QueryServer(workers=1, seed=0)
+    server.register_table("census", CensusIncomeGenerator().generate(200, rng))
+    server.register_tenant("t", epsilon_budget=10.0)
+    with server:
+        server.submit_batch([
+            {"tenant": "t", "kind": "count", "epsilon": 0.1},
+            {"tenant": "t", "kind": "count", "epsilon": 0.1},
+        ])
+    latency = server.stats()["latency"]
+    assert latency["count"] == 2
+    assert latency["p50"] >= 0.0
+    assert latency["max"] >= latency["min"]
+
+
 # -- configure / no-op default ----------------------------------------------
 
 

@@ -1,0 +1,291 @@
+"""Tests for the profiling layer (repro.obs.profile)."""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import DataError
+from repro.obs.profile import (
+    ALLOC_ATTR,
+    CPU_ATTR,
+    WALL_ATTR,
+    PlanProfile,
+    ProfileCollector,
+    Profiler,
+    render_profile,
+)
+
+
+@pytest.fixture(autouse=True)
+def _unconfigured_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def span_record(name, span_id, parent_id, start, end, **attributes):
+    return {
+        "record": "span", "t": start, "name": name, "span_id": span_id,
+        "parent_id": parent_id, "start": start, "end": end,
+        "duration": end - start, "attributes": attributes,
+    }
+
+
+# -- aggregates over a hand-built tree ---------------------------------------
+
+
+def hand_tree():
+    # root [0,10] -> a [0,6] -> a1 [1,3];  root -> b [6,10]
+    return [
+        span_record("root", "s1", None, 0.0, 10.0),
+        span_record("a", "s2", "s1", 0.0, 6.0),
+        span_record("a1", "s3", "s2", 1.0, 3.0),
+        span_record("b", "s4", "s1", 6.0, 10.0),
+    ]
+
+
+def test_aggregates_exact_self_and_total_times():
+    stats = {s.name: s for s in Profiler(hand_tree()).aggregates()}
+    assert stats["root"].total_s == 10.0
+    assert stats["root"].self_s == 0.0          # 10 - (6 + 4)
+    assert stats["a"].total_s == 6.0
+    assert stats["a"].self_s == 4.0             # 6 - 2
+    assert stats["a1"].self_s == 2.0
+    assert stats["b"].self_s == 4.0
+    assert all(s.count == 1 for s in stats.values())
+
+
+def test_aggregates_sorted_by_self_time_and_merged_by_name():
+    records = hand_tree() + [span_record("a1", "s5", "s4", 6.0, 9.0)]
+    profiler = Profiler(records)
+    stats = {s.name: s for s in profiler.aggregates()}
+    assert stats["a1"].count == 2
+    assert stats["a1"].total_s == 5.0           # 2 + 3
+    assert stats["b"].self_s == 1.0             # 4 - 3 nested under b
+    order = [s.name for s in profiler.aggregates()]
+    assert order[0] == "a1"                     # 5.0 self leads
+
+
+def test_aggregates_prefer_measured_wall_over_span_duration():
+    # Engine node spans are recorded post-drain: duration is clock
+    # ticks, the collector's wall_s attribute is the real measurement.
+    records = [
+        span_record("audit:x", "s1", None, 0.0, 100.0, **{WALL_ATTR: 2.5}),
+    ]
+    stats = Profiler(records).aggregates()
+    assert stats[0].total_s == 2.5
+    assert stats[0].self_s == 2.5
+
+
+def test_aggregates_collect_cache_cpu_alloc_and_errors():
+    records = [
+        span_record("audit:x", "s1", None, 0.0, 1.0, cache="hit"),
+        span_record("audit:x", "s2", None, 1.0, 2.0, cache="miss",
+                    **{CPU_ATTR: 0.5, ALLOC_ATTR: 12.0}),
+        span_record("audit:x", "s3", None, 2.0, 3.0, cache="uncacheable",
+                    error="boom"),
+    ]
+    stats = Profiler(records).aggregates()[0]
+    assert stats.cache == {"hit": 1, "miss": 1, "uncacheable": 1}
+    assert stats.cpu_s == 0.5
+    assert stats.alloc_peak_kb == 12.0
+    assert stats.errors == 1
+
+
+def test_orphan_spans_are_reparented_to_roots():
+    records = [span_record("lost", "s9", "missing-parent", 0.0, 4.0)]
+    stats = Profiler(records).aggregates()
+    assert stats[0].name == "lost"
+    assert stats[0].total_s == 4.0
+
+
+def test_non_span_records_are_ignored():
+    records = hand_tree() + [
+        {"record": "metric", "kind": "counter", "name": "x", "value": 1},
+        {"record": "audit", "event": "y"},
+    ]
+    assert len(Profiler(records).aggregates()) == 4
+
+
+# -- critical path over level-parallel plans ---------------------------------
+
+
+def engine_spans(n_jobs=2):
+    # Level 0: two nodes (3s and 5s); level 1: one node (4s).
+    # Levels are barriers: critical path = 5 + 4 = 9, work = 12.
+    return [
+        span_record("audit:fast", "n1", None, 0.0, 3.0,
+                    cache="miss", level=0, n_jobs=n_jobs),
+        span_record("audit:slow", "n2", None, 0.0, 5.0,
+                    cache="miss", level=0, n_jobs=n_jobs),
+        span_record("audit:tail", "n3", None, 5.0, 9.0,
+                    cache="hit", level=1, n_jobs=n_jobs),
+    ]
+
+
+def test_plan_profile_critical_path_exact():
+    profiles = Profiler(engine_spans()).plan_profiles()
+    assert len(profiles) == 1
+    plan = profiles[0]
+    assert plan.name == "audit"
+    assert plan.n_nodes == 3
+    assert plan.n_levels == 2
+    assert plan.total_work_s == 12.0
+    assert plan.critical_path_s == 9.0
+    assert plan.path == [("audit:slow", 5.0), ("audit:tail", 4.0)]
+    assert plan.cache == {"hit": 1, "miss": 2}
+
+
+def test_plan_profile_speedup_and_efficiency():
+    plan = Profiler(engine_spans(n_jobs=2)).plan_profiles()[0]
+    assert plan.theoretical_speedup == pytest.approx(12.0 / 9.0)
+    # speedup (1.33) < n_jobs (2): efficiency = 1.33/2
+    assert plan.parallel_efficiency == pytest.approx(12.0 / 9.0 / 2.0)
+    # A serial run of a parallel-friendly shape is 100% efficient.
+    serial = Profiler(engine_spans(n_jobs=1)).plan_profiles()[0]
+    assert serial.parallel_efficiency == 1.0
+
+
+def test_plan_profile_degenerate_zero_time_plan():
+    plan = PlanProfile(name="p", n_nodes=1, n_levels=1, total_work_s=0.0,
+                       critical_path_s=0.0, path=[], n_jobs=1, cache={})
+    assert plan.theoretical_speedup == 1.0
+    assert plan.parallel_efficiency == 1.0
+
+
+def test_plans_grouped_by_run_not_merged_across_runs():
+    # The same plan executed twice (two parent ids) → two profiles.
+    records = []
+    for run in ("r1", "r2"):
+        records.append(span_record("audit.run", run, None, 0.0, 9.0))
+        for record in engine_spans():
+            clone = dict(record, span_id=f"{run}-{record['span_id']}",
+                         parent_id=run)
+            records.append(clone)
+    profiles = Profiler(records).plan_profiles()
+    assert len(profiles) == 2
+    assert all(plan.critical_path_s == 9.0 for plan in profiles)
+
+
+# -- live collector ----------------------------------------------------------
+
+
+def test_collector_samples_merge_and_pop():
+    collector = ProfileCollector()
+    with collector.sample(("node", "x")):
+        pass
+    with collector.sample(("node", "x")):
+        pass
+    sample = collector.pop(("node", "x"))
+    assert sample.count == 2
+    assert sample.wall_s >= 0.0
+    assert collector.pop(("node", "x")) is None
+
+
+def test_collector_attributes_shape():
+    collector = ProfileCollector(trace_malloc=True)
+    try:
+        with collector.sample("k"):
+            data = [0] * 50_000
+            del data
+        attributes = collector.attributes("k")
+        assert set(attributes) == {WALL_ATTR, CPU_ATTR, ALLOC_ATTR}
+        assert attributes[ALLOC_ATTR] > 0
+        assert collector.attributes("unknown") == {}
+    finally:
+        collector.close()
+
+
+def test_collector_wrap_returns_value_and_samples():
+    collector = ProfileCollector()
+    wrapped = collector.wrap("w", lambda value: value * 2)
+    assert wrapped(21) == 42
+    assert collector.pop("w").count == 1
+
+
+def test_configure_profile_attaches_and_reset_detaches_collector():
+    telemetry = obs.configure(profile=True)
+    assert isinstance(telemetry.collector, ProfileCollector)
+    obs.reset()
+    assert obs.get() is None
+    assert obs.configure().collector is None   # off by default
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def _run_plan(**configure_kwargs):
+    import numpy as np
+
+    from repro.engine import Executor, Node, Plan
+
+    telemetry = obs.configure(**configure_kwargs)
+    plan = Plan([
+        Node("left", lambda inputs, rng: float(np.sum(np.arange(200.0)))),
+        Node("right", lambda inputs, rng: 2.0),
+        Node("join", lambda inputs, rng: inputs["left"] + inputs["right"],
+             inputs=("left", "right")),
+    ])
+    Executor(name="demo").run(plan)
+    return telemetry.to_dicts()
+
+
+def test_engine_spans_profiled_when_collector_on():
+    records = _run_plan(profile=True)
+    node_spans = [r for r in records if r.get("record") == "span"
+                  and r["name"].startswith("demo:")]
+    assert len(node_spans) == 3
+    for span in node_spans:
+        assert WALL_ATTR in span["attributes"]
+        assert CPU_ATTR in span["attributes"]
+        assert "level" in span["attributes"]
+        assert "n_jobs" in span["attributes"]
+    profiles = Profiler(records).plan_profiles()
+    assert len(profiles) == 1
+    assert profiles[0].n_levels == 2
+    assert (profiles[0].critical_path_s
+            <= profiles[0].total_work_s + 1e-12)
+
+
+def test_engine_spans_carry_no_profile_attrs_when_collector_off():
+    records = _run_plan()
+    node_spans = [r for r in records if r.get("record") == "span"
+                  and r["name"].startswith("demo:")]
+    assert len(node_spans) == 3
+    for span in node_spans:
+        assert WALL_ATTR not in span["attributes"]
+        # The deterministic level/cache attributes are always there.
+        assert "level" in span["attributes"]
+        assert "cache" in span["attributes"]
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def test_render_profile_sections():
+    text = render_profile(engine_spans())
+    assert "hot nodes" in text
+    assert "critical path" in text
+    assert "plan 'audit'" in text
+    assert "audit:slow" in text
+    assert "cache efficiency" in text
+
+
+def test_render_profile_rejects_non_list():
+    with pytest.raises(DataError):
+        render_profile({"record": "span"})
+
+
+def test_render_profile_empty_records():
+    assert render_profile([]) != ""   # still says there is nothing
+
+
+def test_profile_cli_renders_from_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "run.jsonl"
+    records = engine_spans()
+    obs.write_jsonl(str(path), records)
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "audit:slow" in out
