@@ -31,7 +31,14 @@ from repro.bench.harness import (
     cache_counter_totals,
     rss_peak_kb,
 )
-from repro.bench.suite import SEED, SUITE, BenchSpec, SuiteOutcome, run_suite
+from repro.bench.suite import (
+    SEED,
+    SUITE,
+    BenchSpec,
+    SuiteOutcome,
+    run_once,
+    run_suite,
+)
 from repro.bench.tools import format_table
 from repro.bench.trajectory import (
     BENCH_PREFIX,
@@ -76,6 +83,7 @@ __all__ = [
     "new_trajectory",
     "rotate_jsonl_sessions",
     "rss_peak_kb",
+    "run_once",
     "run_suite",
     "session_marker",
     "trajectory_path",

@@ -1,10 +1,12 @@
 """The named benchmark suite behind ``python -m repro bench``.
 
-Three benchmarks, one per hot path the ROADMAP cares about:
+One benchmark per hot path the ROADMAP cares about:
 
 * ``audit`` — a cold FACT audit (resampling + engine + store writes),
 * ``pipeline`` — the redact/flag/filter pipeline over an
   Internet-Minute event stream (table-op throughput),
+* ``relational`` — the three-table lending join + group aggregate
+  (the :mod:`repro.relational` kernel path),
 * ``serve`` — a cached multi-tenant DP query workload (serving layer).
 
 Each run appends to its ``BENCH_<name>.json`` perf trajectory and, with
@@ -114,6 +116,32 @@ def _setup_pipeline(smoke: bool) -> Callable[[], object]:
     return run_pipeline
 
 
+def _setup_relational(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.data.synth import LendingRelationalGenerator
+    from repro.relational import group_aggregate, inner_join
+
+    n_applicants = 2000 if smoke else 10_000
+    rng = np.random.default_rng(SEED)
+    dataset = LendingRelationalGenerator().generate_dataset(
+        n_applicants, rng
+    )
+
+    def run_relational():
+        flat = inner_join(
+            dataset.join("applications", "applicants"),
+            dataset.table("zones"), "zone_id",
+        )
+        return group_aggregate(flat, ["group", "zone_id"], {
+            "n": "count",
+            "approval": ("approved", "mean"),
+            "income": ("income", "mean"),
+        })
+
+    return run_relational
+
+
 def _setup_serve(smoke: bool) -> Callable[[], object]:
     import numpy as np
 
@@ -164,11 +192,42 @@ SUITE: dict[str, BenchSpec] = {
         "pipeline", "redact/flag/filter over an Internet-Minute stream",
         _setup_pipeline,
     ),
+    "relational": BenchSpec(
+        "relational", "three-table join + group aggregate (lending dataset)",
+        _setup_relational,
+    ),
     "serve": BenchSpec(
         "serve", "cached multi-tenant DP query workload",
         _setup_serve,
     ),
 }
+
+
+def run_once(name: str, fn: Callable[[], object], *,
+             mode: str = "experiment", runs: int = 3, warmup: int = 1,
+             directory: str = ".", metrics: dict | None = None,
+             append: bool = True) -> BenchRecord:
+    """Measure one callable and append a record to its trajectory.
+
+    The fixture-free counterpart of :func:`run_suite` for standalone
+    experiment scripts (the ``benchmarks/bench_e*.py`` family): harness
+    the callable, merge any caller-supplied ``metrics`` (e.g. speedup
+    ratios) into the measured ones, stamp the record, and append it to
+    ``BENCH_<name>.json`` under ``directory``.  The default
+    ``mode="experiment"`` keeps these records out of the smoke/full
+    regression gate (``latest_baseline`` filters by mode) while still
+    tracking them across commits.
+    """
+    harness = BenchHarness(name, runs=runs, warmup=warmup)
+    result = harness.run(fn)
+    combined: dict[str, object] = dict(result.metrics)
+    if metrics:
+        combined.update(metrics)
+    record = BenchRecord(name=name, metrics=combined, mode=mode,
+                         runs=runs, warmup=warmup).stamp(cwd=directory)
+    if append:
+        append_record(trajectory_path(name, directory), record)
+    return record
 
 
 @dataclass

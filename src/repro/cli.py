@@ -6,6 +6,7 @@
     python -m repro datasheet data.csv --name my-dataset
     python -m repro anonymize data.csv -k 10 --quasi age --quasi zipcode -o safe.csv
     python -m repro synthesize data.csv --epsilon 2.0 -o synthetic.csv
+    python -m repro join apps.csv zones.csv --on zone_id --scan -o flat.csv
     python -m repro telemetry run.jsonl
     python -m repro profile run.jsonl
     python -m repro bench --smoke --check
@@ -120,6 +121,34 @@ def _cmd_synthesize(args) -> int:
     print(f"synthesised {synthetic.n_rows} rows at epsilon={args.epsilon:g}")
     if args.output:
         write_csv(synthetic, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_join(args) -> int:
+    from repro.relational import inner_join, left_join, proxy_scan
+
+    left = _load(args.data, args)
+    right = read_csv(args.right)
+    for name in args.right_sensitive or []:
+        right = right.with_role(name, ColumnRole.SENSITIVE)
+    kernel = inner_join if args.how == "inner" else left_join
+    joined = kernel(
+        left, right, args.on,
+        right_on=args.right_on or None, suffix=args.suffix,
+    )
+    print(f"joined {left.n_rows} x {right.n_rows} -> {joined.n_rows} rows")
+    for spec in joined.schema:
+        print(f"  {spec.name}: {spec.ctype.value} [{spec.role.value}]")
+    if args.scan:
+        scan = proxy_scan(
+            joined, subject=f"{args.data} {args.how}-join {args.right}"
+        )
+        print()
+        print(scan.render())
+        joined = scan.apply(joined)
+    if args.output:
+        write_csv(joined, args.output)
         print(f"wrote {args.output}")
     return 0
 
@@ -281,6 +310,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="rows to sample (default: input size)")
     synthesize.add_argument("-o", "--output", help="write the release here")
     synthesize.set_defaults(handler=_cmd_synthesize)
+
+    join = sub.add_parser(
+        "join",
+        help="join two CSV tables with FACT role propagation",
+    )
+    add_common(join)
+    join.add_argument("right", help="right-side CSV file")
+    join.add_argument("--on", action="append", required=True,
+                      help="join key column (repeatable for composite keys)")
+    join.add_argument("--right-on", action="append",
+                      help="right-side key column names (default: --on)")
+    join.add_argument("--how", choices=("inner", "left"), default="inner")
+    join.add_argument("--suffix", default="_r",
+                      help="suffix for colliding right columns (default _r)")
+    join.add_argument("--right-sensitive", action="append",
+                      help="SENSITIVE column on the right side (repeatable)")
+    join.add_argument("--scan", action="store_true",
+                      help="proxy-scan the join output and quarantine "
+                           "flagged columns")
+    join.add_argument("-o", "--output", help="write the joined table here")
+    join.set_defaults(handler=_cmd_join)
 
     telemetry = sub.add_parser(
         "telemetry",

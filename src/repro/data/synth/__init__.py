@@ -14,6 +14,7 @@ from repro.data.synth.census import CensusIncomeGenerator
 from repro.data.synth.credit import CreditScoringGenerator
 from repro.data.synth.events import INTERNET_MINUTE_VOLUMES, InternetMinuteGenerator
 from repro.data.synth.hiring import HiringFunnelGenerator
+from repro.data.synth.lending import LendingRelationalGenerator
 from repro.data.synth.recidivism import RecidivismGenerator
 from repro.data.synth.simpson import AdmissionsGenerator, TreatmentParadoxGenerator
 
@@ -26,6 +27,7 @@ __all__ = [
     "CreditScoringGenerator",
     "HiringFunnelGenerator",
     "InternetMinuteGenerator",
+    "LendingRelationalGenerator",
     "RecidivismGenerator",
     "SyntheticGenerator",
     "TreatmentParadoxGenerator",

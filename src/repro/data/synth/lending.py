@@ -1,0 +1,223 @@
+"""Relational lending generator: the join-reintroduces-a-proxy scenario.
+
+Three related tables with a known causal structure:
+
+* ``zones`` — geographic areas with an ``area_score`` affluence index;
+* ``applicants`` — people, each with a SENSITIVE ``group`` and a home
+  zone; residential segregation ties group to zone (strength
+  ``segregation``), so ``area_score`` is a *spatial proxy* for group;
+* ``applications`` — loan applications (several per applicant), whose
+  financial features are drawn group-blind and whose historical
+  ``approved`` label carries injected bias against group-B qualified
+  applicants (strength ``label_bias``).
+
+The point of the construction: the ``applications`` table **on its own**
+is clean — its features are independent of group by design, so a model
+trained on it exhibits near-parity and a single-table fairness audit
+passes.  Join in ``applicants`` and ``zones`` and the innocuous-looking
+``area_score`` becomes available to the model; through segregation it
+re-encodes group, the model uses it to fit the biased labels, and the
+same audit fails.  That is §2-Q1's warning made executable — redaction
+is not a property of a table, it is a property of a *schema*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import ColumnRole, Schema, categorical, numeric
+from repro.data.synth.base import SyntheticGenerator, bernoulli, sigmoid
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.relational import (
+    Dataset,
+    ForeignKey,
+    RelSchema,
+    TableSpec,
+    inner_join,
+)
+
+GROUPS = ("A", "B")
+
+
+class LendingRelationalGenerator(SyntheticGenerator):
+    """Multi-table lending data with a join-borne proxy.
+
+    Parameters
+    ----------
+    group_b_fraction:
+        Share of applicants in the protected group ``"B"``.
+    label_bias:
+        Fraction of group-B *qualified* applications whose historical
+        label is flipped to denied.
+    segregation:
+        Probability an applicant lives in a zone "aligned" with their
+        group (A → affluent, B → redlined); 0.5 removes the group↔zone
+        association entirely, and with it the proxy.
+    n_zones:
+        Number of zones (half affluent, half redlined).
+    apps_per_applicant:
+        Mean number of applications per applicant.
+    noise:
+        Label-noise temperature on the latent qualification score.
+    """
+
+    name = "lending"
+
+    def __init__(self, group_b_fraction: float = 0.35,
+                 label_bias: float = 0.4,
+                 segregation: float = 0.9,
+                 n_zones: int = 8,
+                 apps_per_applicant: float = 1.6,
+                 noise: float = 0.5):
+        if not 0.0 < group_b_fraction < 1.0:
+            raise DataError("group_b_fraction must be in (0, 1)")
+        if not 0.0 <= label_bias <= 1.0:
+            raise DataError("label_bias must be in [0, 1]")
+        if not 0.0 <= segregation <= 1.0:
+            raise DataError("segregation must be in [0, 1]")
+        if n_zones < 2 or n_zones % 2:
+            raise DataError("n_zones must be an even number >= 2")
+        if apps_per_applicant < 1.0:
+            raise DataError("apps_per_applicant must be at least 1")
+        self.group_b_fraction = group_b_fraction
+        self.label_bias = label_bias
+        self.segregation = segregation
+        self.n_zones = n_zones
+        self.apps_per_applicant = apps_per_applicant
+        self.noise = noise
+
+    # -- schemas -------------------------------------------------------------
+
+    def zones_schema(self) -> Schema:
+        return Schema([
+            categorical("zone_id", description="zone code"),
+            numeric("area_score",
+                    description="zone affluence index; the spatial proxy"),
+        ])
+
+    def applicants_schema(self) -> Schema:
+        return Schema([
+            categorical("applicant_id", role=ColumnRole.IDENTIFIER),
+            categorical("group", role=ColumnRole.SENSITIVE),
+            categorical("zone_id", description="home zone"),
+        ])
+
+    def applications_schema(self) -> Schema:
+        return Schema([
+            categorical("app_id", role=ColumnRole.IDENTIFIER),
+            categorical("applicant_id", role=ColumnRole.METADATA,
+                        description="link to the applicants table"),
+            numeric("income", description="monthly income, thousands"),
+            numeric("debt_ratio"),
+            numeric("credit_history"),
+            numeric("qualified", role=ColumnRole.METADATA,
+                    description="latent ground truth (oracle)"),
+            numeric("approved", role=ColumnRole.TARGET,
+                    description="historical lending decision"),
+        ])
+
+    def relational_schema(self) -> RelSchema:
+        """The three tables and their foreign-key wiring."""
+        return RelSchema("lending", [
+            TableSpec("zones", self.zones_schema(), key="zone_id"),
+            TableSpec("applicants", self.applicants_schema(),
+                      key="applicant_id",
+                      foreign_keys=(
+                          ForeignKey("zone_id", "zones", "zone_id"),)),
+            TableSpec("applications", self.applications_schema(),
+                      key="app_id",
+                      foreign_keys=(
+                          ForeignKey("applicant_id", "applicants",
+                                     "applicant_id"),)),
+        ])
+
+    # -- generation ----------------------------------------------------------
+
+    def generate_dataset(self, n_applicants: int,
+                         rng: np.random.Generator) -> Dataset:
+        """Draw a full relational :class:`~repro.relational.Dataset`."""
+        if n_applicants <= 0:
+            raise DataError("n_applicants must be positive")
+
+        # zones: first half affluent, second half redlined.
+        half = self.n_zones // 2
+        zone_ids = np.asarray(
+            [f"z{index:02d}" for index in range(self.n_zones)], dtype=object
+        )
+        area_score = np.concatenate([
+            np.clip(rng.normal(0.75, 0.05, half), 0.0, 1.0),
+            np.clip(rng.normal(0.25, 0.05, self.n_zones - half), 0.0, 1.0),
+        ])
+        zones = Table(self.zones_schema(),
+                      {"zone_id": zone_ids, "area_score": area_score})
+
+        # applicants: group, then a (segregation-weighted) home zone.
+        applicant_ids = np.asarray(
+            [f"a{index:05d}" for index in range(n_applicants)], dtype=object
+        )
+        is_b = rng.random(n_applicants) < self.group_b_fraction
+        group = np.where(is_b, GROUPS[1], GROUPS[0]).astype(object)
+        aligned = rng.random(n_applicants) < self.segregation
+        affluent_pick = rng.integers(0, half, n_applicants)
+        redlined_pick = rng.integers(half, self.n_zones, n_applicants)
+        any_pick = rng.integers(0, self.n_zones, n_applicants)
+        zone_index = np.where(
+            aligned, np.where(is_b, redlined_pick, affluent_pick), any_pick
+        )
+        applicants = Table(self.applicants_schema(), {
+            "applicant_id": applicant_ids,
+            "group": group,
+            "zone_id": zone_ids[zone_index],
+        })
+
+        # applications: financial features group-blind by construction.
+        n_apps = int(round(n_applicants * self.apps_per_applicant))
+        owner = rng.integers(0, n_applicants, n_apps)
+        income = np.exp(rng.normal(1.2, 0.45, n_apps))
+        debt_ratio = np.clip(rng.beta(2.0, 5.0, n_apps), 0.0, 1.0)
+        credit_history = np.clip(rng.normal(0.6, 0.2, n_apps), 0.0, 1.0)
+        latent = (
+            0.9 * np.log(income)
+            - 2.2 * debt_ratio
+            + 1.8 * credit_history
+            - 0.9
+        )
+        qualified = bernoulli(sigmoid(latent / max(self.noise, 1e-9)), rng)
+        approved = qualified.copy()
+        # Historical bias: qualified group-B applications flip to denied.
+        flip = (
+            is_b[owner] & (qualified > 0.5)
+            & (rng.random(n_apps) < self.label_bias)
+        )
+        approved[flip] = 0.0
+        applications = Table(self.applications_schema(), {
+            "app_id": np.asarray(
+                [f"l{index:05d}" for index in range(n_apps)], dtype=object
+            ),
+            "applicant_id": applicant_ids[owner],
+            "income": income,
+            "debt_ratio": debt_ratio,
+            "credit_history": credit_history,
+            "qualified": qualified,
+            "approved": approved,
+        })
+
+        return Dataset(self.relational_schema(), {
+            "zones": zones,
+            "applicants": applicants,
+            "applications": applications,
+        })
+
+    def generate(self, n_rows: int, rng: np.random.Generator) -> Table:
+        """The fully joined flat view (one row per application)."""
+        dataset = self.generate_dataset(
+            max(1, int(round(n_rows / self.apps_per_applicant))), rng
+        )
+        flat = dataset.join("applications", "applicants")
+        return inner_join(flat, dataset.table("zones"), "zone_id")
+
+    @staticmethod
+    def oracle_labels(table: Table) -> np.ndarray:
+        """The latent ground-truth qualifications (audit oracle)."""
+        return table.column("qualified")

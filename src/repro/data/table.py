@@ -44,6 +44,32 @@ def _infer_ctype(values: Sequence | np.ndarray) -> ColumnType:
     return ColumnType.CATEGORICAL
 
 
+def _factorize(array: np.ndarray, ctype: ColumnType):
+    """Factorize one canonical column into sorted-unique codes.
+
+    Returns ``(uniques, codes, order, n_missing)``: ``uniques`` are the
+    sorted distinct values (``<U`` strings for categorical columns so
+    comparisons stay in C, float64 for numeric), ``codes`` index each
+    row into them with missing keys (NaN / ``""``) forced to ``-1``, and
+    ``order`` stably sorts the rows by code — the ``n_missing`` missing
+    rows first.  NaNs are pinned to one bucket before ``np.unique`` so
+    older numpy (per-NaN uniques) and newer numpy (collapsed NaNs)
+    produce identical codes; the bucket is unreachable through the
+    ``-1`` codes anyway.
+    """
+    if ctype is ColumnType.NUMERIC:
+        missing = np.isnan(array)
+        safe = np.where(missing, 0.0, array)
+    else:
+        safe = array.astype("U")
+        missing = safe == ""
+    uniques, codes = np.unique(safe, return_inverse=True)
+    codes = codes.astype(np.int64)
+    codes[missing] = -1
+    order = np.argsort(codes, kind="stable")
+    return uniques, codes, order, int(missing.sum())
+
+
 class Table:
     """Immutable column-oriented table with a FACT-annotated schema."""
 
@@ -67,8 +93,29 @@ class Table:
         self._schema = schema
         self._columns = arrays
         self._n_rows = 0 if n_rows is None else n_rows
+        self._factor_cache: dict[str, tuple] = {}
 
     # -- construction --------------------------------------------------------
+
+    @classmethod
+    def _from_canonical(cls, schema: Schema,
+                        columns: Mapping[str, np.ndarray],
+                        n_rows: int) -> "Table":
+        """Build a table from arrays already in canonical storage form.
+
+        Internal fast path for operations whose outputs are gathers,
+        slices, or concatenations of an existing table's columns (or
+        freshly computed float64 arrays): those are canonical by
+        construction, so re-running the per-element coercion in
+        ``__init__`` — the dominant cost of large joins — is skipped.
+        The caller vouches for dtype, 1-D shape, and row count.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._columns = dict(columns)
+        table._n_rows = n_rows
+        table._factor_cache = {}
+        return table
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Sequence],
@@ -146,6 +193,33 @@ class Table:
         """The value arrays of several columns, in order."""
         return [self.column(name) for name in names]
 
+    def _factorized(self, name: str) -> tuple:
+        """Cached :func:`_factorize` of one column.
+
+        Columns are immutable, so the factorization is computed once per
+        table and reused — repeated joins and aggregations against the
+        same table (star-schema dimension tables, benchmark repeats) pay
+        the sort only on first touch.  The cache never serializes: the
+        store codec and :func:`~repro.store.table_fingerprint` both work
+        from schema + column arrays.
+        """
+        cached = self._factor_cache.get(name)
+        if cached is None:
+            cached = _factorize(self.column(name), self._schema[name].ctype)
+            self._factor_cache[name] = cached
+        return cached
+
+    def __content_fingerprint__(self) -> str:
+        """Content hash over schema + column bytes (see ``table_fingerprint``).
+
+        Lets :func:`repro.store.object_fingerprint` hash a table nested
+        inside another object by content — independent of incidental
+        instance state such as the lazy factorization cache.
+        """
+        from repro.store.fingerprint import table_fingerprint
+
+        return table_fingerprint(self)
+
     def row(self, index: int) -> dict[str, object]:
         """One row as a ``{column: value}`` dict."""
         if not 0 <= index < self._n_rows:
@@ -162,12 +236,18 @@ class Table:
     def select(self, names: Sequence[str]) -> "Table":
         """Table restricted to the given columns, in the given order."""
         schema = self._schema.select(list(names))
-        return Table(schema, {name: self._columns[name] for name in names})
+        return Table._from_canonical(
+            schema, {name: self._columns[name] for name in names},
+            self._n_rows,
+        )
 
     def drop(self, names: Sequence[str]) -> "Table":
         """Table without the given columns."""
         schema = self._schema.drop(list(names))
-        return Table(schema, {name: self._columns[name] for name in schema.names})
+        return Table._from_canonical(
+            schema, {name: self._columns[name] for name in schema.names},
+            self._n_rows,
+        )
 
     def with_column(self, spec: ColumnSpec, values: Sequence) -> "Table":
         """Table with a column added or replaced."""
@@ -183,7 +263,9 @@ class Table:
 
     def with_role(self, name: str, role: ColumnRole) -> "Table":
         """Table with one column's FACT role changed."""
-        return Table(self._schema.with_role(name, role), dict(self._columns))
+        return Table._from_canonical(
+            self._schema.with_role(name, role), self._columns, self._n_rows
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "Table":
         """Table with columns renamed according to ``mapping``."""
@@ -193,15 +275,17 @@ class Table:
             new_name = mapping.get(spec.name, spec.name)
             specs.append(ColumnSpec(new_name, spec.ctype, spec.role, spec.description))
             columns[new_name] = self._columns[spec.name]
-        return Table(Schema(specs), columns)
+        return Table._from_canonical(Schema(specs), columns, self._n_rows)
 
     # -- row transforms ---------------------------------------------------------
 
     def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
         """Table containing the rows at ``indices`` (with repetition allowed)."""
         idx = np.asarray(indices, dtype=np.intp)
-        return Table(
-            self._schema, {name: array[idx] for name, array in self._columns.items()}
+        return Table._from_canonical(
+            self._schema,
+            {name: array[idx] for name, array in self._columns.items()},
+            len(idx),
         )
 
     def filter(self, mask: Sequence[bool] | np.ndarray) -> "Table":
@@ -211,8 +295,10 @@ class Table:
             raise DataError(
                 f"mask has {len(mask)} entries, expected {self._n_rows}"
             )
-        return Table(
-            self._schema, {name: array[mask] for name, array in self._columns.items()}
+        return Table._from_canonical(
+            self._schema,
+            {name: array[mask] for name, array in self._columns.items()},
+            int(np.count_nonzero(mask)),
         )
 
     def head(self, n: int = 5) -> "Table":
@@ -230,25 +316,64 @@ class Table:
             raise DataError(f"cannot sample {n} rows from {self._n_rows} without replacement")
         return self.take(rng.choice(self._n_rows, size=n, replace=replace))
 
-    def sort_by(self, name: str, descending: bool = False) -> "Table":
-        """Rows sorted by one column (stable)."""
-        order = np.argsort(self.column(name), kind="stable")
+    def sort_by(self, names: str | Sequence[str],
+                descending: bool = False) -> "Table":
+        """Rows sorted by one or several columns (stable).
+
+        ``names`` may be one column name or a sequence — the first name
+        is the primary key.  Ties keep their original relative order in
+        both directions (stable descending is *not* a reversed ascending
+        sort, which would reverse tie order), so sorted output is a
+        deterministic function of the input rows — the property the
+        relational join kernels build on.
+        """
+        if isinstance(names, str):
+            names = [names]
+        if not names:
+            raise SchemaError("sort_by needs at least one column")
+        keys = [self.column(name) for name in names]
         if descending:
-            order = order[::-1]
+            # Stable descending: ascending-sort the reversed rows, map
+            # positions back, reverse — equal keys keep input order.
+            order_rev = np.lexsort([key[::-1] for key in reversed(keys)])
+            order = (self._n_rows - 1 - order_rev)[::-1]
+        else:
+            order = np.lexsort(list(reversed(keys)))
         return self.take(order)
 
-    def concat(self, other: "Table") -> "Table":
-        """Rows of ``self`` followed by rows of ``other`` (same columns)."""
-        if self.column_names != other.column_names:
-            raise SchemaError(
-                "cannot concat tables with different columns: "
-                f"{self.column_names} vs {other.column_names}"
-            )
+    @classmethod
+    def concat(cls, tables: Sequence["Table"]) -> "Table":
+        """One table holding the rows of ``tables``, in order.
+
+        Every table must carry an identical schema (names, types, and
+        FACT roles) — concatenating tables that merely share column
+        names would silently merge different declarations.  Callable on
+        an instance too (``table.concat([a, b])`` ignores the instance).
+        """
+        tables = list(tables)
+        if not tables:
+            raise DataError("concat needs at least one table")
+        for table in tables:
+            if not isinstance(table, Table):
+                raise DataError(
+                    f"concat expects Tables, got {type(table).__name__}"
+                )
+        reference = tables[0].schema
+        signature = [(s.name, s.ctype, s.role) for s in reference]
+        for table in tables[1:]:
+            if [(s.name, s.ctype, s.role) for s in table.schema] != signature:
+                raise SchemaError(
+                    "cannot concat tables with different schemas: "
+                    f"{reference.names} (roles/types included) vs "
+                    f"{table.schema.names}"
+                )
         columns = {
-            name: np.concatenate([self._columns[name], other._columns[name]])
-            for name in self.column_names
+            name: np.concatenate([table._columns[name] for table in tables])
+            for name in reference.names
         }
-        return Table(self._schema, columns)
+        return cls._from_canonical(
+            reference, columns, sum(table._n_rows for table in tables)
+        )
 
     # -- grouping / summaries ------------------------------------------------------
 

@@ -61,6 +61,11 @@ def value_fingerprint(value: object) -> str:
         return array_fingerprint(value)
     if value is None or isinstance(value, (bool, int, float, str)):
         return fingerprint(value=canonical(value))
+    content = getattr(value, "__content_fingerprint__", None)
+    if callable(content):
+        # Containers that know their own content hash (e.g. a relational
+        # Dataset composing per-table fingerprints) speak for themselves.
+        return content()
     return object_fingerprint(value)
 
 

@@ -3,6 +3,8 @@
 from repro.fairness.discovery import (
     ProxyReport,
     Subgroup,
+    correlation_ratio,
+    cramers_v,
     detect_proxies,
     find_worst_subgroups,
 )
@@ -76,6 +78,8 @@ __all__ = [
     "audit_model",
     "base_rates",
     "consistency_score",
+    "correlation_ratio",
+    "cramers_v",
     "detect_proxies",
     "disparate_impact_ratio",
     "disparate_impact_repair",

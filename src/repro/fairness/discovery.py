@@ -27,6 +27,62 @@ from repro.learn.preprocessing import FeatureEncoder
 from repro.learn.metrics import roc_auc
 
 
+def cramers_v(left: np.ndarray, right: np.ndarray) -> float:
+    """Cramér's V association between two categorical arrays (0..1).
+
+    The chi-squared statistic of the contingency table, normalised to
+    ``[0, 1]`` — 0 means independent, 1 means one attribute determines
+    the other.  Used by :func:`repro.relational.proxy_scan` to measure
+    how strongly a post-join column re-encodes a sensitive attribute.
+    """
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if len(left) != len(right):
+        raise FairnessError("cramers_v needs aligned arrays")
+    n = len(left)
+    if n == 0:
+        return 0.0
+    left_levels, left_codes = np.unique(left, return_inverse=True)
+    right_levels, right_codes = np.unique(right, return_inverse=True)
+    r, c = len(left_levels), len(right_levels)
+    if r < 2 or c < 2:
+        return 0.0
+    observed = np.zeros((r, c), dtype=np.float64)
+    np.add.at(observed, (left_codes, right_codes), 1.0)
+    expected = np.outer(observed.sum(axis=1), observed.sum(axis=0)) / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cells = np.where(expected > 0,
+                         (observed - expected) ** 2 / expected, 0.0)
+    chi2 = float(cells.sum())
+    denominator = n * min(r - 1, c - 1)
+    return float(np.sqrt(chi2 / denominator)) if denominator else 0.0
+
+
+def correlation_ratio(values: np.ndarray, groups: np.ndarray) -> float:
+    """Correlation ratio η of a numeric array across groups (0..1).
+
+    ``sqrt(between-group variance / total variance)`` — how much of the
+    numeric column's spread the group labels explain.  NaN values are
+    dropped pairwise.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    groups = np.asarray(groups)
+    if len(values) != len(groups):
+        raise FairnessError("correlation_ratio needs aligned arrays")
+    keep = ~np.isnan(values)
+    values, groups = values[keep], groups[keep]
+    if len(values) == 0:
+        return 0.0
+    total = float(np.sum((values - values.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    between = 0.0
+    for level in np.unique(groups):
+        members = values[groups == level]
+        between += len(members) * (float(members.mean()) - float(values.mean())) ** 2
+    return float(np.sqrt(between / total))
+
+
 @dataclass(frozen=True)
 class ProxyReport:
     """How strongly the features re-encode a sensitive attribute."""

@@ -1,0 +1,83 @@
+"""``repro.relational`` — schema-driven multi-table data with FACT-aware joins.
+
+Real responsible-data-science scenarios are relational: applications
+reference applicants, applicants live in zones, outcomes land in a
+separate table.  §2-Q1 of the paper warns that omitting a sensitive
+attribute from one table proves nothing — and a *join* is precisely the
+operation that re-introduces what redaction removed.  This package makes
+the relationships first-class so the FACT machinery can see them:
+
+* :class:`RelSchema` / :class:`TableSpec` / :class:`ForeignKey` declare
+  related tables with typed links, validated at construction (dangling
+  references, type mismatches, ownership cycles → ``SchemaError``), with
+  versioned migrations (:mod:`repro.relational.migrate`) folded into the
+  dataset fingerprint;
+* :class:`Dataset` holds the member tables, enforces key uniqueness and
+  referential integrity, and content-fingerprints the whole collection;
+* :func:`inner_join` / :func:`left_join` / :func:`group_aggregate` are
+  deterministic, order-stable numpy kernels whose outputs *derive* their
+  FACT roles — a joined column inherits the strictest role of its
+  lineage, and a fanned-out key is promoted to quasi-identifier
+  (:mod:`repro.relational.propagation`);
+* :func:`proxy_scan` measures post-join association between derived
+  columns and sensitive attributes, catching proxies that single-table
+  audits miss;
+* :func:`join_node` / :func:`aggregate_node` run the kernels as engine
+  nodes — memoised, tagged ``table:<fp>``, bit-identical at any
+  ``n_jobs``;
+* :class:`SchemaRegistry` backs :class:`repro.serve.QueryPlanner` with
+  whole-dataset registration and store-tag invalidation on re-register.
+"""
+
+from repro.relational.dataset import Dataset
+from repro.relational.kernels import (
+    AGGREGATE_OPS,
+    MISSING_CATEGORICAL,
+    group_aggregate,
+    inner_join,
+    left_join,
+)
+from repro.relational.migrate import (
+    MIGRATION_OPS,
+    AddColumn,
+    AddTable,
+    RenameColumn,
+)
+from repro.relational.nodes import aggregate_node, join_node
+from repro.relational.propagation import (
+    PROXY_THRESHOLD,
+    ROLE_STRICTNESS,
+    ProxyFinding,
+    ProxyScanReport,
+    propagate_key_role,
+    proxy_scan,
+    strictest_role,
+)
+from repro.relational.registry import SchemaRegistry
+from repro.relational.schema import ForeignKey, RelSchema, TableSpec
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "AddColumn",
+    "AddTable",
+    "Dataset",
+    "ForeignKey",
+    "MIGRATION_OPS",
+    "MISSING_CATEGORICAL",
+    "PROXY_THRESHOLD",
+    "ProxyFinding",
+    "ProxyScanReport",
+    "ROLE_STRICTNESS",
+    "RelSchema",
+    "RenameColumn",
+    "SchemaRegistry",
+    "TableSpec",
+    "aggregate_node",
+    "group_aggregate",
+    "inner_join",
+    "join_node",
+    "left_join",
+    "propagate_key_role",
+    "proxy_scan",
+    "strictest_role",
+]

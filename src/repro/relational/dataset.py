@@ -1,0 +1,229 @@
+"""``Dataset``: related tables validated against a :class:`RelSchema`.
+
+The container pairs a declared :class:`~repro.relational.RelSchema`
+with the actual member :class:`~repro.data.table.Table` rows and
+enforces, at construction time, that the two agree — every declared
+table present, columns matching the declaration, primary keys unique
+and non-missing, and every foreign-key value resolvable in its parent
+table.  Because validation lives in ``__post_init__`` and ``Dataset``
+is an ordinary repro dataclass, a dataset decoded from the artifact
+store re-validates itself on the way out: a corrupted cache entry
+raises instead of flowing downstream.
+
+Identity is content-addressed like everything else in the toolkit:
+:meth:`Dataset.content_fingerprint` composes the schema identity
+(declarations, version, migration log) with every member table's
+full-content hash, so engine nodes taking a ``Dataset`` input memoize
+correctly and a one-row change in one member table invalidates exactly
+the computations that read the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.schema import ColumnType
+from repro.data.table import Table
+from repro.exceptions import DataError, SchemaError
+from repro.relational.kernels import (
+    MISSING_CATEGORICAL,
+    inner_join,
+    left_join,
+)
+from repro.relational.schema import RelSchema, TableSpec
+from repro.store.fingerprint import dataset_fingerprint
+
+
+def _missing_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype == object:
+        return values == MISSING_CATEGORICAL
+    return np.isnan(values)
+
+
+@dataclass
+class Dataset:
+    """Related tables plus the schema that governs them."""
+
+    schema: RelSchema
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.tables = dict(self.tables)
+        declared = set(self.schema.table_names)
+        provided = set(self.tables)
+        if declared != provided:
+            missing = sorted(declared - provided)
+            extra = sorted(provided - declared)
+            raise SchemaError(
+                f"dataset {self.schema.name!r} tables do not match its "
+                f"schema: missing {missing}, undeclared {extra}"
+            )
+        for spec in self.schema:
+            table = self.tables[spec.name]
+            if not isinstance(table, Table):
+                raise SchemaError(
+                    f"member {spec.name!r} must be a Table, "
+                    f"got {type(table).__name__}"
+                )
+            declared_cols = [(c.name, c.ctype) for c in spec.schema]
+            actual_cols = [(c.name, c.ctype) for c in table.schema]
+            if declared_cols != actual_cols:
+                raise SchemaError(
+                    f"table {spec.name!r} does not match its declaration: "
+                    f"declared {declared_cols}, got {actual_cols}"
+                )
+        self.check_integrity()
+
+    # -- validation ----------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Enforce key uniqueness and referential integrity.
+
+        Raises :class:`~repro.exceptions.DataError` naming every violated
+        constraint: a duplicated or missing primary-key value, or a
+        foreign-key value with no matching parent row.  Missing FK values
+        (NaN / ``""``) are allowed — an optional link — but missing
+        *primary* keys are not.
+        """
+        problems: list[str] = []
+        for spec in self.schema:
+            table = self.tables[spec.name]
+            if spec.key is not None:
+                keys = table.column(spec.key)
+                missing = int(_missing_mask(keys).sum())
+                if missing:
+                    problems.append(
+                        f"{spec.name}.{spec.key}: {missing} missing "
+                        f"key value(s)"
+                    )
+                if len(np.unique(keys)) != len(keys) - missing:
+                    problems.append(
+                        f"{spec.name}.{spec.key}: duplicate key values"
+                    )
+            for fk in spec.foreign_keys:
+                child = table.column(fk.column)
+                parent = self.tables[fk.references_table].column(
+                    fk.references_column
+                )
+                live = child[~_missing_mask(child)]
+                dangling = int((~np.isin(live, parent)).sum())
+                if dangling:
+                    problems.append(
+                        f"{spec.name}.{fk.column}: {dangling} value(s) "
+                        f"with no match in {fk.references_table}."
+                        f"{fk.references_column}"
+                    )
+        if problems:
+            raise DataError(
+                f"dataset {self.schema.name!r} fails integrity checks: "
+                + "; ".join(problems)
+            )
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        """Member table names in declaration order."""
+        return self.schema.table_names
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def table(self, name: str) -> Table:
+        """The member table called ``name``."""
+        if name not in self.tables:
+            raise DataError(
+                f"dataset {self.schema.name!r} has no table {name!r}; "
+                f"members: {self.table_names}"
+            )
+        return self.tables[name]
+
+    def spec(self, name: str) -> TableSpec:
+        """The declaration of member table ``name``."""
+        return self.schema.table(name)
+
+    def with_table(self, name: str, table: Table) -> "Dataset":
+        """A new dataset with member ``name`` replaced (revalidated)."""
+        self.table(name)  # raise early on unknown names
+        return Dataset(self.schema, {**self.tables, name: table})
+
+    # -- identity ------------------------------------------------------------
+
+    def content_fingerprint(self) -> str:
+        """Schema identity + every member table's content, as one hash."""
+        return dataset_fingerprint(self)
+
+    # Engine protocol: nodes taking a Dataset input fold this into their
+    # cache keys (see ``repro.engine.value_fingerprint``).
+    __content_fingerprint__ = content_fingerprint
+
+    # -- relational operations -----------------------------------------------
+
+    def join(self, child: str, parent: str, *, how: str = "inner",
+             suffix: str = "_r") -> Table:
+        """Join member ``child`` to member ``parent`` along declared FKs.
+
+        The join keys come from the schema — every foreign key from
+        ``child`` to ``parent`` contributes a key pair — so callers
+        cannot join along undeclared relationships by accident.  Roles
+        propagate per :mod:`repro.relational.propagation`.
+        """
+        links = self.schema.foreign_keys_between(child, parent)
+        if not links:
+            raise SchemaError(
+                f"schema {self.schema.name!r} declares no foreign key "
+                f"from {child!r} to {parent!r}"
+            )
+        if how not in ("inner", "left"):
+            raise DataError(f"how must be 'inner' or 'left', got {how!r}")
+        kernel = inner_join if how == "inner" else left_join
+        return kernel(
+            self.table(child), self.table(parent),
+            [fk.column for fk in links],
+            right_on=[fk.references_column for fk in links],
+            suffix=suffix,
+        )
+
+    # -- migration -----------------------------------------------------------
+
+    def migrate(self, *ops) -> "Dataset":
+        """Apply migration ops, bump the version, extend the log.
+
+        Each op is one of :data:`repro.relational.migrate.MIGRATION_OPS`.
+        The whole batch lands as one new schema version whose migration
+        log carries one entry per op — and because the log joins the
+        schema identity, the migrated dataset's fingerprint differs from
+        both the original's and from any same-shape dataset built
+        directly.
+        """
+        if not ops:
+            raise SchemaError("migrate needs at least one operation")
+        specs = list(self.schema.tables)
+        tables = dict(self.tables)
+        entries = []
+        for op in ops:
+            if not hasattr(op, "apply") or not hasattr(op, "entry"):
+                raise SchemaError(
+                    f"not a migration op: {type(op).__name__}"
+                )
+            specs, tables = op.apply(specs, tables)
+            entries.append(op.entry())
+        schema = RelSchema(
+            name=self.schema.name,
+            tables=specs,
+            version=self.schema.version + 1,
+            migrations=self.schema.migrations + tuple(entries),
+        )
+        return Dataset(schema, tables)
+
+    def __repr__(self) -> str:
+        members = ", ".join(
+            f"{name}[{self.tables[name].n_rows}]" for name in self.table_names
+        )
+        return (f"Dataset({self.schema.name!r} v{self.schema.version}: "
+                f"{members})")

@@ -1,0 +1,171 @@
+"""Versioned schema migrations: structural change as recorded lineage.
+
+A responsible dataset's identity includes *how it came to look the way
+it does* — §5 of the paper folds data-lineage management into the FACT
+agenda.  A migration op is a small declarative object applied through
+:meth:`repro.relational.Dataset.migrate`; each ``migrate`` call bumps
+the schema version and appends the ops' log entries to
+:attr:`RelSchema.migrations`, and both fold into the dataset
+fingerprint — two datasets with identical bytes but different
+structural histories hash differently, on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import ColumnSpec, ColumnType, Schema
+from repro.data.table import Table
+from repro.exceptions import SchemaError
+from repro.relational.schema import ForeignKey, TableSpec
+
+
+def _replace_spec(specs: list[TableSpec], name: str,
+                  replacement: TableSpec) -> list[TableSpec]:
+    return [replacement if spec.name == name else spec for spec in specs]
+
+
+def _require_table(specs: list[TableSpec], name: str, op: str) -> TableSpec:
+    for spec in specs:
+        if spec.name == name:
+            return spec
+    raise SchemaError(
+        f"{op}: no table named {name!r}; members: "
+        f"{[spec.name for spec in specs]}"
+    )
+
+
+@dataclass(frozen=True)
+class AddColumn:
+    """Add ``spec`` to table ``table``, filled with ``default``.
+
+    ``default`` defaults per type: 0.0 for numeric, ``""`` for
+    categorical.  (Real values arrive through ordinary Table transforms
+    afterwards; the migration records the structural fact.)
+    """
+
+    table: str
+    spec: ColumnSpec
+    default: float | str | None = None
+
+    def entry(self) -> dict:
+        return {
+            "op": "add_column", "table": self.table,
+            "column": self.spec.name, "ctype": self.spec.ctype.value,
+            "role": self.spec.role.value,
+        }
+
+    def apply(self, specs: list[TableSpec],
+              tables: dict[str, Table]) -> tuple[list, dict]:
+        target = _require_table(specs, self.table, "add_column")
+        if self.spec.name in target.schema:
+            raise SchemaError(
+                f"add_column: table {self.table!r} already has a column "
+                f"{self.spec.name!r}"
+            )
+        default = self.default
+        if default is None:
+            default = 0.0 if self.spec.ctype is ColumnType.NUMERIC else ""
+        table = tables[self.table]
+        values = np.full(
+            table.n_rows, default,
+            dtype=(np.float64 if self.spec.ctype is ColumnType.NUMERIC
+                   else object),
+        )
+        updated = TableSpec(
+            name=target.name,
+            schema=target.schema.with_column(self.spec),
+            key=target.key,
+            foreign_keys=target.foreign_keys,
+        )
+        tables = {**tables, self.table: table.with_column(self.spec, values)}
+        return _replace_spec(specs, self.table, updated), tables
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    """Rename ``old`` to ``new`` in table ``table``, rewriting every
+    foreign key that mentions the column (on either end of the link)."""
+
+    table: str
+    old: str
+    new: str
+
+    def entry(self) -> dict:
+        return {
+            "op": "rename", "table": self.table,
+            "old": self.old, "new": self.new,
+        }
+
+    def apply(self, specs: list[TableSpec],
+              tables: dict[str, Table]) -> tuple[list, dict]:
+        target = _require_table(specs, self.table, "rename")
+        if self.old not in target.schema:
+            raise SchemaError(
+                f"rename: table {self.table!r} has no column {self.old!r}"
+            )
+        if self.new in target.schema:
+            raise SchemaError(
+                f"rename: table {self.table!r} already has a column "
+                f"{self.new!r}"
+            )
+        updated_specs = []
+        for spec in specs:
+            schema = spec.schema
+            key = spec.key
+            if spec.name == self.table:
+                schema = Schema([
+                    (ColumnSpec(self.new, col.ctype, col.role,
+                                col.description)
+                     if col.name == self.old else col)
+                    for col in schema
+                ])
+                if key == self.old:
+                    key = self.new
+            foreign_keys = tuple(
+                ForeignKey(
+                    column=(self.new if spec.name == self.table
+                            and fk.column == self.old else fk.column),
+                    references_table=fk.references_table,
+                    references_column=(
+                        self.new if fk.references_table == self.table
+                        and fk.references_column == self.old
+                        else fk.references_column
+                    ),
+                )
+                for fk in spec.foreign_keys
+            )
+            updated_specs.append(TableSpec(
+                name=spec.name, schema=schema, key=key,
+                foreign_keys=foreign_keys,
+            ))
+        tables = {
+            **tables,
+            self.table: tables[self.table].rename({self.old: self.new}),
+        }
+        return updated_specs, tables
+
+
+@dataclass(frozen=True)
+class AddTable:
+    """Add a new member table (declaration plus rows)."""
+
+    spec: TableSpec
+    table: Table
+
+    def entry(self) -> dict:
+        return {"op": "add_table", "table": self.spec.name}
+
+    def apply(self, specs: list[TableSpec],
+              tables: dict[str, Table]) -> tuple[list, dict]:
+        if any(spec.name == self.spec.name for spec in specs):
+            raise SchemaError(
+                f"add_table: a table named {self.spec.name!r} already exists"
+            )
+        return [*specs, self.spec], {**tables, self.spec.name: self.table}
+
+
+#: Every op understood by :meth:`repro.relational.Dataset.migrate`.
+MIGRATION_OPS = (AddColumn, RenameColumn, AddTable)

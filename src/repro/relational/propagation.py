@@ -1,0 +1,191 @@
+"""FACT role propagation across joins, and the post-join proxy scan.
+
+§2-Q1 warns that "even if sensitive attributes are omitted, members of
+certain groups may still be systematically rejected" — and a *join* is
+the canonical way that happens in practice: the single table was
+redacted, but linking it to another table pulls a sensitive attribute
+(or a proxy for one) back in.  Two defences live here:
+
+* **role propagation** — a joined column inherits the *strictest* FACT
+  role of its lineage.  A column that is SENSITIVE anywhere is SENSITIVE
+  in every join output; a key column that links rows one-to-many gains
+  linkage power and is promoted to QUASI_IDENTIFIER even if both sides
+  declared it benign.
+* **proxy scan** — a measurement pass over a (typically joined) table:
+  how strongly does each column associate with each sensitive attribute
+  (Cramér's V for categoricals, the correlation ratio η for numerics)?
+  Columns above the threshold are flagged with a suggested
+  QUASI_IDENTIFIER promotion, which
+  :meth:`~repro.data.table.Table.feature_table` then excludes from
+  model inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import ColumnRole, ColumnSpec, ColumnType
+from repro.data.table import Table
+from repro.fairness.discovery import correlation_ratio, cramers_v
+from repro.exceptions import FairnessError
+
+#: The strictness lattice: a joined column takes the maximum.
+ROLE_STRICTNESS: dict[ColumnRole, int] = {
+    ColumnRole.METADATA: 0,
+    ColumnRole.FEATURE: 1,
+    ColumnRole.TARGET: 2,
+    ColumnRole.QUASI_IDENTIFIER: 3,
+    ColumnRole.SENSITIVE: 4,
+    ColumnRole.IDENTIFIER: 5,
+}
+
+#: Default association threshold above which a column is flagged.
+PROXY_THRESHOLD = 0.3
+
+
+def strictest_role(*roles: ColumnRole) -> ColumnRole:
+    """The strictest of the given FACT roles (max of the lattice)."""
+    if not roles:
+        raise FairnessError("strictest_role needs at least one role")
+    return max(roles, key=lambda role: ROLE_STRICTNESS[role])
+
+
+def propagate_key_role(spec: ColumnSpec, left_role: ColumnRole,
+                       right_role: ColumnRole,
+                       fan_out: bool) -> ColumnSpec:
+    """The output spec of a join-key column.
+
+    The key exists on both sides, so it takes the strictest of the two
+    declared roles; when the join fanned rows out (some key value
+    matched more than one row), the key demonstrably links records
+    across tables and a benign role (FEATURE/METADATA) is promoted to
+    QUASI_IDENTIFIER — that linkage power is exactly what a
+    quasi-identifier is.  TARGET and stricter roles are left alone.
+    """
+    role = strictest_role(left_role, right_role)
+    if fan_out and ROLE_STRICTNESS[role] < ROLE_STRICTNESS[ColumnRole.TARGET]:
+        role = ColumnRole.QUASI_IDENTIFIER
+    return spec.with_role(role)
+
+
+@dataclass(frozen=True)
+class ProxyFinding:
+    """One column's measured association with one sensitive attribute."""
+
+    column: str
+    sensitive: str
+    association: float      # Cramér's V or correlation ratio, in [0, 1]
+    measure: str            # "cramers_v" | "correlation_ratio"
+    role: ColumnRole        # the column's current role
+
+    def render(self) -> str:
+        """Human-readable one-liner."""
+        return (f"{self.column} ~ {self.sensitive}: "
+                f"{self.measure}={self.association:.3f} "
+                f"(role={self.role.value})")
+
+
+@dataclass(frozen=True)
+class ProxyScanReport:
+    """Every measured association, plus the flagged subset."""
+
+    subject: str
+    threshold: float
+    findings: tuple[ProxyFinding, ...]
+
+    @property
+    def flagged(self) -> tuple[ProxyFinding, ...]:
+        """Findings at or above the threshold, strongest first."""
+        hot = [f for f in self.findings if f.association >= self.threshold]
+        return tuple(sorted(hot, key=lambda f: -f.association))
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing crossed the threshold."""
+        return not self.flagged
+
+    def apply(self, table: Table) -> Table:
+        """``table`` with every flagged column promoted to QUASI_IDENTIFIER.
+
+        Promotion is the mitigation: ``feature_table()`` no longer feeds
+        the column to models, while audits still see it.  Columns whose
+        role is already stricter than QUASI_IDENTIFIER are untouched.
+        """
+        promoted = table
+        for finding in self.flagged:
+            current = promoted.schema[finding.column].role
+            if (ROLE_STRICTNESS[current]
+                    < ROLE_STRICTNESS[ColumnRole.QUASI_IDENTIFIER]):
+                promoted = promoted.with_role(
+                    finding.column, ColumnRole.QUASI_IDENTIFIER
+                )
+        return promoted
+
+    def render(self) -> str:
+        """The scan as text, flagged findings first."""
+        lines = [
+            f"proxy scan of {self.subject}: "
+            f"{len(self.flagged)} flagged at threshold "
+            f"{self.threshold:.2f} ({len(self.findings)} measured)"
+        ]
+        for finding in self.flagged:
+            lines.append(f"  FLAG {finding.render()}")
+        for finding in self.findings:
+            if finding not in self.flagged:
+                lines.append(f"       {finding.render()}")
+        return "\n".join(lines)
+
+
+#: Roles a proxy scan measures (the ones that may reach a model).
+_SCANNED_ROLES = (
+    ColumnRole.FEATURE, ColumnRole.METADATA, ColumnRole.QUASI_IDENTIFIER,
+)
+
+
+def proxy_scan(table: Table, sensitive: str | list[str] | None = None,
+               threshold: float = PROXY_THRESHOLD,
+               subject: str = "table") -> ProxyScanReport:
+    """Measure how strongly each column re-encodes a sensitive attribute.
+
+    Every FEATURE/METADATA/QUASI_IDENTIFIER column is scored against
+    every sensitive column: categorical columns with Cramér's V, numeric
+    columns with the correlation ratio η.  Run this on *join outputs* —
+    a column that was independent of the sensitive attribute in its home
+    table can become a strong proxy once rows are linked.
+    """
+    if sensitive is None:
+        names = table.schema.sensitive_names
+    elif isinstance(sensitive, str):
+        names = [sensitive]
+    else:
+        names = list(sensitive)
+    if not names:
+        raise FairnessError(
+            "proxy_scan needs at least one sensitive column "
+            "(declare roles or pass sensitive=...)"
+        )
+    for name in names:
+        if name not in table.schema:
+            raise FairnessError(f"no column named {name!r} to scan against")
+    findings = []
+    for spec in table.schema:
+        if spec.role not in _SCANNED_ROLES or spec.name in names:
+            continue
+        for target in names:
+            target_values = table.column(target)
+            if spec.ctype is ColumnType.NUMERIC:
+                value = correlation_ratio(table.column(spec.name),
+                                          target_values)
+                measure = "correlation_ratio"
+            else:
+                value = cramers_v(table.column(spec.name), target_values)
+                measure = "cramers_v"
+            findings.append(ProxyFinding(
+                column=spec.name, sensitive=target,
+                association=round(float(value), 6),
+                measure=measure, role=spec.role,
+            ))
+    return ProxyScanReport(
+        subject=subject, threshold=float(threshold),
+        findings=tuple(findings),
+    )

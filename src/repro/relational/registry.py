@@ -1,0 +1,131 @@
+"""``SchemaRegistry``: the servable-table registry, relational-aware.
+
+The serve planner historically kept its own ``{name: table}`` dict; the
+registry extracts that and adds two things the relational layer needs:
+
+* **whole-dataset registration** — ``register_dataset`` publishes every
+  member table of a :class:`~repro.relational.Dataset` in one call and
+  remembers the dataset itself, so a server can expose a multi-table
+  scenario without per-table boilerplate (``register_table`` stays as
+  the thin single-table wrapper);
+* **store-tag invalidation** — when an
+  :class:`~repro.store.ArtifactStore` is attached, every registration
+  records the table's content fingerprint, and *re*-registration
+  invalidates the ``table:<old-fingerprint>`` tag.  Any memoised join,
+  aggregate, or pipeline artifact computed from the replaced rows is
+  evicted in one call — serving never replays results about data that
+  no longer exists.
+"""
+
+from __future__ import annotations
+
+from repro.data.table import Table
+from repro.exceptions import DataError
+from repro.relational.dataset import Dataset
+from repro.store.fingerprint import table_fingerprint
+
+
+class SchemaRegistry:
+    """Versioned registry of servable tables (and whole datasets)."""
+
+    def __init__(self, store=None):
+        self._store = store
+        self._tables: dict[str, Table] = {}
+        self._versions: dict[str, int] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._datasets: dict[str, Dataset] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Publish ``table`` as ``name``; re-registering bumps its version.
+
+        With a store attached, replacing a table invalidates the
+        ``table:<fingerprint>`` tag of the *old* rows, evicting every
+        artifact memoised from them.
+        """
+        if not name:
+            raise DataError("table name must be non-empty")
+        if not isinstance(table, Table):
+            raise DataError(f"expected a Table, got {type(table).__name__}")
+        if self._store is not None:
+            previous = self._fingerprints.get(name)
+            if previous is not None:
+                self._store.invalidate_tag(f"table:{previous}")
+            self._fingerprints[name] = table_fingerprint(table)
+        self._tables[name] = table
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def register_dataset(self, dataset: Dataset) -> list[str]:
+        """Publish every member table of ``dataset``; returns their names.
+
+        Member tables land under their plain table names (the schema
+        names them uniquely); the dataset itself is retrievable by its
+        schema name via :meth:`dataset`.
+        """
+        if not isinstance(dataset, Dataset):
+            raise DataError(
+                f"expected a Dataset, got {type(dataset).__name__}"
+            )
+        for name in dataset.table_names:
+            self.register_table(name, dataset.table(name))
+        self._datasets[dataset.schema.name] = dataset
+        return list(dataset.table_names)
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """The live name → table mapping (mutate via ``register_*`` only)."""
+        return self._tables
+
+    @property
+    def versions(self) -> dict[str, int]:
+        """The live name → registration-count mapping."""
+        return self._versions
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names, in registration order."""
+        return list(self._tables)
+
+    @property
+    def dataset_names(self) -> list[str]:
+        """Registered dataset (schema) names."""
+        return list(self._datasets)
+
+    def table(self, name: str) -> Table:
+        """The registered table called ``name``."""
+        if name not in self._tables:
+            raise DataError(
+                f"unknown table {name!r}; registered: {self.table_names}"
+            )
+        return self._tables[name]
+
+    def version(self, name: str) -> int:
+        """How many times ``name`` has been (re-)registered."""
+        self.table(name)
+        return self._versions[name]
+
+    def dataset(self, name: str) -> Dataset:
+        """The registered dataset whose schema is named ``name``."""
+        if name not in self._datasets:
+            raise DataError(
+                f"unknown dataset {name!r}; registered: {self.dataset_names}"
+            )
+        return self._datasets[name]
+
+    def fingerprint(self, name: str) -> str | None:
+        """The registered content fingerprint of table ``name``.
+
+        ``None`` when no store is attached (fingerprints are only
+        tracked when there are tags to invalidate).
+        """
+        self.table(name)
+        return self._fingerprints.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,212 @@
+"""Declarative multi-table schemas: tables, keys, and typed FK links.
+
+The paper argues responsibility must be designed in "already during the
+requirements and design phases".  :mod:`repro.data.schema` does that for
+one table; real responsible-DS scenarios are relational (users ⋈
+transactions ⋈ outcomes), and the *relationships* are where new failure
+modes hide — a join can re-introduce a proxy for a sensitive attribute
+that single-table redaction removed.  A :class:`RelSchema` declares the
+related tables and their typed foreign-key links up front, validates the
+wiring at construction time (dangling references, type mismatches,
+ownership cycles all raise :class:`~repro.exceptions.SchemaError`), and
+carries a versioned migration log so a dataset's lineage of structural
+changes is part of its identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.schema import Schema
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A typed link: ``column`` in the owning table references
+    ``references_column`` in ``references_table``."""
+
+    column: str
+    references_table: str
+    references_column: str
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declaration of one member table: name, column schema, keys.
+
+    ``key`` names the table's primary-key column (unique per row —
+    enforced by :meth:`repro.relational.Dataset.check_integrity`);
+    ``foreign_keys`` declare which columns reference other tables.
+    """
+
+    name: str
+    schema: Schema
+    key: str | None = None
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table spec needs a non-empty name")
+        object.__setattr__(self, "foreign_keys", tuple(self.foreign_keys))
+        if self.key is not None and self.key not in self.schema:
+            raise SchemaError(
+                f"table {self.name!r} declares key {self.key!r}, "
+                f"which is not one of its columns {self.schema.names}"
+            )
+        for fk in self.foreign_keys:
+            if not isinstance(fk, ForeignKey):
+                raise SchemaError(
+                    f"table {self.name!r}: foreign_keys must be ForeignKey "
+                    f"objects, got {type(fk).__name__}"
+                )
+            if fk.column not in self.schema:
+                raise SchemaError(
+                    f"table {self.name!r} declares a foreign key on "
+                    f"{fk.column!r}, which is not one of its columns"
+                )
+
+
+@dataclass
+class RelSchema:
+    """A validated collection of related :class:`TableSpec` declarations.
+
+    Construction rejects malformed wiring outright:
+
+    * duplicate table names;
+    * dangling foreign keys (unknown parent table or parent column);
+    * type mismatches (an FK column must store the same
+      :class:`~repro.data.schema.ColumnType` as the column it references);
+    * cycles in the ownership graph (table A references B references A —
+      no valid load/validation order would exist).
+
+    ``version`` and ``migrations`` are the schema's change history,
+    maintained by :meth:`repro.relational.Dataset.migrate`; both fold
+    into the dataset fingerprint so two datasets that reached the same
+    shape through different histories are distinguishable.
+    """
+
+    name: str
+    tables: list[TableSpec] = field(default_factory=list)
+    version: int = 1
+    migrations: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relational schema needs a non-empty name")
+        self.tables = list(self.tables)
+        self.migrations = tuple(self.migrations)
+        names = [spec.name for spec in self.tables]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"duplicate table names in schema {self.name!r}: "
+                f"{sorted(duplicates)}"
+            )
+        by_name = {spec.name: spec for spec in self.tables}
+        for spec in self.tables:
+            for fk in spec.foreign_keys:
+                parent = by_name.get(fk.references_table)
+                if parent is None:
+                    raise SchemaError(
+                        f"table {spec.name!r} references unknown table "
+                        f"{fk.references_table!r} via {fk.column!r}"
+                    )
+                if fk.references_column not in parent.schema:
+                    raise SchemaError(
+                        f"table {spec.name!r} references "
+                        f"{fk.references_table}.{fk.references_column}, "
+                        f"which does not exist"
+                    )
+                child_type = spec.schema[fk.column].ctype
+                parent_type = parent.schema[fk.references_column].ctype
+                if child_type is not parent_type:
+                    raise SchemaError(
+                        f"foreign key {spec.name}.{fk.column} is "
+                        f"{child_type.value} but references "
+                        f"{fk.references_table}.{fk.references_column} "
+                        f"({parent_type.value})"
+                    )
+        self._check_acyclic(by_name)
+
+    @staticmethod
+    def _check_acyclic(by_name: dict[str, TableSpec]) -> None:
+        """Reject FK cycles — there would be no valid ownership order."""
+        edges = {
+            name: {fk.references_table for fk in spec.foreign_keys}
+            for name, spec in by_name.items()
+        }
+        resolved: set[str] = set()
+        remaining = list(by_name)
+        while remaining:
+            ready = [
+                name for name in remaining
+                if edges[name] <= resolved
+            ]
+            if not ready:
+                raise SchemaError(
+                    "ownership cycle through tables: "
+                    f"{sorted(remaining)}"
+                )
+            resolved.update(ready)
+            remaining = [name for name in remaining if name not in ready]
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        """Member table names in declaration order."""
+        return [spec.name for spec in self.tables]
+
+    def __contains__(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def table(self, name: str) -> TableSpec:
+        """The spec of member table ``name``."""
+        for spec in self.tables:
+            if spec.name == name:
+                return spec
+        raise SchemaError(
+            f"schema {self.name!r} has no table {name!r}; "
+            f"members: {self.table_names}"
+        )
+
+    def foreign_keys_between(self, child: str,
+                             parent: str) -> list[ForeignKey]:
+        """The FK links from ``child`` to ``parent`` (may be empty)."""
+        return [
+            fk for fk in self.table(child).foreign_keys
+            if fk.references_table == parent
+        ]
+
+    # -- identity ------------------------------------------------------------
+
+    def identity(self) -> dict:
+        """The schema's canonical form (joined into dataset fingerprints)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "tables": [
+                {
+                    "name": spec.name,
+                    "key": spec.key,
+                    "columns": [
+                        [col.name, col.ctype.value, col.role.value]
+                        for col in spec.schema
+                    ],
+                    "foreign_keys": [
+                        [fk.column, fk.references_table,
+                         fk.references_column]
+                        for fk in spec.foreign_keys
+                    ],
+                }
+                for spec in self.tables
+            ],
+            "migrations": [dict(entry) for entry in self.migrations],
+        }

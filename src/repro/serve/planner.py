@@ -93,40 +93,54 @@ class QueryPlan:
 
 
 class QueryPlanner:
-    """Registry of servable tables plus request validation/normalization."""
+    """Registry of servable tables plus request validation/normalization.
 
-    def __init__(self):
-        self._tables: dict[str, Table] = {}
-        self._versions: dict[str, int] = {}
+    The registry itself is a :class:`repro.relational.SchemaRegistry`;
+    passing ``store=`` makes re-registration invalidate the old rows'
+    ``table:<fingerprint>`` artifacts alongside the version bump that
+    already invalidates cached *answers*.
+    """
+
+    def __init__(self, store=None):
+        from repro.relational.registry import SchemaRegistry
+
+        self._registry = SchemaRegistry(store=store)
 
     # -- table registry -----------------------------------------------------
 
+    @property
+    def _tables(self) -> dict[str, Table]:
+        return self._registry.tables
+
+    @property
+    def _versions(self) -> dict[str, int]:
+        return self._registry.versions
+
     def register_table(self, name: str, table: Table) -> None:
         """Make ``table`` servable as ``name`` (re-registering bumps its version)."""
-        if not name:
-            raise DataError("table name must be non-empty")
-        if not isinstance(table, Table):
-            raise DataError(f"expected a Table, got {type(table).__name__}")
-        self._tables[name] = table
-        self._versions[name] = self._versions.get(name, 0) + 1
+        self._registry.register_table(name, table)
+
+    def register_dataset(self, dataset) -> list[str]:
+        """Make every member table of a relational dataset servable."""
+        return self._registry.register_dataset(dataset)
+
+    @property
+    def registry(self):
+        """The underlying :class:`~repro.relational.SchemaRegistry`."""
+        return self._registry
 
     @property
     def table_names(self) -> list[str]:
         """Registered table names, in registration order."""
-        return list(self._tables)
+        return self._registry.table_names
 
     def table(self, name: str) -> Table:
         """The registered table called ``name``."""
-        if name not in self._tables:
-            raise DataError(
-                f"unknown table {name!r}; registered: {self.table_names}"
-            )
-        return self._tables[name]
+        return self._registry.table(name)
 
     def table_version(self, name: str) -> int:
         """How many times ``name`` has been (re-)registered."""
-        self.table(name)
-        return self._versions[name]
+        return self._registry.version(name)
 
     # -- planning -----------------------------------------------------------
 

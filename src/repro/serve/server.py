@@ -72,7 +72,8 @@ class QueryServer:
                  admission: AdmissionController | None = None,
                  default_epsilon_budget: float | None = None,
                  default_delta_budget: float = 0.0,
-                 backend_latency_s: float = 0.0):
+                 backend_latency_s: float = 0.0,
+                 store=None):
         """Build a server.
 
         ``cache=True`` installs a default :class:`AnswerCache`;
@@ -83,12 +84,15 @@ class QueryServer:
         ``backend_latency_s`` injects a per-execution delay emulating a
         downstream data-plane fetch — benchmarks use it to exercise how
         the worker pool overlaps query latencies; leave it 0 in real use.
+        ``store`` (an :class:`~repro.store.ArtifactStore`) makes table
+        re-registration invalidate the old rows' ``table:<fingerprint>``
+        artifacts via the planner's schema registry.
         """
         if workers < 1:
             raise DataError("workers must be at least 1")
         if backend_latency_s < 0:
             raise DataError("backend_latency_s must be non-negative")
-        self.planner = QueryPlanner()
+        self.planner = QueryPlanner(store=store)
         self.budget = BudgetManager()
         self.cache = AnswerCache() if cache is True else (cache or None)
         self.admission = admission
@@ -126,6 +130,11 @@ class QueryServer:
     def register_table(self, name: str, table: Table) -> "QueryServer":
         """Make ``table`` servable as ``name`` (chainable)."""
         self.planner.register_table(name, table)
+        return self
+
+    def register_dataset(self, dataset) -> "QueryServer":
+        """Make every member table of a relational dataset servable."""
+        self.planner.register_dataset(dataset)
         return self
 
     def register_tenant(self, tenant: str,

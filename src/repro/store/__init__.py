@@ -48,6 +48,7 @@ from repro.store.fingerprint import (
     array_fingerprint,
     canonical,
     code_fingerprint,
+    dataset_fingerprint,
     fingerprint,
     object_fingerprint,
     table_fingerprint,
@@ -103,6 +104,7 @@ __all__ = [
     "array_fingerprint",
     "canonical",
     "code_fingerprint",
+    "dataset_fingerprint",
     "fingerprint",
     "object_fingerprint",
     "resolve_store",

@@ -125,6 +125,23 @@ def table_fingerprint(table) -> str:
     return hasher.hexdigest()[:DIGEST_CHARS]
 
 
+def dataset_fingerprint(dataset) -> str:
+    """Content hash of a multi-table relational dataset.
+
+    Composes the schema identity (table declarations, version, and the
+    migration log — structural *history* is part of identity) with the
+    full-content hash of every member table.  Duck-typed so the store
+    stays import-free of :mod:`repro.relational`.
+    """
+    return fingerprint(
+        schema=dataset.schema.identity(),
+        tables={
+            name: table_fingerprint(dataset.table(name))
+            for name in dataset.schema.table_names
+        },
+    )
+
+
 def code_fingerprint(fn) -> str:
     """Content hash of a callable's *code* (the "code version" key part).
 
@@ -201,6 +218,12 @@ def _object_parts(obj, seen: set[int]) -> object:
                 for key, value in obj.keywords.items()
             },
         }
+    content = getattr(obj, "__content_fingerprint__", None)
+    if callable(content):
+        # Objects that know their own content hash (Table, a relational
+        # Dataset) speak for themselves — incidental instance state such
+        # as lazy caches never reaches the fingerprint.
+        return {"__content__": content()}
     state = getattr(obj, "__dict__", None)
     if state is not None:
         return {

@@ -176,7 +176,7 @@ def test_table_filter_take_roundtrip(table):
 @given(small_tables())
 @settings(max_examples=60, deadline=None)
 def test_table_concat_length_additive(table):
-    doubled = table.concat(table)
+    doubled = table.concat([table, table])
     assert doubled.n_rows == 2 * table.n_rows
     assert doubled.take(range(table.n_rows)) == table
 

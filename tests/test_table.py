@@ -105,10 +105,10 @@ def test_sort_by(small_table):
 
 
 def test_concat(small_table):
-    combined = small_table.concat(small_table)
+    combined = Table.concat([small_table, small_table])
     assert combined.n_rows == 12
     with pytest.raises(SchemaError):
-        small_table.concat(small_table.drop(["ssn"]))
+        Table.concat([small_table, small_table.drop(["ssn"])])
 
 
 def test_group_by_and_counts(small_table):
