@@ -1,0 +1,110 @@
+"""Engine stage fusion on a cached pipeline: fewer spans, same bytes.
+
+Runs the same cacheable pipeline twice against one artifact store —
+once stage-by-stage, once with ``Pipeline(fuse=True)``, which executes
+maximal chains of consecutive cacheable stages as single fused units
+(one cache key, one store round-trip, one ``stage:a+b+...`` span).
+The script then *proves* the fusion contract on the exported telemetry:
+
+* every output column is byte-identical to the unfused run;
+* the fused chain emits exactly one span, still carrying the
+  ``cache="hit"|"miss"`` attribute plus ``fused=<member count>``;
+* the warm fused run replays the whole chain from one stored artifact.
+
+Exits non-zero if any of that fails — CI runs this as a gate.
+
+Run:  python examples/fused_pipeline.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import obs
+from repro.data.synth import CreditScoringGenerator
+from repro.learn import LogisticRegression, TableClassifier
+from repro.pipeline import Pipeline
+from repro.pipeline.stage import (
+    CleanStage,
+    DecideStage,
+    PredictStage,
+    RedactStage,
+    TrainStage,
+)
+from repro.store import ArtifactStore
+
+EXPORT_PATH = "fused_run.jsonl"
+SEED = 20170626
+
+
+def build(store, fuse):
+    return Pipeline([
+        CleanStage(),
+        RedactStage(),
+        TrainStage(TableClassifier(LogisticRegression())),
+        PredictStage(),
+        DecideStage(threshold=0.4),
+    ], store=store, fuse=fuse)
+
+
+def main() -> int:
+    rng = np.random.default_rng(SEED)
+    table = CreditScoringGenerator(label_bias=0.3).generate(4000, rng)
+
+    plain = build(ArtifactStore(), fuse=False).run(
+        table, np.random.default_rng(SEED + 1)
+    )
+
+    telemetry = obs.configure(export_path=EXPORT_PATH)
+    store = ArtifactStore()
+    for _ in range(2):                        # cold, then warm from cache
+        fused = build(store, fuse=True).run(
+            table, np.random.default_rng(SEED + 1)
+        )
+    telemetry.flush()
+
+    failures = []
+    for name in plain.table.column_names:
+        if not np.array_equal(fused.table.column(name),
+                              plain.table.column(name)):
+            failures.append(f"column {name!r} differs under fusion")
+
+    spans = [r for r in telemetry.to_dicts() if r.get("record") == "span"]
+    chain_spans = [s for s in spans if s["attributes"].get("fused")]
+    if not chain_spans:
+        failures.append("no fused chain span was emitted")
+    for span in chain_spans:
+        if span["attributes"].get("cache") not in ("hit", "miss"):
+            failures.append(f"span {span['name']} lost its cache attribute")
+    by_chain: dict[str, list[str]] = {}
+    for span in chain_spans:
+        by_chain.setdefault(span["name"], []).append(
+            span["attributes"].get("cache")
+        )
+    for name, statuses in by_chain.items():
+        if statuses != ["miss", "hit"]:
+            failures.append(
+                f"{name}: expected cold miss then warm hit, got {statuses}"
+            )
+
+    for span in chain_spans:
+        print(f"fused span: {span['name']}  "
+              f"members={span['attributes']['fused']}  "
+              f"cache={by_chain[span['name']]}")
+        break
+    stage_spans = [s for s in spans if s["name"].startswith("stage:")]
+    print(f"stage spans per fused run: {len(stage_spans) // 2} "
+          f"(5 stages unfused)")
+    print(f"outputs byte-identical to the unfused pipeline: "
+          f"{'yes' if not failures else 'NO'}")
+    print(f"wrote {EXPORT_PATH} — render with: "
+          f"python -m repro profile {EXPORT_PATH}")
+    obs.reset()
+
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ One benchmark per hot path the ROADMAP cares about:
   Internet-Minute event stream (table-op throughput),
 * ``relational`` — the three-table lending join + group aggregate
   (the :mod:`repro.relational` kernel path),
+* ``learn`` — the hot numeric kernels (presorted tree/forest fits,
+  blocked k-NN search, fused-Adam MLP training),
 * ``serve`` — a cached multi-tenant DP query workload (serving layer).
 
 Each run appends to its ``BENCH_<name>.json`` perf trajectory and, with
@@ -142,6 +144,40 @@ def _setup_relational(smoke: bool) -> Callable[[], object]:
     return run_relational
 
 
+def _setup_learn(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.learn.forest import RandomForestClassifier
+    from repro.learn.mlp import MLPClassifier
+    from repro.learn.neighbors import nearest_indices
+    from repro.learn.tree import DecisionTreeClassifier
+
+    n_train, n_query, n_trees, epochs = (
+        (1500, 400, 4, 3) if smoke else (6000, 1500, 8, 6)
+    )
+    rng = np.random.default_rng(SEED)
+    X = rng.standard_normal((n_train, 12))
+    logits = X[:, 0] - 0.7 * X[:, 1] + 0.5 * X[:, 2] * X[:, 3]
+    y = (logits + 0.3 * rng.standard_normal(n_train) > 0).astype(float)
+    queries = rng.standard_normal((n_query, 12))
+
+    def run_learn():
+        tree = DecisionTreeClassifier(max_depth=8,
+                                      min_samples_leaf=5).fit(X, y)
+        forest = RandomForestClassifier(n_trees=n_trees, max_depth=6,
+                                        seed=SEED).fit(X, y)
+        mlp = MLPClassifier(hidden=(32, 16), epochs=epochs, batch_size=64,
+                            seed=SEED).fit(X, y)
+        return (
+            tree.predict_proba(queries),
+            forest.predict_proba(queries),
+            nearest_indices(queries, X, 10),
+            mlp.predict_proba(queries),
+        )
+
+    return run_learn
+
+
 def _setup_serve(smoke: bool) -> Callable[[], object]:
     import numpy as np
 
@@ -195,6 +231,10 @@ SUITE: dict[str, BenchSpec] = {
     "relational": BenchSpec(
         "relational", "three-table join + group aggregate (lending dataset)",
         _setup_relational,
+    ),
+    "learn": BenchSpec(
+        "learn", "hot learn kernels: tree/forest fits, k-NN search, MLP",
+        _setup_learn,
     ),
     "serve": BenchSpec(
         "serve", "cached multi-tenant DP query workload",

@@ -94,6 +94,7 @@ class Table:
         self._columns = arrays
         self._n_rows = 0 if n_rows is None else n_rows
         self._factor_cache: dict[str, tuple] = {}
+        self._views: dict[str, np.ndarray] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -115,6 +116,7 @@ class Table:
         table._columns = dict(columns)
         table._n_rows = n_rows
         table._factor_cache = {}
+        table._views = {}
         return table
 
     @classmethod
@@ -181,10 +183,23 @@ class Table:
     # -- column access -----------------------------------------------------------
 
     def column(self, name: str) -> np.ndarray:
-        """The values of one column (the stored array; do not mutate)."""
-        if name not in self._columns:
-            raise SchemaError(f"no column named {name!r}")
-        return self._columns[name]
+        """The values of one column, as a read-only zero-copy view.
+
+        Tables share column arrays freely across ``select``/``drop``/
+        ``with_role``/``rename``, so the arrays handed out here are
+        marked non-writeable — mutating one would silently corrupt every
+        derived table (and any memoized plan artifact holding it).  Call
+        ``np.array(...)`` on the result if you need a private mutable
+        copy.
+        """
+        view = self._views.get(name)
+        if view is None:
+            if name not in self._columns:
+                raise SchemaError(f"no column named {name!r}")
+            view = self._columns[name].view()
+            view.flags.writeable = False
+            self._views[name] = view
+        return view
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)

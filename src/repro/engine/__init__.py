@@ -36,10 +36,11 @@ from repro.engine.node import (
     seed_identity,
     value_fingerprint,
 )
-from repro.engine.plan import Plan
+from repro.engine.plan import FusedChain, Plan
 
 __all__ = [
     "Executor",
+    "FusedChain",
     "Node",
     "NodeRun",
     "Plan",

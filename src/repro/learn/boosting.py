@@ -18,7 +18,7 @@ from repro.learn.base import (
     check_matrix,
     check_weights,
 )
-from repro.learn.tree import DecisionTreeClassifier
+from repro.learn.tree import DecisionTreeClassifier, ensemble_leaf_values
 
 
 class _RegressionTree(DecisionTreeClassifier):
@@ -36,7 +36,7 @@ class _RegressionTree(DecisionTreeClassifier):
         super().fit(X, signs, sample_weight=magnitudes)
         # Replace leaf probabilities with Newton leaf values
         # value = sum(gradients) / sum(hessians) per leaf.
-        assignments = self._leaf_assignments(X)
+        assignments = self._leaf_indices(X)
         leaf_values: dict[int, float] = {}
         for leaf_index in np.unique(assignments):
             mask = assignments == leaf_index
@@ -47,23 +47,8 @@ class _RegressionTree(DecisionTreeClassifier):
         for index, node in enumerate(self._nodes):
             if node.feature == -1:
                 node.probability = leaf_values.get(index, 0.0)
+        self._refresh_arrays()  # leaf payloads changed under the SoA mirror
         return self
-
-    def _leaf_assignments(self, X: np.ndarray) -> np.ndarray:
-        out = np.empty(len(X), dtype=np.intp)
-        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(len(X)))]
-        while stack:
-            node_index, rows = stack.pop()
-            if len(rows) == 0:
-                continue
-            node = self._nodes[node_index]
-            if node.feature == -1:
-                out[rows] = node_index
-                continue
-            mask = X[rows, node.feature] <= node.threshold
-            stack.append((node.left, rows[mask]))
-            stack.append((node.right, rows[~mask]))
-        return out
 
     def leaf_values(self, X: np.ndarray) -> np.ndarray:
         """The (Newton) leaf value each row lands in."""
@@ -144,9 +129,11 @@ class GradientBoostingClassifier(Classifier):
         """Raw boosted logits."""
         self._require_fitted()
         X = check_matrix(X)
+        per_tree = ensemble_leaf_values(self._trees, X)  # (n, n_stages)
         raw = np.full(len(X), self._base_score)
-        for tree in self._trees:
-            raw += self.learning_rate * tree.leaf_values(X)
+        # Stagewise accumulation order preserved for exact float identity.
+        for stage in range(per_tree.shape[1]):
+            raw += self.learning_rate * per_tree[:, stage]
         return raw
 
     def predict_proba(self, X) -> np.ndarray:

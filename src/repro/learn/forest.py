@@ -17,7 +17,7 @@ from repro.learn.base import (
     check_matrix,
     check_weights,
 )
-from repro.learn.tree import DecisionTreeClassifier
+from repro.learn.tree import DecisionTreeClassifier, ensemble_leaf_values
 
 
 class RandomForestClassifier(Classifier):
@@ -77,9 +77,12 @@ class RandomForestClassifier(Classifier):
         """Average of the trees' leaf probabilities."""
         self._require_fitted()
         X = check_matrix(X)
+        per_tree = ensemble_leaf_values(self._trees, X)  # (n, n_trees)
+        # Accumulate column-by-column to keep the historical float sum
+        # order (left-to-right over trees) byte-identical.
         probabilities = np.zeros(len(X), dtype=np.float64)
-        for tree in self._trees:
-            probabilities += tree.predict_proba(X)
+        for column in range(per_tree.shape[1]):
+            probabilities += per_tree[:, column]
         return probabilities / len(self._trees)
 
     def feature_importances(self) -> np.ndarray:

@@ -9,6 +9,17 @@ by construction, and therefore the subject of every explainer in
 
 Training: mini-batch Adam on the weighted cross-entropy, ReLU hidden
 layers, Glorot initialisation.
+
+Hot-path design (see docs/api.md, "Hot kernels & fusion"): all weights
+and biases live in one contiguous parameter vector, with the per-layer
+matrices exposed as reshaped views.  Gradients are written straight into
+a matching flat vector (``np.matmul(..., out=...)``), so the Adam update
+is a dozen whole-vector in-place ufuncs per step instead of two small
+allocating updates per layer.  Each epoch gathers the shuffled training
+set once so mini-batches are contiguous slices.  The fused step computes
+the same IEEE operations in the same order as the historical per-layer
+loop — fitted parameters are byte-identical (pinned by the golden
+tests).
 """
 
 from __future__ import annotations
@@ -84,46 +95,73 @@ class MLPClassifier(Classifier):
         rng = np.random.default_rng(self.seed)
         self._initialise(X.shape[1], rng)
 
-        m_w = [np.zeros_like(W) for W in self._weights]
-        v_w = [np.zeros_like(W) for W in self._weights]
-        m_b = [np.zeros_like(b) for b in self._biases]
-        v_b = [np.zeros_like(b) for b in self._biases]
+        # Flatten all parameters into one contiguous vector; the layer
+        # matrices become reshaped views so _forward/_backward see them
+        # unchanged while Adam updates the whole vector at once.
+        spans: list[tuple[slice, slice, tuple[int, int]]] = []
+        offset = 0
+        for W, b in zip(self._weights, self._biases):
+            w_span = slice(offset, offset + W.size)
+            offset += W.size
+            b_span = slice(offset, offset + b.size)
+            offset += b.size
+            spans.append((w_span, b_span, W.shape))
+        theta = np.empty(offset)
+        for (w_span, b_span, _), W, b in zip(spans, self._weights,
+                                             self._biases):
+            theta[w_span] = W.ravel()
+            theta[b_span] = b
+        self._weights = [theta[w].reshape(shape) for w, _, shape in spans]
+        self._biases = [theta[b] for _, b, _ in spans]
+        n_layers = len(self._weights)
+
+        grad = np.zeros_like(theta)
+        grad_w = [grad[w].reshape(shape) for w, _, shape in spans]
+        grad_b = [grad[b] for _, b, _ in spans]
+        m = np.zeros_like(theta)
+        v = np.zeros_like(theta)
+        scratch = np.empty_like(theta)   # (1-β)·g and √v̂ + ε
+        update = np.empty_like(theta)    # m̂, then the final step
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         step = 0
 
         for _ in range(self.epochs):
             order = rng.permutation(len(X))
+            # One gather per epoch: batches become contiguous slices.
+            X_shuffled, y_shuffled = X[order], y[order]
+            w_shuffled = weights[order]
             for start in range(0, len(X), self.batch_size):
-                batch = order[start:start + self.batch_size]
-                if len(batch) == 0:
-                    continue
+                stop = min(start + self.batch_size, len(X))
                 step += 1
-                Xb, yb, wb = X[batch], y[batch], weights[batch]
+                Xb = X_shuffled[start:stop]
+                yb = y_shuffled[start:stop]
+                wb = w_shuffled[start:stop]
                 activations, probabilities = self._forward(Xb)
                 # dL/dz for sigmoid + cross-entropy, per-sample weighted.
-                delta = (wb * (probabilities - yb) / len(batch))[:, None]
-                grads_w: list[np.ndarray] = [None] * len(self._weights)
-                grads_b: list[np.ndarray] = [None] * len(self._weights)
-                for layer in reversed(range(len(self._weights))):
-                    grads_w[layer] = (
-                        activations[layer].T @ delta + self.l2 * self._weights[layer]
-                    )
-                    grads_b[layer] = delta.sum(axis=0)
+                delta = (wb * (probabilities - yb) / (stop - start))[:, None]
+                for layer in reversed(range(n_layers)):
+                    np.matmul(activations[layer].T, delta, out=grad_w[layer])
+                    grad_w[layer] += self.l2 * self._weights[layer]
+                    delta.sum(axis=0, out=grad_b[layer])
                     if layer > 0:
                         delta = delta @ self._weights[layer].T
                         delta *= activations[layer] > 0.0
-                for layer in range(len(self._weights)):
-                    for params, grads, m, v in (
-                        (self._weights, grads_w, m_w, v_w),
-                        (self._biases, grads_b, m_b, v_b),
-                    ):
-                        m[layer] = beta1 * m[layer] + (1 - beta1) * grads[layer]
-                        v[layer] = beta2 * v[layer] + (1 - beta2) * grads[layer] ** 2
-                        m_hat = m[layer] / (1 - beta1**step)
-                        v_hat = v[layer] / (1 - beta2**step)
-                        params[layer] -= (
-                            self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
-                        )
+                # Fused Adam: whole-vector in-place ops, float-for-float
+                # the per-layer m/v/m̂/v̂ recurrence.
+                m *= beta1
+                np.multiply(grad, 1 - beta1, out=scratch)
+                m += scratch
+                np.multiply(grad, grad, out=scratch)
+                scratch *= 1 - beta2
+                v *= beta2
+                v += scratch
+                np.divide(m, 1 - beta1**step, out=update)      # m̂
+                np.divide(v, 1 - beta2**step, out=scratch)     # v̂
+                np.sqrt(scratch, out=scratch)
+                scratch += eps
+                update *= self.learning_rate
+                update /= scratch
+                theta -= update
         self._mark_fitted()
         return self
 

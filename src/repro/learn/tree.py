@@ -5,6 +5,17 @@ of the random forest, and — crucially for the transparency pillar — the
 *interpretable surrogate* that the black-box explainers distil into.
 Leaves store weighted positive-class fractions so trees are probabilistic
 like every other classifier here.
+
+Hot-path design (see docs/api.md, "Hot kernels & fusion"): each feature
+column is **argsorted once per fit** and the per-node sorted orders are
+maintained by partitioning the parent's presorted index matrix — no
+re-sorting at any node.  Candidate splits are scored with one vectorized
+masked-gain computation over *all* boundaries of *all* candidate
+features at once, replacing the historical Python-level boundary loop.
+Fitted trees additionally keep a structure-of-arrays mirror of their
+nodes so batched prediction descends with pure numpy gathers.  Both
+rewrites are pinned byte-identical to the loop implementation by the
+golden tests in ``tests/test_learn_golden.py``.
 """
 
 from __future__ import annotations
@@ -42,6 +53,80 @@ def _weighted_gini(pos_weight: float, total_weight: float) -> float:
     return 2.0 * p * (1.0 - p)
 
 
+@dataclass
+class _TreeArrays:
+    """Structure-of-arrays mirror of the node list, for batched descent."""
+
+    feature: np.ndarray      # intp, -1 for leaves
+    threshold: np.ndarray    # float64
+    left: np.ndarray         # intp
+    right: np.ndarray        # intp
+    value: np.ndarray        # float64 leaf payload (probability / Newton value)
+
+
+def _descend(arrays: _TreeArrays, X: np.ndarray) -> np.ndarray:
+    """Node index each row of ``X`` lands in (vectorized leaf routing).
+
+    Rows advance one level per iteration, all via numpy gathers; the
+    loop runs at most ``depth + 1`` times regardless of row count.
+    """
+    current = np.zeros(len(X), dtype=np.intp)
+    feature = arrays.feature
+    active = np.flatnonzero(feature[current] >= 0)
+    rows = np.arange(len(X), dtype=np.intp)
+    while len(active):
+        nodes = current[active]
+        split_feature = feature[nodes]
+        go_left = (X[rows[active], split_feature]
+                   <= arrays.threshold[nodes])
+        current[active] = np.where(
+            go_left, arrays.left[nodes], arrays.right[nodes]
+        )
+        active = active[feature[current[active]] >= 0]
+    return current
+
+
+def ensemble_leaf_values(trees, X: np.ndarray) -> np.ndarray:
+    """Leaf payloads of every tree for every row, shape ``(n, n_trees)``.
+
+    All trees descend simultaneously on one stacked node table: the
+    Python cost is ``O(max_depth)`` iterations of whole-matrix gathers
+    instead of ``O(n_trees)`` separate traversals.  Column ``t`` holds
+    exactly ``trees[t].predict_proba(X)`` (same leaves, same floats).
+    """
+    stacks = [tree._arrays() for tree in trees]
+    sizes = [len(stack.feature) for stack in stacks]
+    offsets = np.cumsum([0, *sizes[:-1]])
+    feature = np.concatenate([stack.feature for stack in stacks])
+    threshold = np.concatenate([stack.threshold for stack in stacks])
+    left = np.concatenate([stack.left for stack in stacks])
+    right = np.concatenate([stack.right for stack in stacks])
+    value = np.concatenate([stack.value for stack in stacks])
+    # Child pointers are tree-local; rebase them onto the stacked table.
+    for start, size in zip(offsets, sizes):
+        inner = slice(start, start + size)
+        internal = feature[inner] >= 0
+        left[inner][internal] += start
+        right[inner][internal] += start
+    rebased_left = left
+    rebased_right = right
+
+    n = len(X)
+    rows = np.arange(n, dtype=np.intp)[:, None]
+    current = np.broadcast_to(offsets, (n, len(stacks))).astype(np.intp)
+    while True:
+        split_feature = feature[current]
+        active = split_feature >= 0
+        if not active.any():
+            break
+        x = X[rows, np.where(active, split_feature, 0)]
+        go_left = x <= threshold[current]
+        advanced = np.where(go_left, rebased_left[current],
+                            rebased_right[current])
+        current = np.where(active, advanced, current)
+    return value[current]
+
+
 class DecisionTreeClassifier(Classifier):
     """Binary CART tree with weighted Gini splitting.
 
@@ -59,6 +144,9 @@ class DecisionTreeClassifier(Classifier):
         forest sets this for decorrelation.
     rng:
         Generator used only when ``max_features`` subsamples features.
+        ``None`` creates one seeded fallback generator *per fit* — the
+        draw still differs from node to node (deterministically), it
+        just needs no caller-provided stream.
     """
 
     def __init__(self, max_depth: int = 6, min_samples_leaf: int = 5,
@@ -76,6 +164,8 @@ class DecisionTreeClassifier(Classifier):
         self.rng = rng
         self._nodes: list[_Node] = []
         self._n_features = 0
+        self._soa: _TreeArrays | None = None
+        self._feature_rng: np.random.Generator | None = None
 
     # -- fitting ------------------------------------------------------------
 
@@ -90,12 +180,20 @@ class DecisionTreeClassifier(Classifier):
         weights = check_weights(sample_weight, len(y))
         self._n_features = X.shape[1]
         self._nodes = []
-        self._grow(X, y, weights, np.arange(len(y)), depth=0)
+        # One fallback stream per fit: max_features subsampling must draw
+        # a *different* subset at every node while staying deterministic.
+        self._feature_rng = (self.rng if self.rng is not None
+                             else np.random.default_rng(0))
+        # Pre-sort every feature once; nodes partition this matrix
+        # instead of re-argsorting their rows at every candidate split.
+        presorted = np.argsort(X, axis=0, kind="stable")
+        self._grow(X, y, weights, np.arange(len(y)), presorted, depth=0)
+        self._refresh_arrays()
         self._mark_fitted()
         return self
 
     def _grow(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray,
-              indices: np.ndarray, depth: int) -> int:
+              indices: np.ndarray, presorted: np.ndarray, depth: int) -> int:
         node_index = len(self._nodes)
         w = weights[indices]
         total = w.sum()
@@ -107,69 +205,113 @@ class DecisionTreeClassifier(Classifier):
         if (depth >= self.max_depth or len(indices) < 2 * self.min_samples_leaf
                 or probability in (0.0, 1.0)):
             return node_index
-        split = self._best_split(X, y, weights, indices)
+        split = self._best_split(X, y, weights, indices, presorted)
         if split is None:
             return node_index
         feature, threshold = split
         mask = X[indices, feature] <= threshold
         left_idx, right_idx = indices[mask], indices[~mask]
+        # Partition each column's presorted order by membership: child
+        # orders stay sorted (stable subsequences of a stable sort).
+        in_left = np.zeros(len(X), dtype=bool)
+        in_left[left_idx] = True
+        member = in_left[presorted]
+        n_features = presorted.shape[1]
+        left_sorted = presorted.T[member.T].reshape(
+            n_features, len(left_idx)).T
+        right_sorted = presorted.T[~member.T].reshape(
+            n_features, len(right_idx)).T
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X, y, weights, left_idx, depth + 1)
-        node.right = self._grow(X, y, weights, right_idx, depth + 1)
+        node.left = self._grow(X, y, weights, left_idx, left_sorted, depth + 1)
+        node.right = self._grow(X, y, weights, right_idx, right_sorted,
+                                depth + 1)
         return node_index
 
     def _candidate_features(self, n_features: int) -> np.ndarray:
         if self.max_features is None or self.max_features >= n_features:
             return np.arange(n_features)
-        rng = self.rng if self.rng is not None else np.random.default_rng(0)
+        rng = (self._feature_rng if self._feature_rng is not None
+               else np.random.default_rng(0))
         return rng.choice(n_features, size=self.max_features, replace=False)
 
     def _best_split(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray,
-                    indices: np.ndarray) -> tuple[int, float] | None:
+                    indices: np.ndarray,
+                    presorted: np.ndarray) -> tuple[int, float] | None:
+        """Best (feature, threshold) by one masked-gain matrix computation.
+
+        All boundaries of all candidate features are scored at once.
+        The winner is the first strict maximum in (feature order,
+        boundary order) — exactly the argmax the historical nested loop
+        produced, so fitted trees are byte-identical to it.
+        """
+        m = len(indices)
         w = weights[indices]
         labels = y[indices]
         total = w.sum()
         total_pos = float(w[labels == 1.0].sum())
         parent_impurity = _weighted_gini(total_pos, total)
-        best: tuple[float, int, float] | None = None
 
-        for feature in self._candidate_features(X.shape[1]):
-            values = X[indices, feature]
-            order = np.argsort(values, kind="stable")
-            sorted_values = values[order]
-            sorted_w = w[order]
-            sorted_pos = sorted_w * (labels[order] == 1.0)
-            cum_w = np.cumsum(sorted_w)
-            cum_pos = np.cumsum(sorted_pos)
-            # Split between distinct consecutive values only.
-            boundaries = np.flatnonzero(np.diff(sorted_values) > 0)
-            for boundary in boundaries:
-                n_left = boundary + 1
-                n_right = len(indices) - n_left
-                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
-                    continue
-                left_w = cum_w[boundary]
-                right_w = total - left_w
-                left_pos = cum_pos[boundary]
-                right_pos = total_pos - left_pos
-                impurity = (
-                    left_w / total * _weighted_gini(left_pos, left_w)
-                    + right_w / total * _weighted_gini(right_pos, right_w)
-                )
-                gain = parent_impurity - impurity
-                if gain <= self.min_impurity_decrease + 1e-12:
-                    continue
-                if best is None or gain > best[0]:
-                    midpoint = 0.5 * (
-                        sorted_values[boundary] + sorted_values[boundary + 1]
-                    )
-                    best = (gain, int(feature), float(midpoint))
-        if best is None:
+        features = self._candidate_features(X.shape[1])
+        order = presorted[:, features]                      # (m, c) row ids
+        sorted_values = X[order, features[None, :]]         # (m, c)
+        sorted_w = weights[order]
+        sorted_pos = sorted_w * (y[order] == 1.0)
+        cum_w = np.cumsum(sorted_w, axis=0)
+        cum_pos = np.cumsum(sorted_pos, axis=0)
+
+        left_w = cum_w[:-1]
+        right_w = total - left_w
+        left_pos = cum_pos[:-1]
+        right_pos = total_pos - left_pos
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_left = np.where(left_w > 0, left_pos / left_w, 0.0)
+            p_right = np.where(right_w > 0, right_pos / right_w, 0.0)
+        gini_left = np.where(left_w > 0, 2.0 * p_left * (1.0 - p_left), 0.0)
+        gini_right = np.where(right_w > 0,
+                              2.0 * p_right * (1.0 - p_right), 0.0)
+        impurity = left_w / total * gini_left + right_w / total * gini_right
+        gain = parent_impurity - impurity                   # (m-1, c)
+
+        # Valid boundaries: distinct consecutive values, both children
+        # large enough, gain above the floor.
+        n_left = np.arange(1, m)
+        valid = np.diff(sorted_values, axis=0) > 0
+        valid &= (n_left >= self.min_samples_leaf)[:, None]
+        valid &= (n_left <= m - self.min_samples_leaf)[:, None]
+        valid &= gain > self.min_impurity_decrease + 1e-12
+        if not valid.any():
             return None
-        return best[1], best[2]
+        gains = np.where(valid, gain, -np.inf)
+        # Feature-major argmax = first (feature, boundary) strict max.
+        flat = int(np.argmax(gains.T))
+        column, boundary = divmod(flat, m - 1)
+        midpoint = 0.5 * (
+            sorted_values[boundary, column] + sorted_values[boundary + 1, column]
+        )
+        return int(features[column]), float(midpoint)
 
     # -- prediction -----------------------------------------------------------
+
+    def _refresh_arrays(self) -> None:
+        """Rebuild the structure-of-arrays mirror after node mutation."""
+        nodes = self._nodes
+        self._soa = _TreeArrays(
+            feature=np.array([n.feature for n in nodes], dtype=np.intp),
+            threshold=np.array([n.threshold for n in nodes], dtype=np.float64),
+            left=np.array([n.left for n in nodes], dtype=np.intp),
+            right=np.array([n.right for n in nodes], dtype=np.intp),
+            value=np.array([n.probability for n in nodes], dtype=np.float64),
+        )
+
+    def _arrays(self) -> _TreeArrays:
+        if self._soa is None:
+            self._refresh_arrays()
+        return self._soa
+
+    def _leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Node index of the leaf each row reaches."""
+        return _descend(self._arrays(), X)
 
     def predict_proba(self, X) -> np.ndarray:
         """Leaf positive-class fractions, computed by batched descent."""
@@ -179,20 +321,8 @@ class DecisionTreeClassifier(Classifier):
             raise DataError(
                 f"expected {self._n_features} features, got {X.shape[1]}"
             )
-        out = np.empty(len(X), dtype=np.float64)
-        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(len(X)))]
-        while stack:
-            node_index, rows = stack.pop()
-            if len(rows) == 0:
-                continue
-            node = self._nodes[node_index]
-            if node.feature == -1:
-                out[rows] = node.probability
-                continue
-            mask = X[rows, node.feature] <= node.threshold
-            stack.append((node.left, rows[mask]))
-            stack.append((node.right, rows[~mask]))
-        return out
+        arrays = self._arrays()
+        return arrays.value[_descend(arrays, X)]
 
     # -- introspection (transparency pillar) --------------------------------------
 

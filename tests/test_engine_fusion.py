@@ -1,0 +1,217 @@
+"""Tests for engine stage fusion (``Plan.fusion_chains`` / ``fuse=True``).
+
+Fusion runs maximal linear chains of cacheable nodes as one unit — one
+cache key, one store round-trip, one span — and its whole contract is
+that *nothing else changes*: per-node results, statuses, observer
+calls, provenance, and shared-rng continuity are byte-identical to the
+unfused schedule for every ``n_jobs``/backend/store combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import Executor, FusedChain, Node, Plan
+from repro.store import ArtifactStore
+
+BASE = np.arange(32, dtype=np.float64)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _chain_plan(offset=1.0):
+    """base -> a -> b -> c (fusable chain) -> d (unfusable: two inputs)."""
+
+    def a(inputs, rng):
+        return inputs["base"] * 2.0
+
+    def b(inputs, rng):
+        return inputs["a"] + offset
+
+    def c(inputs, rng):
+        return np.cumsum(inputs["b"])
+
+    def d(inputs, rng):
+        return inputs["c"] - inputs["base"]
+
+    return Plan(
+        [
+            Node("a", a, inputs=("base",)),
+            Node("b", b, inputs=("a",), params={"offset": offset}),
+            Node("c", c, inputs=("b",)),
+            Node("d", d, inputs=("c", "base")),
+        ],
+        inputs=("base",),
+    )
+
+
+def _shared_plan():
+    """A fusable chain with a shared-rng member, then a shared-rng
+    consumer outside the chain — exercises generator continuity."""
+
+    def a(inputs, rng):
+        return inputs["base"] + 1.0
+
+    def noisy(inputs, rng):
+        return inputs["a"] + rng.standard_normal(inputs["a"].shape)
+
+    def late(inputs, rng):
+        return inputs["noisy"] * rng.uniform(0.5, 1.5) + inputs["base"]
+
+    return Plan(
+        [
+            Node("a", a, inputs=("base",)),
+            Node("noisy", noisy, inputs=("a",), rng="shared"),
+            Node("late", late, inputs=("noisy", "base"), rng="shared"),
+        ],
+        inputs=("base",),
+    )
+
+
+# -- chain detection ---------------------------------------------------------
+
+
+def test_linear_cacheable_run_fuses_into_one_chain():
+    (chain,) = _chain_plan().fusion_chains()
+    assert isinstance(chain, FusedChain)
+    assert chain.name == "a+b+c"
+    assert [n.name for n in chain.members] == ["a", "b", "c"]
+    assert chain.head.name == "a" and chain.tail.name == "c"
+    assert chain.inputs == ("base",)
+
+
+def test_fused_levels_schedule_chain_then_remainder():
+    levels = _chain_plan().fused_levels()
+    names = [[getattr(u, "name") for u in level] for level in levels]
+    assert names == [["a+b+c"], ["d"]]
+
+
+def test_fan_out_and_multi_input_nodes_stay_unfused():
+    double = lambda i, r: i["base"] * 2  # noqa: E731
+    plan = Plan(
+        [
+            Node("top", double, inputs=("base",)),
+            Node("left", lambda i, r: i["top"] + 1, inputs=("top",)),
+            Node("right", lambda i, r: i["top"] - 1, inputs=("top",)),
+            Node("join", lambda i, r: i["left"] + i["right"],
+                 inputs=("left", "right")),
+        ],
+        inputs=("base",),
+    )
+    assert plan.fusion_chains() == ()
+    assert plan.fused_levels() == plan.levels()
+
+
+def test_uncacheable_and_spawn_nodes_break_chains():
+    step = lambda name: (lambda i, r: i[name] + 1)  # noqa: E731
+    plan = Plan(
+        [
+            Node("a", lambda i, r: i["base"], inputs=("base",)),
+            Node("skip", step("a"), inputs=("a",), cacheable=False),
+            Node("b", step("skip"), inputs=("skip",)),
+            Node("spawned", lambda i, r: i["b"] + r.standard_normal(),
+                 inputs=("b",), rng="spawn"),
+            Node("c", step("spawned"), inputs=("spawned",)),
+        ],
+        inputs=("base",),
+    )
+    # No two adjacent fusable nodes -> nothing fuses.
+    assert plan.fusion_chains() == ()
+
+
+# -- byte-identity matrix ----------------------------------------------------
+
+
+@pytest.mark.parametrize("n_jobs,backend", [
+    (1, "serial"), (2, "thread"), (4, "thread"),
+])
+@pytest.mark.parametrize("with_store", [False, True])
+def test_fused_matches_unfused_everywhere(n_jobs, backend, with_store):
+    for make_plan in (_chain_plan, _shared_plan):
+        plain = Executor(n_jobs=1, backend="serial", observe=False).run(
+            make_plan(), {"base": BASE}, rng=np.random.default_rng(11),
+        )
+        store = ArtifactStore() if with_store else None
+        for _ in range(2):      # cold then warm
+            fused = Executor(n_jobs=n_jobs, backend=backend,
+                             observe=False, fuse=True).run(
+                make_plan(), {"base": BASE},
+                rng=np.random.default_rng(11), store=store,
+            )
+            for node in make_plan().nodes:
+                np.testing.assert_array_equal(
+                    fused[node.name], plain[node.name]
+                )
+            np.testing.assert_array_equal(fused.output, plain.output)
+
+
+def test_warm_fused_run_hits_for_every_member():
+    store = ArtifactStore()
+    executor = Executor(observe=False, fuse=True)
+    cold = executor.run(_chain_plan(), {"base": BASE}, store=store)
+    warm = executor.run(_chain_plan(), {"base": BASE}, store=store)
+    assert all(s == "miss" for n, s in cold.statuses.items() if n != "d")
+    assert all(s == "hit" for n, s in warm.statuses.items() if n != "d")
+    for name in ("a", "b", "c", "d"):
+        np.testing.assert_array_equal(warm[name], cold[name])
+
+
+def test_shared_rng_continuity_across_warm_fused_chain():
+    # The chain's artifact replays the shared generator's advancement on
+    # a hit, so the shared-rng node AFTER the chain sees the same state.
+    store = ArtifactStore()
+    executor = Executor(observe=False, fuse=True)
+    cold = executor.run(_shared_plan(), {"base": BASE}, store=store,
+                        rng=np.random.default_rng(5))
+    warm = executor.run(_shared_plan(), {"base": BASE}, store=store,
+                        rng=np.random.default_rng(5))
+    assert warm.statuses["noisy"] == "hit"
+    np.testing.assert_array_equal(warm["late"], cold["late"])
+
+
+def test_editing_one_member_invalidates_the_chain():
+    store = ArtifactStore()
+    executor = Executor(observe=False, fuse=True)
+    executor.run(_chain_plan(offset=1.0), {"base": BASE}, store=store)
+    edited = executor.run(_chain_plan(offset=2.0), {"base": BASE},
+                          store=store)
+    assert edited.statuses["a"] == "miss"       # chain re-keyed as a unit
+    plain = Executor(observe=False).run(
+        _chain_plan(offset=2.0), {"base": BASE}
+    )
+    np.testing.assert_array_equal(edited.output, plain.output)
+
+
+# -- observability and provenance -------------------------------------------
+
+
+def test_fused_chain_emits_one_span_with_cache_attribute():
+    telemetry = obs.configure()
+    store = ArtifactStore()
+    for _ in range(2):
+        Executor(name="engine", fuse=True).run(
+            _chain_plan(), {"base": BASE}, store=store,
+        )
+    spans = [r for r in telemetry.to_dicts() if r.get("record") == "span"]
+    chain_spans = [s for s in spans if s["name"] == "engine:a+b+c"]
+    assert [s["attributes"]["cache"] for s in chain_spans] == ["miss", "hit"]
+    assert all(s["attributes"]["fused"] == 3 for s in chain_spans)
+    # Members do NOT get their own spans; the unfused tail node does.
+    assert not any(s["name"] in ("engine:a", "engine:b", "engine:c")
+                   for s in spans)
+    assert sum(s["name"] == "engine:d" for s in spans) == 2
+
+
+def test_observer_still_fires_once_per_member_in_plan_order():
+    seen = []
+    Executor(observe=False, fuse=True).run(
+        _chain_plan(), {"base": BASE},
+        observer=lambda run: seen.append((run.name, run.status)),
+    )
+    assert seen == [("a", "uncacheable"), ("b", "uncacheable"),
+                    ("c", "uncacheable"), ("d", "uncacheable")]

@@ -116,3 +116,34 @@ def test_tree_max_features_subsampling(rng):
     tree = DecisionTreeClassifier(max_depth=3, max_features=1, rng=rng)
     tree.fit(X, y)  # should not raise; splits restricted to one feature each
     assert tree.n_nodes >= 1
+
+
+def test_default_feature_rng_varies_across_nodes_within_a_fit():
+    # Regression: with rng=None the fallback generator used to be
+    # rebuilt as default_rng(0) on every _candidate_features call, so
+    # every node considered the SAME feature subset. One generator per
+    # fit must draw different subsets node to node, yet stay
+    # deterministic fit to fit.
+    tree = DecisionTreeClassifier(max_features=2)
+    tree._feature_rng = None
+    first = tree._candidate_features(8).tolist()
+    rng = np.random.default_rng(0)
+    assert first == rng.choice(8, size=2, replace=False).tolist()
+
+    fitted = DecisionTreeClassifier(max_depth=4, max_features=1)
+    data_rng = np.random.default_rng(42)
+    X = data_rng.standard_normal((400, 6))
+    y = (X[:, 0] + X[:, 1] - X[:, 2] > 0).astype(float)
+    fitted.fit(X, y)
+    split_features = {
+        node.feature for node in fitted._nodes if node.feature >= 0
+    }
+    # With a per-call default_rng(0) every node would draw one fixed
+    # feature; a per-fit stream lets splits land on several features.
+    assert len(split_features) > 1
+
+    again = DecisionTreeClassifier(max_depth=4, max_features=1).fit(X, y)
+    assert [n.feature for n in again._nodes] == \
+        [n.feature for n in fitted._nodes]
+    assert [n.threshold for n in again._nodes] == \
+        [n.threshold for n in fitted._nodes]

@@ -160,3 +160,44 @@ def test_no_target_raises():
 
 def test_unique(small_table):
     assert small_table.unique("city").tolist() == ["north", "south"]
+
+
+# -- zero-copy column views --------------------------------------------------
+
+
+def test_column_returns_read_only_view(small_table):
+    income = small_table.column("income")
+    assert not income.flags.writeable
+    with pytest.raises(ValueError, match="read-only"):
+        income[0] = 99.0
+    # The view shares the internal buffer; a copy is one np.array away.
+    assert income.base is not None
+    mutable = np.array(income)
+    mutable[0] = 99.0
+    np.testing.assert_allclose(small_table.column("income")[0], 10.0)
+
+
+def test_column_views_are_cached_and_consistent(small_table):
+    assert small_table.column("income") is small_table.column("income")
+    np.testing.assert_allclose(small_table["income"],
+                               small_table.column("income"))
+
+
+def test_projections_share_column_buffers(small_table):
+    selected = small_table.select(["income", "debt", "approved"])
+    dropped = small_table.drop(["city"])
+    renamed = small_table.rename({"income": "salary"})
+    assert np.shares_memory(selected.column("income"),
+                            small_table.column("income"))
+    assert np.shares_memory(dropped.column("income"),
+                            small_table.column("income"))
+    assert np.shares_memory(renamed.column("salary"),
+                            small_table.column("income"))
+
+
+def test_row_subsets_still_copy(small_table):
+    taken = small_table.take([0, 1, 2])
+    filtered = small_table.filter([True, False, True, False, True, False])
+    for subset in (taken, filtered):
+        assert not np.shares_memory(subset.column("income"),
+                                    small_table.column("income"))
