@@ -9,7 +9,10 @@ One benchmark per hot path the ROADMAP cares about:
   (the :mod:`repro.relational` kernel path),
 * ``learn`` — the hot numeric kernels (presorted tree/forest fits,
   blocked k-NN search, fused-Adam MLP training),
-* ``serve`` — a cached multi-tenant DP query workload (serving layer).
+* ``serve`` — a cached multi-tenant DP query workload (serving layer),
+* ``serve_load`` — the Zipf-tenant bursty-arrival load generator
+  against the async batched server, with sustained queries/sec and
+  latency percentiles recorded alongside the harness timings.
 
 Each run appends to its ``BENCH_<name>.json`` perf trajectory and, with
 ``check=True``, is gated against the latest same-mode baseline by
@@ -45,11 +48,18 @@ SEED = 20170626
 
 @dataclass(frozen=True)
 class BenchSpec:
-    """One named benchmark: setup builds the measured callable."""
+    """One named benchmark: setup builds the measured callable.
+
+    ``payload_metrics``, when set, maps the benched callable's last
+    return value to extra trajectory metrics (e.g. the serving
+    workload's sustained queries/sec) merged into the record alongside
+    the harness timings.
+    """
 
     name: str
     description: str
     setup: Callable[[bool], Callable[[], object]]
+    payload_metrics: Callable[[object], dict] | None = None
 
 
 def _setup_audit(smoke: bool) -> Callable[[], object]:
@@ -182,7 +192,7 @@ def _setup_serve(smoke: bool) -> Callable[[], object]:
     import numpy as np
 
     from repro.data.synth import CensusIncomeGenerator
-    from repro.serve import QueryRequest, QueryServer
+    from repro.serve import QueryRequest, QueryServer, ServeConfig
 
     n_rows, n_requests = (8000, 200) if smoke else (20_000, 500)
     tenants = ("ads", "health", "policy")
@@ -206,7 +216,7 @@ def _setup_serve(smoke: bool) -> Callable[[], object]:
     ]
 
     def run_serve():
-        server = QueryServer(workers=2, seed=SEED, cache=True)
+        server = QueryServer(ServeConfig(workers=2, seed=SEED, cache=True))
         server.register_table("census", table)
         for tenant in tenants:
             server.register_tenant(tenant, epsilon_budget=1000.0)
@@ -217,6 +227,50 @@ def _setup_serve(smoke: bool) -> Callable[[], object]:
         return results
 
     return run_serve
+
+
+def _setup_serve_load(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.data.synth import CensusIncomeGenerator
+    from repro.serve import QueryServer, ServeConfig
+    from repro.serve.loadgen import TABLE_NAME, run_load, zipf_workload
+
+    n_rows, n_queries = (2000, 4000) if smoke else (5000, 40_000)
+    table = CensusIncomeGenerator().generate(
+        n_rows, np.random.default_rng(SEED)
+    )
+    requests = zipf_workload(n_queries, n_tenants=16, n_shapes=64,
+                             zipf_s=1.2, seed=SEED)
+    # Open-loop load generation: the whole workload is submitted ahead
+    # of the drain, so the bounded queue must hold it all — shedding is
+    # exercised by the serve tests, not the throughput bench.
+    config = ServeConfig(workers=2, seed=SEED, batch_window_ms=2.0,
+                         max_queue_depth=max(4096, n_queries),
+                         default_epsilon_budget=1e9)
+
+    def run_serve_load():
+        with QueryServer(config) as server:
+            server.register_table(TABLE_NAME, table)
+            report = run_load(server, requests, mean_burst=256, seed=SEED)
+        if report.statuses.get("ok") != report.queries:
+            raise DataError(
+                f"serve_load expected all-ok, got {report.statuses}"
+            )
+        return report
+
+    return run_serve_load
+
+
+def _serve_load_metrics(report) -> dict:
+    return {
+        "qps": round(report.qps, 1),
+        "queries": report.queries,
+        "latency_ms": {key: round(value, 3)
+                       for key, value in report.latency_ms.items()},
+        "coalesced": report.batching["coalesced"],
+        "batches": report.batching["batches"],
+    }
 
 
 SUITE: dict[str, BenchSpec] = {
@@ -239,6 +293,11 @@ SUITE: dict[str, BenchSpec] = {
     "serve": BenchSpec(
         "serve", "cached multi-tenant DP query workload",
         _setup_serve,
+    ),
+    "serve_load": BenchSpec(
+        "serve_load", "Zipf-tenant bursty load on the async batched server",
+        _setup_serve_load,
+        payload_metrics=_serve_load_metrics,
     ),
 }
 
@@ -316,7 +375,10 @@ def run_suite(names=None, smoke: bool = False, runs: int | None = None,
             result = harness.run(fn, telemetry=telemetry)
         finally:
             obs.reset()
-        record = BenchRecord(name=name, metrics=result.metrics, mode=mode,
+        metrics = dict(result.metrics)
+        if spec.payload_metrics is not None:
+            metrics.update(spec.payload_metrics(result.payload))
+        record = BenchRecord(name=name, metrics=metrics, mode=mode,
                              runs=runs, warmup=warmup).stamp(cwd=directory)
 
         comparison = None

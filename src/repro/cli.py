@@ -44,7 +44,7 @@ from repro.obs import (
     render_span_tree,
 )
 from repro.learn.table_model import TableClassifier
-from repro.serve import AdmissionController, QueryServer
+from repro.serve import QueryServer, ServeConfig
 from repro.transparency.datasheet import build_datasheet
 
 
@@ -195,18 +195,19 @@ def _cmd_serve(args) -> int:
         os.path.basename(args.data)
     )[0]
 
-    admission = None
-    if args.rate_limit is not None or args.max_inflight is not None:
-        admission = AdmissionController(
-            rate_limit=args.rate_limit, window_s=args.window,
-            max_inflight=args.max_inflight,
-        )
-    server = QueryServer(
+    config = ServeConfig(
         workers=args.workers, seed=args.seed,
-        cache=not args.no_cache, admission=admission,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        rate_limit=args.rate_limit, rate_window_s=args.window,
+        max_inflight=args.max_inflight,
+        cache=not args.no_cache,
         default_epsilon_budget=args.epsilon_budget,
         default_delta_budget=args.delta_budget,
     )
+    server = QueryServer(config)
     server.register_table(table_name, table)
 
     requests: list[dict] = []
@@ -401,6 +402,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--delta-budget", type=float, default=0.0)
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads (default 4)")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="coalesce compatible queries for up to this "
+                            "many ms into one vectorized release "
+                            "(default 0: unbatched)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="flush a coalesced group early at this size "
+                            "(default 64)")
+    serve.add_argument("--max-queue-depth", type=int, default=4096,
+                       help="bounded admission queue; beyond it requests "
+                            "are shed with rejected_overload (default 4096)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline; expired requests "
+                            "are shed before costing any epsilon")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the DP answer cache (every query pays)")
     serve.add_argument("--rate-limit", type=int,

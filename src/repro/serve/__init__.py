@@ -3,14 +3,18 @@
 The paper's Q3 asks for answers "without revealing secrets" under a
 strict privacy budget; the ROADMAP asks for a system that serves heavy
 traffic.  This package is where the two meet: registered tables, tenants
-with budgets, admission control, a bounded worker pool, and a DP answer
-cache that replays released answers at zero additional ε-cost.
+with budgets, admission control with backpressure, an asyncio dispatch
+loop that **coalesces compatible queries into vectorized noisy
+releases**, and a DP answer cache that replays released answers at zero
+additional ε-cost.  Batching never changes an answer: releases are
+deterministic in (seed, fingerprint, release ordinal), so batched and
+unbatched serving are byte-identical under a fixed seed.
 
 Minimal use::
 
-    from repro.serve import QueryRequest, QueryServer
+    from repro.serve import QueryRequest, QueryServer, ServeConfig
 
-    server = QueryServer(workers=4)
+    server = QueryServer(ServeConfig(workers=4, batch_window_ms=2.0))
     server.register_table("census", table)
     server.register_tenant("analyst", epsilon_budget=1.0)
     result = server.query(QueryRequest(
@@ -18,9 +22,15 @@ Minimal use::
         lower=18, upper=80, epsilon=0.1,
     ))
 
-Batch mode (what ``python -m repro serve`` wraps)::
+The one public submission surface (sync and async callers alike)::
 
-    results = server.submit_batch(requests)   # concurrent, order-preserving
+    pending = server.submit(request)          # -> PendingResult
+    many = server.submit_many(requests)       # one dispatcher wakeup
+    server.drain()                            # flush windows, settle all
+    answer = pending.result()                 # sync; or `await pending`
+
+``query`` and ``submit_batch`` are thin wrappers over the same path
+(what ``python -m repro serve`` and PR2-era callers use).
 """
 
 from repro.serve.admission import (
@@ -30,19 +40,24 @@ from repro.serve.admission import (
 )
 from repro.serve.budget import BudgetManager, Reservation
 from repro.serve.cache import AnswerCache, CachedAnswer
+from repro.serve.config import ServeConfig
 from repro.serve.planner import QueryPlan, QueryPlanner
 from repro.serve.protocol import (
     KINDS,
+    PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_REJECTED_BUDGET,
     STATUS_REJECTED_INVALID,
+    STATUS_REJECTED_OVERLOAD,
     STATUS_REJECTED_RATE,
+    STATUS_REJECTED_VERSION,
     STATUSES,
+    SUPPORTED_VERSIONS,
     QueryRequest,
     QueryResult,
 )
-from repro.serve.server import QueryServer
+from repro.serve.server import PendingResult, QueryServer
 
 __all__ = [
     "AdmissionController",
@@ -50,6 +65,8 @@ __all__ = [
     "BudgetManager",
     "CachedAnswer",
     "KINDS",
+    "PROTOCOL_VERSION",
+    "PendingResult",
     "QueryPlan",
     "QueryPlanner",
     "QueryRequest",
@@ -63,5 +80,9 @@ __all__ = [
     "STATUS_OK",
     "STATUS_REJECTED_BUDGET",
     "STATUS_REJECTED_INVALID",
+    "STATUS_REJECTED_OVERLOAD",
     "STATUS_REJECTED_RATE",
+    "STATUS_REJECTED_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ServeConfig",
 ]

@@ -6,7 +6,7 @@ concurrent queries both pass an affordability check that only one of
 them can afford.  The :class:`BudgetManager` solves both with a
 two-phase protocol:
 
-1. :meth:`reserve` — under the manager's lock, check the tenant's
+1. :meth:`reserve` — under the tenant's lock, check the tenant's
    accountant against (spent + **pending**) and record a pending
    reservation.  Concurrent reservations therefore see each other.
 2. :meth:`commit` — the query succeeded: charge the accountant's ledger
@@ -15,6 +15,13 @@ two-phase protocol:
 
 Rejected or failed queries leave the ledger byte-identical to a world
 where they were never submitted.
+
+The ledgers are **sharded per tenant**: every tenant owns its own lock,
+accountant, and pending list, so two tenants reserving concurrently
+never serialise on each other.  A short registry lock guards only
+registration and the tenant listing — the reserve/commit hot path takes
+exactly one per-tenant lock and the registry is read lock-free (one
+atomic dict lookup).
 """
 
 from __future__ import annotations
@@ -43,13 +50,23 @@ class Reservation:
         return self.state != "pending"
 
 
+class _TenantShard:
+    """One tenant's ledger shard: a lock, an accountant, a pending list."""
+
+    __slots__ = ("lock", "accountant", "pending")
+
+    def __init__(self, accountant: PrivacyAccountant):
+        self.lock = threading.Lock()
+        self.accountant = accountant
+        self.pending: list[Reservation] = []
+
+
 class BudgetManager:
-    """Thread-safe registry of tenant accountants with two-phase spending."""
+    """Registry of tenant accountants with sharded two-phase spending."""
 
     def __init__(self):
-        self._lock = threading.RLock()
-        self._accountants: dict[str, PrivacyAccountant] = {}
-        self._pending: dict[str, list[Reservation]] = {}
+        self._registry_lock = threading.Lock()
+        self._shards: dict[str, _TenantShard] = {}
 
     # -- tenant registry ----------------------------------------------------
 
@@ -58,54 +75,66 @@ class BudgetManager:
         """Attach ``accountant`` as ``tenant``'s budget (idempotent per name)."""
         if not tenant:
             raise DataError("tenant name must be non-empty")
-        with self._lock:
-            if tenant in self._accountants:
+        with self._registry_lock:
+            if tenant in self._shards:
                 raise DataError(f"tenant {tenant!r} is already registered")
-            self._accountants[tenant] = accountant
-            self._pending[tenant] = []
+            self._shards[tenant] = _TenantShard(accountant)
         return accountant
+
+    def _shard(self, tenant: str) -> _TenantShard:
+        # Lock-free read: dict lookup is atomic, and shards are never
+        # removed — the hot path never touches the registry lock.
+        shard = self._shards.get(tenant)
+        if shard is None:
+            raise DataError(
+                f"unknown tenant {tenant!r}; registered: {self.tenants}"
+            )
+        return shard
 
     def accountant(self, tenant: str) -> PrivacyAccountant:
         """The accountant backing ``tenant``."""
-        with self._lock:
-            if tenant not in self._accountants:
-                raise DataError(
-                    f"unknown tenant {tenant!r}; registered: {self.tenants}"
-                )
-            return self._accountants[tenant]
+        return self._shard(tenant).accountant
 
     @property
     def tenants(self) -> list[str]:
         """Registered tenant names."""
-        with self._lock:
-            return list(self._accountants)
+        with self._registry_lock:
+            return list(self._shards)
 
     def __contains__(self, tenant: str) -> bool:
-        with self._lock:
-            return tenant in self._accountants
+        return tenant in self._shards
 
     # -- two-phase spending -------------------------------------------------
 
     def pending_epsilon(self, tenant: str) -> float:
         """ε currently reserved but not yet committed for ``tenant``."""
-        with self._lock:
-            return sum(r.epsilon for r in self._pending.get(tenant, ()))
+        shard = self._shards.get(tenant)
+        if shard is None:
+            return 0.0
+        with shard.lock:
+            return sum(r.epsilon for r in shard.pending)
 
     def remaining(self, tenant: str) -> float:
         """Committed-plus-pending view of the tenant's unspent ε."""
-        with self._lock:
-            return self.accountant(tenant).remaining() - self.pending_epsilon(tenant)
+        shard = self._shard(tenant)
+        with shard.lock:
+            return (shard.accountant.remaining()
+                    - sum(r.epsilon for r in shard.pending))
+
+    @staticmethod
+    def _can_reserve_locked(shard: _TenantShard, epsilon: float,
+                            delta: float) -> bool:
+        return shard.accountant.can_spend(
+            sum(r.epsilon for r in shard.pending) + epsilon,
+            sum(r.delta for r in shard.pending) + delta,
+        )
 
     def can_reserve(self, tenant: str, epsilon: float,
                     delta: float = 0.0) -> bool:
         """Would :meth:`reserve` succeed right now?"""
-        with self._lock:
-            accountant = self.accountant(tenant)
-            pending = self._pending[tenant]
-            return accountant.can_spend(
-                sum(r.epsilon for r in pending) + epsilon,
-                sum(r.delta for r in pending) + delta,
-            )
+        shard = self._shard(tenant)
+        with shard.lock:
+            return self._can_reserve_locked(shard, epsilon, delta)
 
     def reserve(self, tenant: str, epsilon: float,
                 delta: float = 0.0) -> Reservation:
@@ -114,46 +143,52 @@ class BudgetManager:
             raise DataError(f"epsilon must be positive, got {epsilon}")
         if delta < 0:
             raise DataError(f"delta must be non-negative, got {delta}")
-        with self._lock:
-            accountant = self.accountant(tenant)
-            if not self.can_reserve(tenant, epsilon, delta):
+        shard = self._shard(tenant)
+        with shard.lock:
+            if not self._can_reserve_locked(shard, epsilon, delta):
                 raise PrivacyBudgetError(
                     f"tenant {tenant!r} cannot afford ε={epsilon:.4g}: "
-                    f"ε_remaining={accountant.remaining():.4g} with "
-                    f"ε_pending={self.pending_epsilon(tenant):.4g}"
+                    f"ε_remaining={shard.accountant.remaining():.4g} with "
+                    f"ε_pending={sum(r.epsilon for r in shard.pending):.4g}"
                 )
             reservation = Reservation(tenant, float(epsilon), float(delta))
-            self._pending[tenant].append(reservation)
+            shard.pending.append(reservation)
             return reservation
 
     def commit(self, reservation: Reservation,
                label: str = "serve.query") -> LedgerEntry:
         """Turn a reservation into a real ledger entry."""
-        with self._lock:
-            self._check_pending(reservation)
+        shard = self._shard(reservation.tenant)
+        with shard.lock:
+            self._check_pending(shard, reservation)
             # Spend *before* settling: if the ledger somehow refuses
             # (out-of-band spending on the same accountant), the
             # reservation stays pending and can still be rolled back.
-            entry = self._accountants[reservation.tenant].spend(
+            entry = shard.accountant.spend(
                 reservation.epsilon, reservation.delta, label=label
             )
-            self._settle(reservation, "committed")
+            self._settle(shard, reservation, "committed")
             return entry
 
     def rollback(self, reservation: Reservation) -> None:
         """Release a reservation; the ledger never sees it."""
-        with self._lock:
-            self._check_pending(reservation)
-            self._settle(reservation, "rolled_back")
+        shard = self._shard(reservation.tenant)
+        with shard.lock:
+            self._check_pending(shard, reservation)
+            self._settle(shard, reservation, "rolled_back")
 
-    def _check_pending(self, reservation: Reservation) -> None:
+    @staticmethod
+    def _check_pending(shard: _TenantShard,
+                       reservation: Reservation) -> None:
         if reservation.settled:
             raise DataError(f"reservation is already {reservation.state}")
-        if reservation not in self._pending.get(reservation.tenant, []):
+        if reservation not in shard.pending:
             raise DataError(
                 f"reservation for {reservation.tenant!r} is not pending here"
             )
 
-    def _settle(self, reservation: Reservation, state: str) -> None:
-        self._pending[reservation.tenant].remove(reservation)
+    @staticmethod
+    def _settle(shard: _TenantShard, reservation: Reservation,
+                state: str) -> None:
+        shard.pending.remove(reservation)
         reservation.state = state

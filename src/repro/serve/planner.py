@@ -26,6 +26,8 @@ refactors, so answers cached before them replay after them
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -66,6 +68,21 @@ class QueryPlan:
             "bins": self.bins,
         }
 
+    @property
+    def group_key(self) -> tuple:
+        """The batching compatibility key: queries that may coalesce.
+
+        Two plans with equal group keys read the same table version
+        through the same mechanism with the same clipping bounds — the
+        data-plane work (scan, clip, bin counts, candidate utilities)
+        is identical, so one vectorized pass can serve every member and
+        only the per-member noise draw differs.  ε, δ, and tenant are
+        deliberately *not* part of the key: they change the noise scale
+        and the ledger charged, never the shared statistics.
+        """
+        return (self.table, self.table_version, self.kind, self.column,
+                self.lower, self.upper, self.q, self.bins)
+
     def as_node(self, execute: Callable | None = None) -> Node:
         """This query as an engine node.
 
@@ -101,10 +118,21 @@ class QueryPlanner:
     already invalidates cached *answers*.
     """
 
+    #: Bound on the memoized-plan LRU (distinct request shapes).
+    PLAN_CACHE_ENTRIES = 4096
+
     def __init__(self, store=None):
         from repro.relational.registry import SchemaRegistry
 
         self._registry = SchemaRegistry(store=store)
+        # Planning is pure given the registry state, so identical
+        # request shapes reuse the validated plan (and its sha256
+        # fingerprint) instead of re-hashing on every submission — the
+        # serving hot path plans in one dict probe.  ``_generation``
+        # bumps on any (re-)registration, invalidating every entry.
+        self._plan_lock = threading.Lock()
+        self._plan_cache: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self._generation = 0
 
     # -- table registry -----------------------------------------------------
 
@@ -119,10 +147,18 @@ class QueryPlanner:
     def register_table(self, name: str, table: Table) -> None:
         """Make ``table`` servable as ``name`` (re-registering bumps its version)."""
         self._registry.register_table(name, table)
+        self._invalidate_plans()
 
     def register_dataset(self, dataset) -> list[str]:
         """Make every member table of a relational dataset servable."""
-        return self._registry.register_dataset(dataset)
+        names = self._registry.register_dataset(dataset)
+        self._invalidate_plans()
+        return names
+
+    def _invalidate_plans(self) -> None:
+        with self._plan_lock:
+            self._generation += 1
+            self._plan_cache.clear()
 
     @property
     def registry(self):
@@ -145,7 +181,37 @@ class QueryPlanner:
     # -- planning -----------------------------------------------------------
 
     def plan(self, request: QueryRequest) -> QueryPlan:
-        """Validate and canonicalize one request into a :class:`QueryPlan`."""
+        """Validate and canonicalize one request into a :class:`QueryPlan`.
+
+        Identical request shapes (tenant aside — plans are
+        tenant-independent) replay the memoized plan; any table
+        (re-)registration invalidates the memo wholesale.
+        """
+        if not str(request.tenant).strip():
+            raise DataError("tenant must be non-empty")
+        try:
+            key = (request.kind, request.table, request.column,
+                   request.lower, request.upper, request.q,
+                   tuple(request.bins), request.epsilon, request.delta)
+        except TypeError:  # unhashable field values: plan uncached
+            key = None
+        if key is not None:
+            with self._plan_lock:
+                generation = self._generation
+                cached = self._plan_cache.get((generation, key))
+                if cached is not None:
+                    self._plan_cache.move_to_end((generation, key))
+                    return cached
+        plan = self._plan_uncached(request)
+        if key is not None:
+            with self._plan_lock:
+                if generation == self._generation:
+                    if len(self._plan_cache) >= self.PLAN_CACHE_ENTRIES:
+                        self._plan_cache.popitem(last=False)
+                    self._plan_cache[(generation, key)] = plan
+        return plan
+
+    def _plan_uncached(self, request: QueryRequest) -> QueryPlan:
         kind = str(request.kind).strip().lower()
         if kind not in KINDS:
             raise DataError(f"unknown query kind {request.kind!r}; one of {KINDS}")

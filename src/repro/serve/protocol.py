@@ -3,11 +3,18 @@
 A :class:`QueryRequest` is what a tenant submits — a declarative
 description of one DP aggregate over a registered table.  A
 :class:`QueryResult` is what always comes back: the server never lets an
-exception escape its loop, so rejections (budget, rate, validation) are
-*statuses* on the result, not stack traces in the caller's lap.
+exception escape its loop, so rejections (budget, rate, overload,
+validation, protocol version) are *statuses* on the result, not stack
+traces in the caller's lap.
 
 Both sides round-trip through plain dicts / JSON lines, which is what
-``python -m repro serve`` speaks.
+``python -m repro serve`` speaks.  The wire format is versioned: a
+record carrying no ``version`` field is a v1 record (every line written
+before versioning existed parses unchanged), a record carrying a version
+the server does not speak is rejected with
+:data:`STATUS_REJECTED_VERSION` instead of being misinterpreted, and
+``to_dict`` omits ``version`` when it is 1 so old readers keep seeing
+the exact shape they always did.
 """
 
 from __future__ import annotations
@@ -19,11 +26,20 @@ from repro.exceptions import DataError
 #: Query kinds the planner understands.
 KINDS = ("count", "sum", "mean", "quantile", "histogram")
 
+#: The protocol version this server speaks (and the implied version of
+#: any wire record that does not carry one).
+PROTOCOL_VERSION = 1
+
+#: Versions the server accepts; anything else is a structured rejection.
+SUPPORTED_VERSIONS = (1,)
+
 #: Result statuses — one success, one per rejection reason, one catch-all.
 STATUS_OK = "ok"
 STATUS_REJECTED_INVALID = "rejected_invalid"
 STATUS_REJECTED_BUDGET = "rejected_budget"
 STATUS_REJECTED_RATE = "rejected_rate"
+STATUS_REJECTED_OVERLOAD = "rejected_overload"
+STATUS_REJECTED_VERSION = "rejected_version"
 STATUS_ERROR = "error"
 
 STATUSES = (
@@ -31,6 +47,8 @@ STATUSES = (
     STATUS_REJECTED_INVALID,
     STATUS_REJECTED_BUDGET,
     STATUS_REJECTED_RATE,
+    STATUS_REJECTED_OVERLOAD,
+    STATUS_REJECTED_VERSION,
     STATUS_ERROR,
 )
 
@@ -43,6 +61,12 @@ class QueryRequest:
     table.  Numeric aggregates (``sum``/``mean``/``quantile``) require
     declared ``lower``/``upper`` bounds — sensitivity comes from the
     declaration, never from peeking at the data.
+
+    ``deadline_ms`` is the tenant's latency budget: a request still
+    waiting when it expires is shed with
+    :data:`STATUS_REJECTED_OVERLOAD` instead of being answered late
+    (and, being shed before execution, costs no ε).  ``version`` is the
+    wire protocol version; omit it (or pass 1) for the current protocol.
     """
 
     tenant: str
@@ -56,10 +80,16 @@ class QueryRequest:
     bins: tuple = ()
     delta: float = 0.0
     request_id: str | None = None
+    version: int = PROTOCOL_VERSION
+    deadline_ms: float | None = None
 
     @classmethod
     def from_dict(cls, record: dict) -> "QueryRequest":
-        """Build a request from one decoded JSONL record."""
+        """Build a request from one decoded JSONL record.
+
+        A record with no ``version`` field is a v1 record — the format
+        predating versioning parses unchanged.
+        """
         if not isinstance(record, dict):
             raise DataError(f"request must be an object, got {type(record).__name__}")
         unknown = set(record) - {f.name for f in fields(cls)}
@@ -70,12 +100,15 @@ class QueryRequest:
                 raise DataError(f"request is missing {required!r}")
         record = dict(record)
         record["bins"] = tuple(record.get("bins") or ())
+        record.setdefault("version", PROTOCOL_VERSION)
         return cls(**record)
 
     def to_dict(self) -> dict:
-        """JSON-ready record (omits unset optionals)."""
+        """JSON-ready record (omits unset optionals and ``version`` 1)."""
         record = asdict(self)
         record["bins"] = list(record["bins"])
+        if record.get("version") == PROTOCOL_VERSION:
+            del record["version"]  # wire back-compat: v1 is implied
         return {
             key: value for key, value in record.items()
             if value not in (None, []) or key in ("tenant", "kind", "epsilon")
@@ -102,6 +135,7 @@ class QueryResult:
     request_id: str | None = None
     duration: float | None = None
     attributes: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
 
     @property
     def ok(self) -> bool:
@@ -117,6 +151,8 @@ class QueryResult:
             "epsilon_charged": self.epsilon_charged,
             "cached": self.cached,
         }
+        if self.version != PROTOCOL_VERSION:
+            record["version"] = self.version
         if self.fingerprint is not None:
             record["fingerprint"] = self.fingerprint
         if self.detail is not None:

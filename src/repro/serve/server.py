@@ -4,34 +4,51 @@
 operational surface: tables and tenants are registered once, then
 requests flow through a fixed pipeline —
 
-    admission → plan → cache lookup → budget reserve → execute
-              → budget commit → cache insert
+    admission → plan → cache lookup → **coalesce** → budget reserve
+              → vectorized execute → budget commit → cache insert
 
-with three invariants the tests pin down:
+with the invariants the tests pin down:
 
 * **no exception escapes the serving loop** — every failure mode is a
   structured :class:`~repro.serve.protocol.QueryResult` status;
 * **a rejected query never burns budget** — charges are speculative
   (:class:`~repro.serve.budget.BudgetManager`) until the answer exists;
 * **a repeated query costs nothing** — cache replays are free
-  post-processing and charge ε exactly zero.
+  post-processing and charge ε exactly zero;
+* **batching is invisible in the answers** — a release is a pure
+  function of (seed, plan fingerprint, release ordinal), so batched and
+  unbatched serving are byte-identical under a fixed seed, and every
+  coalesced member is charged individually through the same two-phase
+  reserve/commit as a serial query.
 
-Execution reuses the audited ``dp_*`` implementations verbatim (their
-clipping, sensitivity, and post-processing are the privacy-critical
-code): each query runs against a throwaway scratch accountant, and the
-*real* tenant charge is the committed reservation.
+Architecture: submissions land on an asyncio dispatch loop
+(:class:`~repro.serve.batching.Dispatcher`, one daemon thread) that
+admits, plans, answers cache hits inline, and coalesces cache misses by
+:attr:`~repro.serve.planner.QueryPlan.group_key`; flushed groups
+execute on a bounded ``ThreadPoolExecutor`` as one-node engine plans
+whose data-plane statistics are computed once per group
+(:func:`~repro.serve.batching.group_stats`) while each member draws its
+own noise (:func:`~repro.serve.batching.member_release`, replicating
+the audited ``dp_*`` semantics draw for draw).  Backpressure is
+explicit: a bounded outstanding-request queue sheds at submission and
+per-request deadlines shed at execution, both with
+``STATUS_REJECTED_OVERLOAD`` and zero ε.
 
-Concurrency: a bounded ``ThreadPoolExecutor`` drains batches; every
-shared structure (accountants, budget manager, cache, admission,
-telemetry) is individually thread-safe, and per-query RNGs are spawned
-from one ``SeedSequence`` so concurrent noise draws never share a
-bit-generator.
+The public surface is :meth:`submit` / :meth:`submit_many` /
+:meth:`drain`; :meth:`query` and :meth:`submit_batch` are thin
+synchronous wrappers kept for PR2-era callers, and a
+:class:`PendingResult` serves sync (``.result()``) and async
+(``await``) consumers alike.  Configuration lives in one validated
+:class:`~repro.serve.config.ServeConfig`; the historical constructor
+kwargs keep working as deprecated aliases.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
@@ -39,91 +56,155 @@ import numpy as np
 from repro import obs
 from repro.obs.metrics import Histogram
 from repro.confidentiality.accountant import PrivacyAccountant
-from repro.confidentiality.queries import (
-    dp_count,
-    dp_histogram,
-    dp_mean,
-    dp_quantile,
-    dp_sum,
-)
 from repro.data.table import Table
 from repro.engine import Executor as PlanExecutor
-from repro.exceptions import DataError, PrivacyBudgetError, ReproError
+from repro.engine import Node, Plan
+from repro.exceptions import DataError
 from repro.serve.admission import AdmissionController
+from repro.serve.batching import Dispatcher, _Member, group_stats, member_release
 from repro.serve.budget import BudgetManager
 from repro.serve.cache import AnswerCache
+from repro.serve.config import ServeConfig
 from repro.serve.planner import QueryPlan, QueryPlanner
 from repro.serve.protocol import (
-    STATUS_ERROR,
-    STATUS_OK,
-    STATUS_REJECTED_BUDGET,
-    STATUS_REJECTED_INVALID,
-    STATUS_REJECTED_RATE,
+    STATUS_REJECTED_OVERLOAD,
     QueryRequest,
     QueryResult,
 )
 
 
+class PendingResult:
+    """One submitted query's eventual :class:`QueryResult`.
+
+    Sync callers block on :meth:`result`; async callers ``await`` it
+    directly (the future is bridged onto the running event loop).  The
+    server resolves it on every path — success, rejection, shed — so it
+    always completes and never raises a serving error.
+    """
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future: Future):
+        self._future = future
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until the answer is served (or ``timeout`` expires)."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        """Has the result been resolved yet?"""
+        return self._future.done()
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(pending)`` once the result resolves."""
+        self._future.add_done_callback(lambda _future: fn(self))
+
+    def __await__(self):
+        return asyncio.wrap_future(self._future).__await__()
+
+
 class QueryServer:
-    """Concurrent, budget-aware, cache-accelerated DP query serving."""
+    """Async-batched, budget-aware, cache-accelerated DP query serving."""
 
-    def __init__(self, workers: int = 4, seed: int = 0,
-                 cache: AnswerCache | None | bool = True,
+    def __init__(self, config: ServeConfig | int | None = None, *,
                  admission: AdmissionController | None = None,
-                 default_epsilon_budget: float | None = None,
-                 default_delta_budget: float = 0.0,
-                 backend_latency_s: float = 0.0,
-                 store=None):
-        """Build a server.
+                 store=None, **legacy):
+        """Build a server from one validated :class:`ServeConfig`.
 
-        ``cache=True`` installs a default :class:`AnswerCache`;
-        ``cache=None``/``False`` disables replay entirely (every query
-        pays).  ``default_epsilon_budget`` enables auto-registration of
-        unknown tenants (the CLI's mode); without it, queries from
-        unregistered tenants are rejected as invalid.
-        ``backend_latency_s`` injects a per-execution delay emulating a
-        downstream data-plane fetch — benchmarks use it to exercise how
-        the worker pool overlaps query latencies; leave it 0 in real use.
-        ``store`` (an :class:`~repro.store.ArtifactStore`) makes table
+        ``admission`` injects a pre-built controller (tests drive its
+        clock); otherwise one is derived from the config's
+        ``rate_limit`` / ``max_inflight`` when either is set.  ``store``
+        (an :class:`~repro.store.ArtifactStore`) makes table
         re-registration invalidate the old rows' ``table:<fingerprint>``
         artifacts via the planner's schema registry.
+
+        The historical kwargs (``workers=``, ``seed=``, ``cache=``,
+        ``default_epsilon_budget=``, ``default_delta_budget=``,
+        ``backend_latency_s=``) keep working as deprecated aliases and
+        emit a single :class:`DeprecationWarning` per construction.
         """
-        if workers < 1:
-            raise DataError("workers must be at least 1")
-        if backend_latency_s < 0:
-            raise DataError("backend_latency_s must be non-negative")
+        if isinstance(config, int):  # historical positional `workers`
+            legacy.setdefault("workers", config)
+            config = None
+        if config is None:
+            config = ServeConfig()
+        if legacy:
+            config = config.with_legacy_kwargs(**legacy)
+            warnings.warn(
+                "QueryServer(**kwargs) is deprecated; pass a ServeConfig: "
+                f"QueryServer(ServeConfig({', '.join(sorted(legacy))}=...))",
+                DeprecationWarning, stacklevel=2,
+            )
+        self.config = config
+
         self.planner = QueryPlanner(store=store)
         self.budget = BudgetManager()
-        self.cache = AnswerCache() if cache is True else (cache or None)
-        self.admission = admission
-        self.workers = int(workers)
-        self.default_epsilon_budget = default_epsilon_budget
-        self.default_delta_budget = float(default_delta_budget)
-        self.backend_latency_s = float(backend_latency_s)
+        legacy_cache = legacy.get("cache")
+        if isinstance(legacy_cache, AnswerCache):
+            self.cache: AnswerCache | None = legacy_cache
+        elif config.cache:
+            self.cache = AnswerCache(max_entries=config.cache_entries,
+                                     scope=config.cache_scope)
+        else:
+            self.cache = None
+        if admission is not None:
+            self.admission: AdmissionController | None = admission
+        elif config.rate_limit is not None or config.max_inflight is not None:
+            self.admission = AdmissionController(
+                rate_limit=config.rate_limit,
+                window_s=config.rate_window_s,
+                max_inflight=config.max_inflight,
+            )
+        else:
+            self.admission = None
+
         self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
+            max_workers=config.workers, thread_name_prefix="repro-serve"
         )
-        # Executions run as one-node engine plans; observe=False because
-        # the server records its own serve.query spans (concurrent,
-        # post-timed), and node-level spans would double-count.
+        # Release groups run as one-node engine plans; observe=False
+        # because the server records its own serve.query spans
+        # (concurrent, post-timed), and node-level spans would
+        # double-count.
         self._engine = PlanExecutor(n_jobs=1, backend="serial",
                                     name="serve", observe=False)
         self._closed = False
-        self._seed_seq = np.random.SeedSequence(seed)
+        # Deterministic releases: each execution's generator is keyed by
+        # (server seed, per-fingerprint release ordinal, fingerprint
+        # words), never by arrival order — see _release_rng.
+        self._seed_entropy = int(config.seed)
         self._rng_lock = threading.Lock()
+        self._release_ordinals: dict[str, int] = {}
         self._obs_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._status_counts: dict[str, int] = {}
+        self._batch_stats = {
+            "batches": 0, "batched_queries": 0, "largest_batch": 0,
+            "coalesced": 0, "shed_deadline": 0, "shed_queue": 0,
+        }
         # Always-on latency distribution (independent of repro.obs):
         # stats()["latency"] exports p50/p90/p95/p99 in the same
         # profile shape the bench harness and profiler report.
         self._latency = Histogram("serve.query.duration",
                                   quantiles=(0.50, 0.90, 0.95, 0.99))
-        # Single-flight coalescing: concurrent identical queries would
-        # each miss the cache and each pay ε; instead followers wait for
-        # the leader's release and replay it for free.
-        self._flight_lock = threading.Lock()
-        self._in_flight: dict[object, threading.Event] = {}
+        self._dispatcher = Dispatcher(self)
+
+    # -- legacy attribute aliases -------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def default_epsilon_budget(self) -> float | None:
+        return self.config.default_epsilon_budget
+
+    @property
+    def default_delta_budget(self) -> float:
+        return self.config.default_delta_budget
+
+    @property
+    def backend_latency_s(self) -> float:
+        return self.config.backend_latency_s
 
     # -- registration -------------------------------------------------------
 
@@ -151,28 +232,57 @@ class QueryServer:
             accountant = PrivacyAccountant(epsilon_budget, delta_budget)
         return self.budget.register(tenant, accountant)
 
-    # -- submission ---------------------------------------------------------
+    # -- submission: the public surface -------------------------------------
+
+    def submit(self, request: QueryRequest | dict) -> PendingResult:
+        """Enqueue one request; returns immediately with a :class:`PendingResult`.
+
+        When the bounded queue (``config.max_queue_depth`` admitted and
+        unresolved requests) is full, the request is shed *here* with
+        ``STATUS_REJECTED_OVERLOAD`` — the pending result resolves
+        instantly and no ε is spent.
+        """
+        return self._submit_chunk([request])[0]
+
+    def submit_many(self, requests) -> list[PendingResult]:
+        """Enqueue a batch in one dispatcher wakeup, preserving order.
+
+        This is the throughput path: the whole chunk crosses the thread
+        boundary once, and compatible queries coalesce into vectorized
+        releases on the loop.
+        """
+        return self._submit_chunk(list(requests))
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Flush open batch windows and block until nothing is in flight."""
+        self._dispatcher.drain(timeout)
+
+    # -- thin synchronous wrappers (the PR2-era surface) ---------------------
 
     def query(self, request: QueryRequest | dict) -> QueryResult:
-        """Serve one request synchronously (never raises)."""
-        return self._handle(request)
+        """Serve one request synchronously (never raises a serving error).
 
-    def submit(self, request: QueryRequest | dict) -> Future:
-        """Enqueue one request on the worker pool."""
-        if self._closed:
-            raise DataError("server is closed")
-        return self._pool.submit(self._handle, request)
+        Wrapper: ``submit(request).result()``.
+        """
+        return self._submit_chunk([request])[0].result()
 
     def submit_batch(self, requests) -> list[QueryResult]:
-        """Serve a batch concurrently, preserving request order."""
-        if self._closed:
-            raise DataError("server is closed")
-        return list(self._pool.map(self._handle, list(requests)))
+        """Serve a batch, preserving request order.
+
+        Wrapper: ``[p.result() for p in submit_many(requests)]``.
+        """
+        return [pending.result() for pending in self.submit_many(requests)]
 
     def close(self) -> None:
-        """Drain the pool and refuse further submissions."""
+        """Drain in-flight work, stop the loop, refuse further submissions."""
+        if self._closed:
+            return
         self._closed = True
-        self._pool.shutdown(wait=True)
+        try:
+            self._dispatcher.drain()
+        finally:
+            self._dispatcher.stop()
+            self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "QueryServer":
         return self
@@ -180,172 +290,105 @@ class QueryServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- the serving loop ---------------------------------------------------
-
-    def _handle(self, request: QueryRequest | dict) -> QueryResult:
+    def _submit_chunk(self, requests: list) -> list[PendingResult]:
+        if self._closed:
+            raise DataError("server is closed")
         telemetry = obs.get()
-        started = self._tick(telemetry)
-        wall_start = time.perf_counter()
-        admitted_tenant = None
-        try:
-            if isinstance(request, dict):
-                request = QueryRequest.from_dict(request)
-            tenant = str(request.tenant)
-
-            if self.admission is not None:
-                reason = self.admission.try_admit(tenant)
-                if reason is not None:
-                    result = self._rejection(
-                        request, STATUS_REJECTED_RATE,
-                        f"admission refused: {reason}",
-                    )
-                    return result
-                admitted_tenant = tenant
-
-            result = self._serve_admitted(request)
-            return result
-        except ReproError as error:
-            result = self._rejection(request, STATUS_REJECTED_INVALID, str(error))
-            return result
-        except Exception as error:  # the loop must never leak an exception
-            result = self._rejection(
-                request, STATUS_ERROR, f"{type(error).__name__}: {error}"
+        pending: list[PendingResult] = []
+        members: list[_Member] = []
+        for request in requests:
+            future: Future = Future()
+            member = _Member(
+                request=request, future=future,
+                arrival=time.monotonic(), wall_start=time.perf_counter(),
+                started=self._tick(telemetry), telemetry=telemetry,
             )
-            return result
-        finally:
-            if admitted_tenant is not None:
-                self.admission.release(admitted_tenant)
-            result.duration = time.perf_counter() - wall_start
-            self._record(telemetry, request, result, started)
-
-    def _serve_admitted(self, request: QueryRequest) -> QueryResult:
-        tenant = str(request.tenant)
-        plan = self.planner.plan(request)
-        self._ensure_tenant(tenant)
-
-        if self.cache is None:
-            return self._execute_and_charge(request, plan, tenant)
-
-        flight_key = (
-            (tenant, plan.fingerprint) if self.cache.scope == "tenant"
-            else plan.fingerprint
-        )
-        while True:
-            answer = self.cache.get(plan.fingerprint, tenant=tenant)
-            if answer is not None:
-                return QueryResult(
-                    tenant=tenant, status=STATUS_OK, value=answer.replay(),
-                    epsilon_charged=0.0, cached=True,
-                    fingerprint=plan.fingerprint,
-                    request_id=request.request_id,
+            pending.append(PendingResult(future))
+            if not self._dispatcher.try_reserve_slot():
+                self._note(shed_queue=1)
+                result = self._rejection(
+                    request, STATUS_REJECTED_OVERLOAD,
+                    f"queue depth {self.config.max_queue_depth} exceeded",
                 )
-            with self._flight_lock:
-                event = self._in_flight.get(flight_key)
-                if event is None:
-                    self._in_flight[flight_key] = threading.Event()
-            if event is None:  # we lead: compute, release, wake followers
-                try:
-                    return self._execute_and_charge(request, plan, tenant)
-                finally:
-                    with self._flight_lock:
-                        self._in_flight.pop(flight_key).set()
-            # A leader is already computing this exact release; wait and
-            # re-check the cache (if the leader failed, loop and lead).
-            event.wait()
+                result.duration = time.perf_counter() - member.wall_start
+                future.set_result(result)
+                self._record_member(member, result)
+                continue
+            members.append(member)
+        if members:
+            self._dispatcher.enqueue(members)
+        return pending
 
-    def _execute_and_charge(self, request: QueryRequest, plan: QueryPlan,
-                            tenant: str) -> QueryResult:
-        try:
-            reservation = self.budget.reserve(tenant, plan.epsilon, plan.delta)
-        except PrivacyBudgetError as error:
-            return QueryResult(
-                tenant=tenant, status=STATUS_REJECTED_BUDGET,
-                detail=str(error), fingerprint=plan.fingerprint,
-                request_id=request.request_id,
-            )
-        try:
-            value = self._execute(plan)
-        except Exception:
-            self.budget.rollback(reservation)
-            raise
-        try:
-            self.budget.commit(reservation, label=f"serve.{plan.kind}")
-        except PrivacyBudgetError as error:
-            # Out-of-band spending beat us to the ledger between reserve
-            # and commit; the answer is discarded unreleased.
-            self.budget.rollback(reservation)
-            return QueryResult(
-                tenant=tenant, status=STATUS_REJECTED_BUDGET,
-                detail=str(error), fingerprint=plan.fingerprint,
-                request_id=request.request_id,
-            )
-        if self.cache is not None:
-            self.cache.put(plan.fingerprint, value, plan.epsilon, tenant=tenant)
-        return QueryResult(
-            tenant=tenant, status=STATUS_OK, value=value,
-            epsilon_charged=plan.epsilon, cached=False,
-            fingerprint=plan.fingerprint, request_id=request.request_id,
-        )
+    # -- tenancy -------------------------------------------------------------
 
     def _ensure_tenant(self, tenant: str) -> None:
         if tenant in self.budget:
             return
-        if self.default_epsilon_budget is None:
+        if self.config.default_epsilon_budget is None:
             raise DataError(
                 f"unknown tenant {tenant!r} (no default budget configured)"
             )
         try:
             self.register_tenant(
-                tenant, self.default_epsilon_budget, self.default_delta_budget
+                tenant,
+                self.config.default_epsilon_budget,
+                self.config.default_delta_budget,
             )
         except DataError:
-            # Two workers raced the auto-registration; either one wins.
+            # Two submissions raced the auto-registration; either wins.
             if tenant not in self.budget:
                 raise
 
     # -- execution ----------------------------------------------------------
 
-    def _execute(self, plan: QueryPlan) -> float | dict:
-        """Compute the noisy answer for ``plan`` (tenant charge happens at commit).
+    def _execute_batch(self, plans: list[QueryPlan]) -> list:
+        """Run one coalesced release group as a one-node engine plan.
 
-        The query runs as the one-node engine plan it is: the node's
-        ``key_parts`` are the release's canonical identity (the same
-        digest the answer cache keys on), and the node is uncacheable
-        because every execution must draw fresh noise.
+        Every plan in the group shares a
+        :attr:`~repro.serve.planner.QueryPlan.group_key`, so the
+        data-plane statistics are computed once; each member then draws
+        its own noise from its own deterministic stream.  The node's
+        ``key_parts`` are the group's canonical identity and the node is
+        uncacheable — every execution must draw fresh noise (*answer*
+        replay is the :class:`AnswerCache`'s job, governed by budget
+        semantics).
         """
-        return self._engine.run(plan.as_engine_plan(self._compute)).output
+        template = plans[0]
+        rngs = [self._release_rng(plan.fingerprint) for plan in plans]
 
-    def _compute(self, plan: QueryPlan) -> float | dict:
-        if self.backend_latency_s:
-            time.sleep(self.backend_latency_s)
-        table = self.planner.table(plan.table)
-        rng = self._spawn_rng()
-        # The dp_* functions insist on charging an accountant — that is
-        # their contract and their tests' contract.  Here the tenant's
-        # ledger is charged by the committed reservation instead, so the
-        # execution charges a throwaway scratch accountant.
-        scratch = PrivacyAccountant(plan.epsilon + 1.0)
-        if plan.kind == "count":
-            return dp_count(table.n_rows, plan.epsilon, scratch, rng)
-        values = table.column(plan.column)
-        if plan.kind == "sum":
-            return dp_sum(values, plan.lower, plan.upper, plan.epsilon,
-                          scratch, rng)
-        if plan.kind == "mean":
-            return dp_mean(values, plan.lower, plan.upper, plan.epsilon,
-                           scratch, rng)
-        if plan.kind == "quantile":
-            return dp_quantile(values, plan.q, plan.lower, plan.upper,
-                               plan.epsilon, scratch, rng)
-        if plan.kind == "histogram":
-            return dp_histogram(values, list(plan.bins), plan.epsilon,
-                                scratch, rng)
-        raise DataError(f"unplannable kind {plan.kind!r}")  # unreachable
+        def compute(inputs, rng):
+            if self.config.backend_latency_s:
+                time.sleep(self.config.backend_latency_s)
+            table = self.planner.table(template.table)
+            stats = group_stats(template, table)
+            return [member_release(stats, plan, member_rng)
+                    for plan, member_rng in zip(plans, rngs)]
 
-    def _spawn_rng(self) -> np.random.Generator:
+        node = Node(
+            f"query:{template.kind}", compute,
+            key_parts=template.key_parts(), cacheable=False,
+            label=f"query:{template.kind}[{len(plans)}]",
+        )
+        return self._engine.run(Plan([node])).output
+
+    def _release_rng(self, fingerprint: str) -> np.random.Generator:
+        """The deterministic noise stream for one release execution.
+
+        Keyed by (server seed, per-fingerprint release ordinal, the
+        fingerprint itself) — a pure function of *what* is being
+        released and *how many times* it has been released, never of
+        batching, worker count, or arrival interleaving.  With the
+        answer cache on, a fingerprint executes once (ordinal 0), which
+        is what makes batched and serial serving byte-identical.
+        """
         with self._rng_lock:
-            child = self._seed_seq.spawn(1)[0]
-        return np.random.default_rng(child)
+            ordinal = self._release_ordinals.get(fingerprint, 0)
+            self._release_ordinals[fingerprint] = ordinal + 1
+        words = [int(fingerprint[i:i + 8], 16)
+                 for i in range(0, len(fingerprint), 8)]
+        return np.random.default_rng(
+            np.random.SeedSequence([self._seed_entropy, ordinal, *words])
+        )
 
     # -- rejection / telemetry ----------------------------------------------
 
@@ -366,6 +409,19 @@ class QueryServer:
             return None
         with self._obs_lock:
             return telemetry.clock.now()
+
+    def _note(self, **counts) -> None:
+        """Bump batching/backpressure counters (``largest_batch`` is a max)."""
+        with self._stats_lock:
+            for name, amount in counts.items():
+                if name == "largest_batch":
+                    if amount > self._batch_stats["largest_batch"]:
+                        self._batch_stats["largest_batch"] = amount
+                else:
+                    self._batch_stats[name] += amount
+
+    def _record_member(self, member: _Member, result: QueryResult) -> None:
+        self._record(member.telemetry, member.request, result, member.started)
 
     def _record(self, telemetry, request, result: QueryResult,
                 started: float | None) -> None:
@@ -404,9 +460,10 @@ class QueryServer:
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Serving counters: statuses, latency percentiles, cache, budgets."""
+        """Serving counters: statuses, latency, batching, cache, budgets."""
         with self._stats_lock:
             statuses = dict(self._status_counts)
+            batching = dict(self._batch_stats)
             latency = (self._latency.summary()
                        if self._latency.count else None)
         tenants = {
@@ -420,6 +477,8 @@ class QueryServer:
         return {
             "statuses": statuses,
             "latency": latency,
+            "batching": batching,
+            "outstanding": self._dispatcher.outstanding,
             "cache": self.cache.stats() if self.cache is not None else None,
             "tenants": tenants,
         }
