@@ -94,6 +94,47 @@ def _setup_audit(smoke: bool) -> Callable[[], object]:
     return run_audit
 
 
+def _setup_sharded_audit(smoke: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.core.auditor import FACTAuditor
+    from repro.data.partition import PartitionedTable
+    from repro.data.synth import CreditScoringGenerator
+    from repro.learn.linear import LogisticRegression
+    from repro.learn.table_model import TableClassifier
+    from repro.store import ArtifactStore
+
+    n_train, rows_per_shard, n_bootstrap = (
+        (1000, 1200, 60) if smoke else (4000, 8000, 250)
+    )
+    n_shards = 4
+    rng = np.random.default_rng(SEED)
+    generator = CreditScoringGenerator(label_bias=0.3, proxy_strength=0.8)
+    train = generator.generate(n_train, rng)
+    test = generator.generate(rows_per_shard * n_shards, rng)
+    model = TableClassifier(LogisticRegression()).fit(train)
+    parts = PartitionedTable.partition(test, n_shards=n_shards)
+    # The serial report's fingerprint is the contract: every measured
+    # sharded run must reproduce it bit for bit, or the bench *fails*
+    # rather than records a time for a wrong answer.
+    reference = FACTAuditor(n_bootstrap=n_bootstrap).audit(
+        model, test, np.random.default_rng(SEED + 1)
+    ).fingerprint()
+
+    def run_sharded_audit():
+        auditor = FACTAuditor(n_bootstrap=n_bootstrap, n_jobs=2,
+                              backend="process",
+                              store=ArtifactStore.in_memory())
+        report = auditor.audit(model, parts, np.random.default_rng(SEED + 1))
+        if report.fingerprint() != reference:
+            raise DataError(
+                "sharded audit fingerprint diverged from the serial report"
+            )
+        return report
+
+    return run_sharded_audit
+
+
 def _setup_pipeline(smoke: bool) -> Callable[[], object]:
     import numpy as np
 
@@ -277,6 +318,11 @@ SUITE: dict[str, BenchSpec] = {
     "audit": BenchSpec(
         "audit", "cold FACT audit (resampling + engine + store)",
         _setup_audit,
+    ),
+    "sharded_audit": BenchSpec(
+        "sharded_audit",
+        "cold sharded FACT audit (4 map tasks + combine, process backend)",
+        _setup_sharded_audit,
     ),
     "pipeline": BenchSpec(
         "pipeline", "redact/flag/filter over an Internet-Minute stream",

@@ -69,7 +69,10 @@ def _cmd_audit(args) -> int:
         table, args.test_fraction, args.calibration_fraction, rng
     )
     model = TableClassifier(LogisticRegression()).fit(train)
-    report = FACTAuditor().audit(
+    auditor = FACTAuditor(
+        shards=args.shards, n_jobs=args.jobs, backend=args.backend
+    )
+    report = auditor.audit(
         model, test, rng, calibration=calibration, subject=args.data
     )
     if args.json:
@@ -287,6 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero on policy violations")
     audit.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
+    audit.add_argument("--shards", type=int, default=None,
+                       help="partition the test split into N row-range "
+                            "shards and audit map/combine (byte-identical "
+                            "to the serial path)")
+    audit.add_argument("--jobs", type=int, default=None,
+                       help="worker fan-out (default: $REPRO_N_JOBS)")
+    audit.add_argument("--backend", choices=("thread", "process"),
+                       default="thread",
+                       help="fan-out backend; process dispatches shard "
+                            "map tasks as real subprocesses")
     audit.set_defaults(handler=_cmd_audit)
 
     datasheet = sub.add_parser("datasheet", help="render a dataset datasheet")

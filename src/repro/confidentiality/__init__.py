@@ -49,7 +49,13 @@ from repro.confidentiality.queries import (
     dp_quantile,
     dp_sum,
 )
-from repro.confidentiality.risk import RiskProfile, assess_risk, risk_reduction
+from repro.confidentiality.risk import (
+    RiskProfile,
+    assess_risk,
+    qi_class_counts,
+    risk_from_counts,
+    risk_reduction,
+)
 from repro.confidentiality.synthesis import (
     MarginalSynthesizer,
     marginal_total_variation,
@@ -96,9 +102,11 @@ __all__ = [
     "max_queries_advanced",
     "max_queries_basic",
     "membership_inference_on_mean",
+    "qi_class_counts",
     "randomized_response",
     "randomized_response_estimate",
     "redact_for_release",
+    "risk_from_counts",
     "risk_reduction",
     "t_closeness_level",
     "theoretical_membership_advantage",

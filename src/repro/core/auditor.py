@@ -15,24 +15,32 @@ full :class:`~repro.core.report.FACTReport`:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro import obs
 from repro.accuracy.bootstrap import bootstrap_paired_ci
 from repro.accuracy.conformal import SplitConformalClassifier
 from repro.confidentiality.accountant import PrivacyAccountant
-from repro.confidentiality.risk import assess_risk
+from repro.confidentiality.risk import (
+    assess_risk,
+    qi_class_counts,
+    risk_from_counts,
+)
 from repro.core.report import (
     AccuracySection,
     ConfidentialitySection,
     FACTReport,
     TransparencySection,
 )
+from repro.data.partition import PartitionedTable, merge_counts
 from repro.data.schema import ColumnRole
 from repro.data.table import Table
-from repro.engine import Executor, Node, Plan
-from repro.exceptions import DataError
-from repro.fairness.report import audit_model
+from repro.engine import Executor, Node, Plan, value_fingerprint
+from repro.engine.sharding import ShardPartials, combine_node, shard_map_nodes
+from repro.exceptions import DataError, FairnessError
+from repro.fairness.report import audit_decisions, audit_model
 from repro.learn.calibration import expected_calibration_error
 from repro.learn.metrics import accuracy as accuracy_metric
 from repro.learn.metrics import roc_auc
@@ -41,6 +49,64 @@ from repro.pipeline.pipeline import PipelineResult
 from repro.store import resolve_store
 from repro.transparency.importance import permutation_importance
 from repro.transparency.surrogate import fit_surrogate
+
+
+def _audit_shard_partial(model: TableClassifier, qi_names: tuple,
+                         shard: Table, rng) -> dict:
+    """One shard's contribution to every pillar (the map task body).
+
+    Row-wise pure: each returned array is exactly the corresponding rows
+    of the whole-table computation (the encoder's statistics and the
+    estimator's weights are frozen at fit time), so concatenating the
+    partials in shard order reproduces the unsharded arrays *bitwise* —
+    which is what makes the sharded sections byte-identical by
+    construction.  Module-level so ``functools.partial`` of it pickles
+    into a process worker.
+    """
+    labels = model.labels(shard)
+    probabilities = model.predict_proba(shard)
+    decisions = (probabilities >= model.threshold).astype(np.float64)
+    partial = {
+        "n_rows": shard.n_rows,
+        "labels": labels,
+        "probabilities": probabilities,
+        "decisions": decisions,
+        "X": model.encoder.transform(shard),
+        "sensitive": {
+            name: shard.column(name)
+            for name in shard.schema.sensitive_names
+        },
+    }
+    if qi_names:
+        counts, nan_singletons = qi_class_counts(shard, list(qi_names))
+        partial["qi"] = counts
+        partial["qi_nan"] = nan_singletons
+    return partial
+
+
+def _gather(partials, keys: tuple[str, ...],
+            sensitive: tuple[str, ...] = ()) -> dict:
+    """Concatenate the named partial arrays in shard order — one pass.
+
+    A single iteration over ``partials`` (each spilled entry is decoded
+    exactly once), returning ``{key: concatenated array}`` plus a
+    ``"sensitive"`` dict when sensitive column names are requested.
+    """
+    parts: dict[str, list] = {key: [] for key in keys}
+    groups: dict[str, list] = {name: [] for name in sensitive}
+    for partial in partials:
+        for key in keys:
+            parts[key].append(partial[key])
+        for name in sensitive:
+            groups[name].append(partial["sensitive"][name])
+    gathered: dict = {
+        key: np.concatenate(values) for key, values in parts.items()
+    }
+    if sensitive:
+        gathered["sensitive"] = {
+            name: np.concatenate(values) for name, values in groups.items()
+        }
+    return gathered
 
 
 class FACTAuditor:
@@ -76,6 +142,12 @@ class FACTAuditor:
         *do* recompute draw the same stream they would have in a cold
         run — and a change to one section can never shift another's
         results.
+    shards:
+        Partition a plain ``Table`` into this many row-range shards at
+        audit time and run the sharded map/combine path — the same path
+        a :class:`~repro.data.PartitionedTable` passed to :meth:`audit`
+        takes (see :meth:`build_sharded_plan`).  The report is
+        byte-identical to the unsharded path at every shard count.
     """
 
     def __init__(self, conformal_alpha: float = 0.1,
@@ -84,7 +156,8 @@ class FACTAuditor:
                  top_features: int = 5,
                  n_jobs: int | None = None,
                  backend: str = "thread",
-                 store=None):
+                 store=None,
+                 shards: int | None = None):
         self.conformal_alpha = conformal_alpha
         self.surrogate_depth = surrogate_depth
         self.n_bootstrap = n_bootstrap
@@ -92,6 +165,7 @@ class FACTAuditor:
         self.n_jobs = n_jobs
         self.backend = backend
         self.store = store
+        self.shards = shards
 
     def build_plan(self, model: TableClassifier, test: Table,
                    calibration: Table | None = None,
@@ -183,6 +257,193 @@ class FACTAuditor:
         decisions = (probabilities >= model.threshold).astype(np.float64)
         return labels, probabilities, decisions
 
+    def build_sharded_plan(self, model: TableClassifier,
+                           data: PartitionedTable,
+                           calibration: Table | None = None,
+                           accountant: PrivacyAccountant | None = None,
+                           pipeline_result: PipelineResult | None = None,
+                           store=None) -> Plan:
+        """The audit as a map/combine plan over ``data``'s shards.
+
+        Level 0 is one map node per shard (``partial.shard{i}``), each a
+        picklable process task computing that shard's row-wise-pure
+        arrays and exact contingency counts; with a store the partials
+        *spill* (tagged ``shard:<fp>``), so references rather than
+        values travel to level 1.  Level 1 is the four pillar sections
+        as combine nodes: they concatenate the partials in shard order —
+        reproducing the unsharded arrays bitwise — and run the same
+        finalize code as the serial plan, so the report is
+        **byte-identical by construction** at every shard count,
+        ``n_jobs``, and backend.  The section spawn order (accuracy,
+        then transparency) matches :meth:`build_plan`, so the stochastic
+        sections draw the very streams the serial plan would.  Per-shard
+        cache keys fold each shard's content fingerprint: editing one
+        shard re-runs one map node plus the combines.
+        """
+        schema = data.schema
+        qi_names = tuple(schema.quasi_identifier_names)
+        sensitive_names = tuple(schema.sensitive_names)
+        map_fn = functools.partial(_audit_shard_partial, model, qi_names)
+        maps = shard_map_nodes(
+            "partial", data, map_fn,
+            params=lambda: {"model": value_fingerprint(model)},
+            code=_audit_shard_partial,
+        )
+        tags = lambda fps: (  # noqa: E731
+            f"table:{data.__content_fingerprint__()}",
+        )
+
+        def fairness_fn(partials, extras, rng):
+            if not sensitive_names:
+                raise FairnessError("table declares no sensitive column")
+            arrays = _gather(
+                partials, ("labels", "probabilities", "decisions"),
+                sensitive=sensitive_names[:1],
+            )
+            return audit_decisions(
+                arrays["labels"], arrays["decisions"],
+                arrays["sensitive"][sensitive_names[0]],
+                sensitive=sensitive_names[0],
+                probabilities=arrays["probabilities"],
+            )
+
+        def accuracy_fn(partials, extras, rng):
+            arrays = _gather(
+                partials, ("labels", "probabilities", "decisions"),
+            )
+            return self._accuracy_core(
+                model, arrays["labels"], arrays["probabilities"],
+                arrays["decisions"], calibration, rng, store=store,
+                n_test_rows=int(arrays["labels"].size),
+                x_test=lambda: _gather(partials, ("X",))["X"],
+                sensitive_names=sensitive_names,
+                group=lambda name: _gather(
+                    partials, (), sensitive=(name,)
+                )["sensitive"][name],
+            )
+
+        def confidentiality_fn(partials, extras, rng):
+            risk = None
+            if qi_names:
+                counts: dict = {}
+                nan_singletons = 0
+                n_rows = 0
+                for partial in partials:
+                    counts = merge_counts((counts, partial["qi"]))
+                    nan_singletons += partial["qi_nan"]
+                    n_rows += partial["n_rows"]
+                risk = risk_from_counts(
+                    qi_names, counts, nan_singletons, n_rows=n_rows
+                )
+            return self._confidentiality_section(schema, risk, accountant)
+
+        def transparency_fn(partials, extras, rng):
+            arrays = _gather(partials, ("X", "labels"))
+            return self._transparency_core(
+                model, arrays["X"], arrays["labels"], rng,
+                pipeline_result, store=store,
+            )
+
+        sections = [
+            combine_node("fairness", maps, fairness_fn, store=store,
+                         code=audit_decisions, tags=tags),
+            combine_node("accuracy", maps, accuracy_fn, store=store,
+                         params=lambda: {
+                             "conformal_alpha": self.conformal_alpha,
+                             "n_bootstrap": self.n_bootstrap,
+                             "calibration": (
+                                 None if calibration is None
+                                 else value_fingerprint(calibration)
+                             ),
+                         },
+                         code=FACTAuditor._accuracy_core,
+                         rng="spawn", tags=tags),
+            combine_node("confidentiality", maps, confidentiality_fn,
+                         store=store,
+                         params={"accountant": None if accountant is None
+                                 else {
+                                     "epsilon_spent": accountant.epsilon_spent,
+                                     "epsilon_budget": accountant.epsilon_budget,
+                                     "ledger_entries": len(accountant.ledger),
+                                 }},
+                         code=FACTAuditor._confidentiality_section,
+                         tags=tags),
+            combine_node("transparency", maps, transparency_fn, store=store,
+                         params={"surrogate_depth": self.surrogate_depth,
+                                 "top_features": self.top_features,
+                                 "pipeline": None if pipeline_result is None
+                                 else {
+                                     "provenance_steps": (
+                                         pipeline_result.context.provenance.n_steps
+                                         if pipeline_result.context.provenance
+                                         else 0
+                                     ),
+                                     "audit_events": len(
+                                         pipeline_result.context.audit
+                                     ),
+                                 }},
+                         code=FACTAuditor._transparency_core,
+                         rng="spawn", tags=tags),
+        ]
+        return Plan([*maps, *sections])
+
+    def _audit_sharded(self, model: TableClassifier, data: PartitionedTable,
+                       rng: np.random.Generator,
+                       calibration: Table | None,
+                       accountant: PrivacyAccountant | None,
+                       pipeline_result: PipelineResult | None,
+                       subject: str) -> FACTReport:
+        """Run the sharded map/combine plan and assemble the report."""
+        if data.n_rows < 10:
+            raise DataError("need at least 10 evaluation rows for an audit")
+        store = resolve_store(self.store)
+        plan = self.build_sharded_plan(
+            model, data, calibration, accountant, pipeline_result,
+            store=store,
+        )
+        executor = Executor(n_jobs=self.n_jobs, backend=self.backend,
+                            name="audit")
+        telemetry = obs.get()
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "audit.run", subject=subject, n_rows=data.n_rows,
+                n_shards=data.n_shards, n_jobs=executor.n_jobs,
+                backend=self.backend,
+            ):
+                result = executor.run(plan, store=store, rng=rng)
+        else:
+            result = executor.run(plan, store=store, rng=rng)
+        fairness = result["fairness"]
+        partials = ShardPartials(
+            [result[f"partial.shard{i}"] for i in range(data.n_shards)],
+            store,
+        )
+        sensitive_names = tuple(data.schema.sensitive_names)
+        arrays = _gather(partials, ("decisions",), sensitive=sensitive_names)
+        notes = []
+        if calibration is None:
+            notes.append(
+                "no calibration split supplied: conformal guarantee not checked"
+            )
+        power_note = self._audit_power_note(
+            fairness, arrays["sensitive"][fairness.sensitive]
+        )
+        if power_note:
+            notes.append(power_note)
+        intersectional_note = self._intersectional_note(
+            arrays.get("sensitive", {}), arrays["decisions"], fairness
+        )
+        if intersectional_note:
+            notes.append(intersectional_note)
+        return FACTReport(
+            subject=subject,
+            fairness=fairness,
+            accuracy=result["accuracy"],
+            confidentiality=result["confidentiality"],
+            transparency=result["transparency"],
+            notes=notes,
+        )
+
     def audit(self, model: TableClassifier, test: Table,
               rng: np.random.Generator,
               calibration: Table | None = None,
@@ -197,7 +458,21 @@ class FACTAuditor:
         sections replay byte-identically, changed ones recompute, the
         incremental re-audit.  There is exactly one code path; a run
         without a store differs only in that nothing is looked up.
+
+        ``test`` may also be a :class:`~repro.data.PartitionedTable`
+        (or the auditor may be built with ``shards=N`` to partition a
+        plain table here): the audit then runs as the sharded
+        map/combine plan of :meth:`build_sharded_plan` — out-of-core,
+        process-parallel when asked, and byte-identical to this path.
         """
+        if isinstance(test, Table) and self.shards is not None \
+                and self.shards > 1:
+            test = PartitionedTable.partition(test, n_shards=self.shards)
+        if isinstance(test, PartitionedTable):
+            return self._audit_sharded(
+                model, test, rng, calibration, accountant,
+                pipeline_result, subject,
+            )
         if test.n_rows < 10:
             raise DataError("need at least 10 evaluation rows for an audit")
         store = resolve_store(self.store)
@@ -228,11 +503,15 @@ class FACTAuditor:
             notes.append(
                 "no calibration split supplied: conformal guarantee not checked"
             )
-        power_note = self._audit_power_note(fairness, test)
+        power_note = self._audit_power_note(
+            fairness, test.sensitive(fairness.sensitive)
+        )
         if power_note:
             notes.append(power_note)
         intersectional_note = self._intersectional_note(
-            test, decisions, fairness
+            {name: test.column(name)
+             for name in test.schema.sensitive_names},
+            decisions, fairness,
         )
         if intersectional_note:
             notes.append(intersectional_note)
@@ -248,25 +527,28 @@ class FACTAuditor:
     # -- sections -----------------------------------------------------------
 
     @staticmethod
-    def _intersectional_note(test: Table, decisions: np.ndarray,
+    def _intersectional_note(sensitive_columns: dict[str, np.ndarray],
+                             decisions: np.ndarray,
                              fairness) -> str | None:
         """Cross several sensitive attributes when the schema declares them.
 
         The headline fairness section audits one attribute; if more are
         declared, the worst *intersection* may be worse than any
         marginal — the report should say so rather than average it away.
+        Takes the sensitive columns as arrays so the sharded path can
+        feed concatenated shard partials instead of a whole table (a
+        `Table` is accepted and read column-by-column).
         """
-        names = test.schema.sensitive_names
-        if len(names) < 2:
+        if isinstance(sensitive_columns, Table):
+            table = sensitive_columns
+            sensitive_columns = {name: table.column(name)
+                                 for name in table.schema.sensitive_names}
+        if len(sensitive_columns) < 2:
             return None
-        from repro.exceptions import FairnessError
         from repro.fairness.intersectional import intersectional_audit
 
         try:
-            report = intersectional_audit(
-                decisions,
-                {name: test.column(name) for name in names},
-            )
+            report = intersectional_audit(decisions, dict(sensitive_columns))
         except FairnessError:
             return None
         worst = report.worst_cell
@@ -280,16 +562,17 @@ class FACTAuditor:
         return None
 
     @staticmethod
-    def _audit_power_note(fairness, test: Table) -> str | None:
+    def _audit_power_note(fairness, group: np.ndarray) -> str | None:
         """Flag an underpowered fairness audit (Q2 applied to Q1).
 
         A small test set can only *detect* large selection gaps; when the
         minimum detectable gap exceeds what the four-fifths rule needs to
         see, a "pass" is statistically meaningless and the report says so.
+        ``group`` is the audited sensitive column's values (whole-table,
+        or concatenated shard partials — identical arrays either way).
         """
         from repro.accuracy.power import minimum_detectable_gap
 
-        group = test.sensitive(fairness.sensitive)
         sizes = [int((group == value).sum()) for value in fairness.groups]
         smallest = min(sizes)
         baseline = max(fairness.selection_rates.values())
@@ -312,6 +595,28 @@ class FACTAuditor:
 
     def _accuracy(self, model, test, labels, probabilities, decisions,
                   calibration, rng, store=None) -> AccuracySection:
+        return self._accuracy_core(
+            model, labels, probabilities, decisions, calibration, rng,
+            store=store,
+            n_test_rows=test.n_rows,
+            x_test=lambda: model.encoder.transform(test),
+            sensitive_names=tuple(test.schema.sensitive_names),
+            group=test.sensitive,
+        )
+
+    def _accuracy_core(self, model, labels, probabilities, decisions,
+                       calibration, rng, store=None, *,
+                       n_test_rows: int,
+                       x_test, sensitive_names: tuple,
+                       group) -> AccuracySection:
+        """The accuracy section from arrays (shared by both plans).
+
+        ``x_test`` and ``group`` are zero/one-argument callables — the
+        encoded test matrix and a sensitive column — evaluated only when
+        a conformal check actually needs them, so the serial path never
+        encodes twice and the sharded path only concatenates ``X``
+        partials when calibration data exists.
+        """
         acc_ci = bootstrap_paired_ci(
             labels, decisions, accuracy_metric, rng,
             n_resamples=self.n_bootstrap,
@@ -331,22 +636,22 @@ class FACTAuditor:
             X_cal = model.encoder.transform(calibration)
             conformal.calibrate(X_cal, model.labels(calibration),
                                 store=store)
-            X_test = model.encoder.transform(test)
+            X_test = x_test()
             coverage = conformal.coverage(X_test, labels)
             set_size = conformal.mean_set_size(X_test)
             # The E4b check: does the (marginal) guarantee hold within
             # each protected group, or only on average?
-            if test.schema.sensitive_names:
-                group = test.sensitive(test.schema.sensitive_names[0])
+            if sensitive_names:
+                values = group(sensitive_names[0])
                 sets = conformal.predict_sets(X_test)
                 covered = np.asarray([
                     prediction_set.covers(label)
                     for prediction_set, label in zip(sets, labels)
                 ])
                 by_group = {
-                    value: float(covered[group == value].mean())
-                    for value in np.unique(group)
-                    if (group == value).sum() >= 10
+                    value: float(covered[values == value].mean())
+                    for value in np.unique(values)
+                    if (values == value).sum() >= 10
                 }
         return AccuracySection(
             accuracy=acc_ci,
@@ -358,7 +663,7 @@ class FACTAuditor:
             conformal_coverage=coverage,
             conformal_mean_set_size=set_size,
             conformal_coverage_by_group=by_group,
-            n_test_rows=test.n_rows,
+            n_test_rows=n_test_rows,
         )
 
     def _confidentiality(self, test: Table,
@@ -366,13 +671,26 @@ class FACTAuditor:
         risk = None
         if test.schema.quasi_identifier_names:
             risk = assess_risk(test)
+        return self._confidentiality_section(test.schema, risk, accountant)
+
+    @staticmethod
+    def _confidentiality_section(schema, risk,
+                                 accountant) -> ConfidentialitySection:
+        """Assemble the section from a (possibly merged) risk profile.
+
+        The sharded path computes ``risk`` by exactly merging per-shard
+        equivalence-class counts (:func:`repro.data.merge_counts` +
+        :func:`repro.confidentiality.risk_from_counts`), which
+        reproduces :func:`~repro.confidentiality.assess_risk` on the
+        whole table; everything else is schema- and accountant-derived.
+        """
         metadata = [
-            spec.name for spec in test.schema
+            spec.name for spec in schema
             if spec.role is ColumnRole.METADATA
         ]
         section = ConfidentialitySection(
             risk=risk,
-            identifiers_present=test.schema.identifier_names,
+            identifiers_present=schema.identifier_names,
             metadata_present=metadata,
         )
         if accountant is not None:
@@ -383,7 +701,15 @@ class FACTAuditor:
 
     def _transparency(self, model, test, labels, rng,
                       pipeline_result, store=None) -> TransparencySection:
-        X = model.encoder.transform(test)
+        return self._transparency_core(
+            model, model.encoder.transform(test), labels, rng,
+            pipeline_result, store=store,
+        )
+
+    def _transparency_core(self, model, X, labels, rng,
+                           pipeline_result,
+                           store=None) -> TransparencySection:
+        """The transparency section from the encoded matrix + labels."""
         fidelity = leaves = None
         try:
             surrogate = fit_surrogate(

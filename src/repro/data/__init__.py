@@ -17,9 +17,19 @@ from repro.data.split import (
     train_test_split,
 )
 from repro.data.table import Table
+from repro.data.partition import (
+    MergeableMoments,
+    MergeableQuantiles,
+    PartitionedTable,
+    merge_counts,
+    partition,
+)
 from repro.data.impute import SimpleImputer
 
 __all__ = [
+    "MergeableMoments",
+    "MergeableQuantiles",
+    "PartitionedTable",
     "SimpleImputer",
     "ColumnRole",
     "ColumnSpec",
@@ -30,7 +40,9 @@ __all__ = [
     "categorical",
     "k_fold",
     "k_fold_indices",
+    "merge_counts",
     "numeric",
+    "partition",
     "read_csv",
     "read_csv_string",
     "three_way_split",

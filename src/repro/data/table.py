@@ -316,6 +316,28 @@ class Table:
             int(np.count_nonzero(mask)),
         )
 
+    def slice(self, start: int, stop: int) -> "Table":
+        """The contiguous row range ``[start, stop)``, zero-copy.
+
+        Column arrays of the result are views into this table's arrays
+        (contiguous slices never copy), which is what makes row-range
+        partitioning (:mod:`repro.data.partition`) free: a thousand
+        shards of a table cost a thousand array headers, not a second
+        copy of the data.
+        """
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= self._n_rows:
+            raise DataError(
+                f"slice [{start}, {stop}) out of range "
+                f"[0, {self._n_rows})"
+            )
+        return Table._from_canonical(
+            self._schema,
+            {name: array[start:stop]
+             for name, array in self._columns.items()},
+            stop - start,
+        )
+
     def head(self, n: int = 5) -> "Table":
         """The first ``n`` rows."""
         return self.take(np.arange(min(n, self._n_rows)))
@@ -357,38 +379,50 @@ class Table:
         return self.take(order)
 
     @classmethod
-    def concat(cls, tables: Sequence["Table"]) -> "Table":
+    def concat(cls, tables: Iterable["Table"]) -> "Table":
         """One table holding the rows of ``tables``, in order.
 
         Every table must carry an identical schema (names, types, and
         FACT roles) — concatenating tables that merely share column
         names would silently merge different declarations.  Callable on
         an instance too (``table.concat([a, b])`` ignores the instance).
+
+        ``tables`` may be any iterable, including a generator: each
+        table is validated as it streams past and only its column
+        arrays are retained, so shard-sized chunks produced on the fly
+        (a :class:`~repro.data.partition.PartitionedTable`'s lazy
+        shards, a chunked join) never require the source tables to be
+        alive simultaneously.
         """
-        tables = list(tables)
-        if not tables:
-            raise DataError("concat needs at least one table")
+        reference = None
+        signature = None
+        parts: dict[str, list[np.ndarray]] = {}
+        total = 0
         for table in tables:
             if not isinstance(table, Table):
                 raise DataError(
                     f"concat expects Tables, got {type(table).__name__}"
                 )
-        reference = tables[0].schema
-        signature = [(s.name, s.ctype, s.role) for s in reference]
-        for table in tables[1:]:
-            if [(s.name, s.ctype, s.role) for s in table.schema] != signature:
+            if reference is None:
+                reference = table.schema
+                signature = [(s.name, s.ctype, s.role) for s in reference]
+                parts = {name: [] for name in reference.names}
+            elif [(s.name, s.ctype, s.role)
+                  for s in table.schema] != signature:
                 raise SchemaError(
                     "cannot concat tables with different schemas: "
                     f"{reference.names} (roles/types included) vs "
                     f"{table.schema.names}"
                 )
+            for name in reference.names:
+                parts[name].append(table._columns[name])
+            total += table._n_rows
+        if reference is None:
+            raise DataError("concat needs at least one table")
         columns = {
-            name: np.concatenate([table._columns[name] for table in tables])
-            for name in reference.names
+            name: np.concatenate(arrays) for name, arrays in parts.items()
         }
-        return cls._from_canonical(
-            reference, columns, sum(table._n_rows for table in tables)
-        )
+        return cls._from_canonical(reference, columns, total)
 
     # -- grouping / summaries ------------------------------------------------------
 

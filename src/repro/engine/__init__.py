@@ -37,6 +37,12 @@ from repro.engine.node import (
     value_fingerprint,
 )
 from repro.engine.plan import FusedChain, Plan
+from repro.engine.sharding import (
+    ShardPartials,
+    combine_node,
+    shard_map,
+    shard_map_nodes,
+)
 
 __all__ = [
     "Executor",
@@ -46,6 +52,10 @@ __all__ = [
     "Plan",
     "PlanResult",
     "RNG_MODES",
+    "ShardPartials",
+    "combine_node",
     "seed_identity",
+    "shard_map",
+    "shard_map_nodes",
     "value_fingerprint",
 ]

@@ -44,7 +44,14 @@ from repro.engine.plan import FusedChain, Plan
 from repro.exceptions import PlanError
 from repro.parallel.executor import ParallelExecutor, ParallelTaskError
 from repro.parallel.rng import spawn_seeds
-from repro.store.store import NULL_STORE
+from repro.store.store import NULL_STORE, NullStore, Spilled
+
+_ABSENT = object()
+
+
+def _call_task(task):
+    """Run one node's picklable task inside a process worker."""
+    return task()
 
 
 @dataclass
@@ -314,6 +321,16 @@ class Executor:
         def thunk():
             if not node.cacheable:
                 return compute(), "uncacheable"
+            if node.spill and not isinstance(store, NullStore):
+                # Spill: the value lives in the store, a Spilled
+                # reference travels the plan.  A warm hit never decodes
+                # the payload — bounded coordinator memory is the point.
+                digest = lazy_key()
+                if store.probe(digest):
+                    return Spilled(digest), "hit"
+                value = compute()
+                store.put(digest, value, tags=lazy_tags())
+                return Spilled(digest), "miss"
             return store.memoize_with_status(
                 compute, key=lazy_key, rng=continuity_rng, tags=lazy_tags
             )
@@ -376,6 +393,15 @@ class Executor:
 
     def _run_level(self, level, results, fp_of, seeds, shared_rng, store,
                    telemetry, parent_id, collector=None) -> list:
+        if (
+            self.backend == "process"
+            and self.n_jobs > 1
+            and len(level) > 1
+            and all(isinstance(unit, Node) and unit.task is not None
+                    for unit in level)
+        ):
+            return self._run_level_process(level, store, telemetry,
+                                           parent_id, collector)
         thunks = [
             self._chain_thunk(unit, results, fp_of, shared_rng, store,
                               collector)
@@ -415,6 +441,65 @@ class Executor:
                 # fan-out is an implementation detail of the engine.
                 raise cause
             raise
+
+    def _run_level_process(self, level, store, telemetry, parent_id,
+                           collector=None) -> list:
+        """Dispatch a level of task-declaring nodes to process workers.
+
+        The shard-map fan-out: every node in the level carries a
+        picklable ``task`` (its data closed over at build time), so the
+        level runs as real map tasks over the :mod:`repro.parallel`
+        process backend — one task per node — instead of the node-level
+        thread coercion.  Cache replay happens on the coordinator
+        *before* dispatch, so only missing shards ship to workers, and
+        committed values (or :class:`~repro.store.Spilled` references,
+        for spill nodes) come back in deterministic node order.
+        """
+        caching = not isinstance(store, NullStore)
+        outcomes: list = [None] * len(level)
+        pending: list[tuple[int, Node, str | None]] = []
+        for index, node in enumerate(level):
+            key = None
+            if caching and node.cacheable:
+                key = node.key()
+                if node.spill:
+                    if store.probe(key):
+                        outcomes[index] = (Spilled(key), "hit")
+                        continue
+                else:
+                    value = store.get(key, _ABSENT)
+                    if value is not _ABSENT:
+                        outcomes[index] = (value, "hit")
+                        continue
+            pending.append((index, node, key))
+        if pending:
+            pool = ParallelExecutor(
+                n_jobs=self.n_jobs, backend="process", chunk_size=1,
+                name=f"{self.name}.map",
+            )
+            try:
+                values = pool.map(_call_task,
+                                  [node.task for _, node, _ in pending])
+            except ParallelTaskError as error:
+                failed = pending[error.task_index][1]
+                cause = error.__cause__
+                self._record_error(telemetry, parent_id, failed,
+                                   cause if cause is not None else error)
+                if cause is not None:
+                    raise cause
+                raise
+            for (index, node, key), value in zip(pending, values):
+                if key is None:
+                    # Either caching is off or the node opted out — the
+                    # same "uncacheable" a NullStore memoize reports.
+                    outcomes[index] = (value, "uncacheable")
+                    continue
+                store.put(key, value, tags=node.resolved_tags({}))
+                outcomes[index] = (
+                    (Spilled(key), "miss") if node.spill
+                    else (value, "miss")
+                )
+        return outcomes
 
     def _record_span(self, telemetry, parent_id, run: NodeRun,
                      results: dict, level_mark, collector=None) -> None:

@@ -132,6 +132,22 @@ class Node:
         ``annotate(value, inputs) -> dict`` of extra span attributes
         derived from the node's result (e.g. row counts).  Called on the
         coordinator after the node completes, never inside a worker.
+    task:
+        Optional *picklable* zero-argument callable equivalent to
+        ``fn(inputs, rng)`` for this node (everything baked in at
+        build time — e.g. ``functools.partial`` of a module-level
+        function).  When every node in a plan level declares one (and
+        none declares ``inputs`` or ``rng``), an executor built with
+        ``backend="process"`` dispatches the level as real process map
+        tasks instead of coercing to threads — the shard-map fan-out
+        path.  ``fn`` remains the thread/serial execution form and must
+        compute the same value.
+    spill:
+        ``True`` commits the node's value to the store and passes a
+        :class:`~repro.store.Spilled` reference downstream instead of
+        the value (requires ``cacheable``; inert without a real
+        store).  Consumers resolve references one at a time, so the
+        coordinator never holds every partial at once.
     """
 
     def __init__(self, name: str,
@@ -146,7 +162,9 @@ class Node:
                  span_attrs: dict | None = None,
                  record_params: dict | None = None,
                  tags: tuple[str, ...] | Callable = (),
-                 annotate: Callable | None = None):
+                 annotate: Callable | None = None,
+                 task: Callable | None = None,
+                 spill: bool = False):
         if not name or not isinstance(name, str):
             raise PlanError("node name must be a non-empty string")
         if fn is not None and not callable(fn):
@@ -177,6 +195,27 @@ class Node:
         if annotate is not None and not callable(annotate):
             raise PlanError(f"node {name!r}: annotate must be callable")
         self.annotate = annotate
+        if task is not None:
+            if not callable(task):
+                raise PlanError(f"node {name!r}: task must be callable")
+            if self.inputs:
+                raise PlanError(
+                    f"node {name!r}: a process task must close over its "
+                    "data at build time; declared inputs cannot be "
+                    "resolved inside a worker"
+                )
+            if rng is not None:
+                raise PlanError(
+                    f"node {name!r}: process tasks draw no engine rng; "
+                    "bake a spawned SeedSequence into the task instead"
+                )
+        self.task = task
+        self.spill = bool(spill)
+        if self.spill and not self.cacheable:
+            raise PlanError(
+                f"node {name!r}: spill requires a cacheable node "
+                "(the reference points at the store entry)"
+            )
 
     # -- identity ------------------------------------------------------------
 

@@ -26,9 +26,14 @@ def _fusable(node: Node) -> bool:
     must be cacheable, executable, and free of per-node seed spawning
     (``rng="spawn"`` nodes own a positionally spawned stream whose
     identity is part of their cache key — they stay singleton units).
+    Shard-map nodes stay out too: a process ``task`` must dispatch as
+    its own map unit, and a ``spill`` node's artifact is its value's
+    only home — folding either into a chained artifact would defeat
+    exactly what they exist for.
     """
     return (node.cacheable and node.fn is not None
-            and node.rng in (None, "shared"))
+            and node.rng in (None, "shared")
+            and node.task is None and not node.spill)
 
 
 class FusedChain:

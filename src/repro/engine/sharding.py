@@ -1,0 +1,221 @@
+"""``shard_map``: per-shard map nodes + a declared coordinator combine.
+
+The node template behind out-of-core plans: given a
+:class:`~repro.data.partition.PartitionedTable`, ``shard_map_nodes``
+builds one :class:`~repro.engine.Node` per shard, each of which
+
+* runs a **pure per-shard function** ``map_fn(shard, rng)``;
+* carries a **picklable process task** (the shard's source and any
+  per-shard seed closed over via :func:`functools.partial`), so an
+  :class:`~repro.engine.Executor` built with ``backend="process"``
+  dispatches the whole level as real map tasks over the
+  :mod:`repro.parallel` process backend — one task per shard;
+* owns a **per-shard cache key** (its params fold the shard's content
+  fingerprint), so editing one shard re-keys exactly that node — the
+  incremental sharded re-audit;
+* optionally **spills**: the partial is committed to the store tagged
+  ``shard:<fp>`` and a :class:`~repro.store.Spilled` reference travels
+  the plan instead of the value, bounding coordinator memory by one
+  shard plus the combined partials;
+* optionally draws from a **per-shard spawned SeedSequence** (``seed=``
+  spawns one child per shard, baked into the task and folded into the
+  key).
+
+``combine_node`` declares the merge step: it receives the partials as a
+:class:`ShardPartials` sequence that resolves spilled references one at
+a time, **in shard order** — so a combine that concatenates or folds
+sequentially is deterministic by construction, and byte-identical to
+the unsharded computation whenever the per-shard function is row-wise
+pure and the merged statistics are exact (counts, contingencies,
+concatenated arrays; see :mod:`repro.data.partition` for the mergeable
+vocabulary).
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.data.partition import PartitionedTable
+from repro.data.table import Table
+from repro.engine.node import Node, seed_identity
+from repro.exceptions import PlanError
+from repro.parallel.rng import spawn_seeds
+from repro.store.store import NULL_STORE, resolve_spilled
+
+
+def _run_shard_task(map_fn, source, seed):
+    """Materialize one shard and apply the map function (worker body).
+
+    Module-level and argument-closed, so ``functools.partial`` of it
+    pickles into a process worker; the thread/serial execution path
+    calls the exact same function, keeping results byte-identical
+    across backends.
+    """
+    shard = source if isinstance(source, Table) else source()
+    rng = np.random.default_rng(seed) if seed is not None else None
+    return map_fn(shard, rng)
+
+
+class ShardPartials(Sequence):
+    """The per-shard partials, resolved lazily in shard order.
+
+    Spilled references are fetched from the store one at a time as the
+    combine iterates — the coordinator holds the partial it is folding,
+    not all of them — while raw (storeless) partials pass straight
+    through.  Indexing re-fetches; iterate once and fold.
+    """
+
+    def __init__(self, values: Sequence, store):
+        self._values = list(values)
+        self._store = store if store is not None else NULL_STORE
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        return resolve_spilled(self._values[index], self._store)
+
+    def __iter__(self):
+        for value in self._values:
+            yield resolve_spilled(value, self._store)
+
+
+def shard_map_nodes(name: str, data: PartitionedTable,
+                    map_fn: Callable, *,
+                    params: dict | Callable[[], dict] | None = None,
+                    code: Callable | None = None,
+                    seed: np.random.Generator | None = None,
+                    spill: bool = True,
+                    label: str | None = None) -> tuple[Node, ...]:
+    """One map node per shard of ``data`` (names ``{name}.shard{i}``).
+
+    ``map_fn(shard, rng)`` must be pure and — for process dispatch —
+    picklable (a module-level function or :func:`functools.partial` of
+    one; the shard's source and seed are baked in here).  ``params``
+    joins every node's cache key alongside the shard fingerprint;
+    ``code`` defaults to ``map_fn`` so edits invalidate.  ``seed``
+    spawns one ``SeedSequence`` child per shard (advancing the
+    caller's spawn counter once), giving each map task its own
+    deterministic stream whose identity joins the key.
+    """
+    if not isinstance(data, PartitionedTable):
+        raise PlanError(
+            f"shard_map needs a PartitionedTable, got "
+            f"{type(data).__name__}"
+        )
+    children = (spawn_seeds(seed, data.n_shards)
+                if seed is not None else [None] * data.n_shards)
+    nodes = []
+    for index in range(data.n_shards):
+        child = children[index]
+        task = functools.partial(
+            _run_shard_task, map_fn, data.shard_source(index), child
+        )
+
+        def node_fn(inputs, rng, _task=task):
+            return _task()
+
+        def node_params(index=index, child=child) -> dict:
+            # Lazy all the way down: a callable ``params`` is only
+            # evaluated when a store actually needs the key.
+            resolved = dict(params()) if callable(params) else dict(params or {})
+            resolved["shard"] = data.shard_fingerprint(index)
+            if child is not None:
+                resolved["seed"] = seed_identity(child)
+            return resolved
+
+        def node_tags(input_fps, index=index) -> tuple:
+            return (f"shard:{data.shard_fingerprint(index)}",)
+
+        prefix = label if label is not None else name
+        nodes.append(Node(
+            f"{name}.shard{index}", node_fn,
+            params=node_params,
+            code=code if code is not None else map_fn,
+            label=f"{prefix}.shard{index}",
+            span_attrs={"shard": index, "n_shards": data.n_shards},
+            tags=node_tags,
+            task=task,
+            spill=spill,
+        ))
+    return tuple(nodes)
+
+
+def combine_node(name: str, over: Sequence[str] | Sequence[Node],
+                 fn: Callable, *,
+                 store=None,
+                 params: dict | Callable[[], dict] | None = None,
+                 code: Callable | None = None,
+                 rng: str | None = None,
+                 inputs: Sequence[str] = (),
+                 tags: tuple[str, ...] | Callable = (),
+                 label: str | None = None,
+                 annotate: Callable | None = None) -> Node:
+    """The declared combine step over a shard map's partials.
+
+    ``fn(partials, extras, rng)`` receives the partials as a
+    :class:`ShardPartials` (shard order, lazy resolution) and any
+    additional declared ``inputs`` as the ``extras`` dict.  ``store``
+    must be the store the executor will run with whenever the map
+    nodes spill — it is where the references point.  The node's cache
+    key folds every partial's fingerprint, so a changed shard re-keys
+    the combine automatically.
+    """
+    over_names = tuple(
+        unit.name if isinstance(unit, Node) else str(unit) for unit in over
+    )
+    extra_names = tuple(str(item) for item in inputs)
+    resolved_store = store if store is not None else NULL_STORE
+
+    def combine_fn(input_values, node_rng):
+        partials = ShardPartials(
+            [input_values[member] for member in over_names],
+            resolved_store,
+        )
+        extras = {member: input_values[member] for member in extra_names}
+        return fn(partials, extras, node_rng)
+
+    return Node(
+        name, combine_fn,
+        inputs=over_names + extra_names,
+        params=params,
+        code=code if code is not None else fn,
+        rng=rng,
+        label=label,
+        tags=tags,
+        annotate=annotate,
+    )
+
+
+def shard_map(name: str, data: PartitionedTable, map_fn: Callable,
+              combine: Callable, *,
+              params: dict | None = None,
+              map_code: Callable | None = None,
+              combine_params: dict | Callable[[], dict] | None = None,
+              combine_code: Callable | None = None,
+              combine_rng: str | None = None,
+              seed: np.random.Generator | None = None,
+              store=None,
+              spill: bool = True,
+              inputs: Sequence[str] = (),
+              tags: tuple[str, ...] | Callable = ()) -> list[Node]:
+    """Map nodes plus their combine, ready to drop into a plan.
+
+    Returns ``[map_0, ..., map_{k-1}, combine]`` where the combine node
+    is named ``{name}.combine``.  The combine's value is the plan-level
+    result; the map values are per-shard partials (or spilled
+    references) that usually never leave the engine.
+    """
+    maps = shard_map_nodes(
+        name, data, map_fn, params=params, code=map_code, seed=seed,
+        spill=spill,
+    )
+    tail = combine_node(
+        f"{name}.combine", maps, combine, store=store,
+        params=combine_params, code=combine_code, rng=combine_rng,
+        inputs=inputs, tags=tags,
+    )
+    return [*maps, tail]

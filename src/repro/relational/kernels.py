@@ -268,10 +268,10 @@ def _validate_keys(left: Table, right: Table, on: list[str],
             )
 
 
-def _join(left: Table, right: Table, on, right_on, suffix: str,
-          keep_unmatched: bool) -> Table:
-    on = _as_names(on, "join")
-    right_on = on if right_on is None else _as_names(right_on, "join")
+def _join_one(left: Table, right: Table, on: list[str],
+              right_on: list[str], suffix: str,
+              keep_unmatched: bool) -> tuple[Table, bool]:
+    """Join one left table; returns ``(result, fan_out)``."""
     _validate_keys(left, right, on, right_on)
 
     left_codes, right_codes, right_order = _join_codes(
@@ -315,10 +315,55 @@ def _join(left: Table, right: Table, on, right_on, suffix: str,
             columns[output_name] = values
     # Output columns are gathers/fills of canonical arrays — skip the
     # per-element re-coercion in Table.__init__ (the join's hot path).
-    return Table._from_canonical(schema, columns, len(left_take))
+    return Table._from_canonical(schema, columns, len(left_take)), fan_out
 
 
-def inner_join(left: Table, right: Table, on, *, right_on=None,
+def _reschema(table: Table, schema: Schema) -> Table:
+    """Zero-copy schema swap (same names/types, different roles)."""
+    return Table._from_canonical(
+        schema,
+        {name: table.column(name) for name in schema.names},
+        table.n_rows,
+    )
+
+
+def _join(left, right: Table, on, right_on, suffix: str,
+          keep_unmatched: bool) -> Table:
+    on = _as_names(on, "join")
+    right_on = on if right_on is None else _as_names(right_on, "join")
+    if isinstance(left, Table):
+        return _join_one(left, right, on, right_on, suffix,
+                         keep_unmatched)[0]
+
+    # Streaming: ``left`` is an iterable of shard-sized chunks, joined
+    # one at a time (never materialized as one table up front).  Fan-out
+    # detection is global — a key that fans out in *any* chunk promotes
+    # the joined key columns to quasi-identifiers everywhere, exactly as
+    # the equivalent single-table join would — so chunks joined before
+    # the first fan-out are re-schema'd (a zero-copy role swap) before
+    # the streamed concat.
+    outputs: list[Table] = []
+    fan_outs: list[bool] = []
+    for chunk in left:
+        result, chunk_fan_out = _join_one(
+            chunk, right, on, right_on, suffix, keep_unmatched
+        )
+        outputs.append(result)
+        fan_outs.append(chunk_fan_out)
+    if not outputs:
+        raise DataError("join needs at least one left table")
+    if any(fan_outs) and not all(fan_outs):
+        promoted = outputs[fan_outs.index(True)].schema
+        outputs = [
+            output if chunk_fan_out else _reschema(output, promoted)
+            for output, chunk_fan_out in zip(outputs, fan_outs)
+        ]
+    if len(outputs) == 1:
+        return outputs[0]
+    return Table.concat(outputs)
+
+
+def inner_join(left, right: Table, on, *, right_on=None,
                suffix: str = "_r") -> Table:
     """Rows of ``left`` matched with rows of ``right`` on equal keys.
 
@@ -326,16 +371,23 @@ def inner_join(left: Table, right: Table, on, *, right_on=None,
     ``right_on`` gives the right table's key names).  Output order is
     the left table's row order; many-to-many keys fan out in the right
     table's row order.  Missing keys (NaN / ``""``) never match.
+
+    ``left`` may also be an *iterable* of same-schema tables (e.g.
+    ``PartitionedTable.shards()``): chunks join one at a time and the
+    results concatenate in order — identical output to joining the
+    concatenated table, without holding all chunks at once.
     """
     return _join(left, right, on, right_on, suffix, keep_unmatched=False)
 
 
-def left_join(left: Table, right: Table, on, *, right_on=None,
+def left_join(left, right: Table, on, *, right_on=None,
               suffix: str = "_r") -> Table:
     """Every ``left`` row, with ``right`` columns where keys match.
 
     Unmatched left rows keep exactly one output row with the right-side
-    columns filled (NaN for numeric, ``""`` for categorical).
+    columns filled (NaN for numeric, ``""`` for categorical).  As with
+    :func:`inner_join`, ``left`` may be an iterable of same-schema
+    chunk tables, streamed through one at a time.
     """
     return _join(left, right, on, right_on, suffix, keep_unmatched=True)
 

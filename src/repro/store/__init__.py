@@ -57,6 +57,8 @@ from repro.store.store import (
     NULL_STORE,
     ArtifactStore,
     NullStore,
+    Spilled,
+    resolve_spilled,
     rng_state,
     set_rng_state,
 )
@@ -101,12 +103,14 @@ __all__ = [
     "NULL_STORE",
     "NullStore",
     "STORE_ENV",
+    "Spilled",
     "array_fingerprint",
     "canonical",
     "code_fingerprint",
     "dataset_fingerprint",
     "fingerprint",
     "object_fingerprint",
+    "resolve_spilled",
     "resolve_store",
     "rng_state",
     "set_rng_state",

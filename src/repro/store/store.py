@@ -42,6 +42,55 @@ from repro.store.fingerprint import fingerprint
 _MISS = object()
 
 
+class Spilled:
+    """A by-reference handle to an artifact left in the store.
+
+    Spill-enabled engine nodes (:mod:`repro.engine.sharding`) commit
+    their value to the store and hand *this* downstream instead of the
+    value itself — partial shard results persist as artifacts between
+    plan levels, so the coordinator's peak memory is bounded by one
+    shard plus the combined partials, and a warm re-run replays the
+    handle without ever decoding the payload.  Consumers resolve it
+    with :func:`resolve_spilled` (one partial at a time, in shard
+    order).
+
+    The content fingerprint hashes the key: the key *is* the value's
+    content-derived identity (a cache digest over code, params, and
+    input fingerprints), so downstream cache keys stay stable across
+    cold and warm runs.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        self.key = str(key)
+
+    def __content_fingerprint__(self) -> str:
+        return fingerprint(spilled=self.key)
+
+    def __repr__(self) -> str:
+        return f"Spilled({self.key!r})"
+
+
+def resolve_spilled(value, store):
+    """``value`` itself, or the artifact behind a :class:`Spilled` ref.
+
+    A missing or corrupted spill entry raises :class:`DataError` — a
+    spilled partial has no recompute path of its own (its producing
+    node already reported a hit), so silently recomputing downstream
+    would replay garbage.
+    """
+    if not isinstance(value, Spilled):
+        return value
+    resolved = store.get(value.key, _MISS)
+    if resolved is _MISS:
+        raise DataError(
+            f"spilled artifact {value.key} has vanished from the store; "
+            "clear the cache and re-run"
+        )
+    return resolved
+
+
 def rng_state(rng: np.random.Generator) -> dict:
     """A copyable snapshot of ``rng``'s bit-generator state."""
     return rng.bit_generator.state
@@ -133,6 +182,20 @@ class ArtifactStore:
 
     def __contains__(self, key: str) -> bool:
         return self.backend.get(key) is not None
+
+    def probe(self, key: str) -> bool:
+        """Counted presence check that never decodes the payload.
+
+        The spill path's hit test: a present entry counts one hit, an
+        absent one counts one miss — the same accounting a
+        :meth:`memoize_with_status` lookup would produce — but the
+        (possibly large) artifact stays on disk untouched.
+        """
+        if self.backend.get(key) is not None:
+            self._count("hits")
+            return True
+        self._count("misses")
+        return False
 
     def __len__(self) -> int:
         return len(self.backend)
@@ -314,6 +377,10 @@ class NullStore:
     def put(self, key: str, value, tags=(), extra=None) -> str:
         """Accept and discard ``value``; returns ``key`` unchanged."""
         return key
+
+    def probe(self, key: str) -> bool:
+        """Always ``False`` (nothing is ever stored, nothing counted)."""
+        return False
 
     def invalidate(self, key: str) -> None:
         """No-op (nothing is ever stored)."""
